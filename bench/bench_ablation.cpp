@@ -1,0 +1,188 @@
+// Ablations of the design choices DESIGN.md calls out: what each piece
+// of the modelled hardware actually buys, measured by removing it.
+//
+//   A1: flash sequential prefetch on/off           (code-side latency hiding)
+//   A2: split code/data flash ports vs shared      (the §4 arbitration story)
+//   A3: bus arbitration policy under DMA load      (priority vs fairness)
+//   A4: trace-message compression vs naive encoding (the E4 enabler)
+//   A5: EMEM capacity vs usable measurement length (why 512 KiB on-chip)
+#include "isa/assembler.hpp"
+
+#include "bench_common.hpp"
+#include "ed/emulation_device.hpp"
+#include "mem/memory_map.hpp"
+
+using namespace audo;
+using namespace audo::bench;
+
+
+
+int main() {
+  header("Ablations", "what each modelled mechanism contributes");
+
+  auto w = default_engine();
+  {
+    workload::EngineOptions opt = w.options;
+    opt.halt_after_bg = 300;
+    auto rebuilt = workload::build_engine_workload(opt);
+    if (!rebuilt.is_ok()) return 1;
+    w = std::move(rebuilt).value();
+  }
+
+  // --- A1: sequential prefetch ---
+  // Visible on sequential code fetched straight from the flash (cold
+  // cache / non-cacheable code); cached steady-state code hides it.
+  {
+    std::string src = "    .text 0xA0000000\nmain:\n";
+    for (int i = 0; i < 4000; ++i) src += "    addi d0, d0, 1\n";
+    src += "    halt\n";
+    auto straight = isa::assemble(src);
+    if (!straight.is_ok()) return 1;
+    auto run_once = [&](bool prefetch) {
+      soc::SocConfig cfg;
+      cfg.pflash.sequential_prefetch = prefetch;
+      soc::Soc soc(cfg);
+      (void)soc.load(straight.value());
+      soc.reset(straight.value().entry());
+      return soc.run(10'000'000);
+    };
+    const u64 c_with = run_once(true);
+    const u64 c_without = run_once(false);
+    std::printf("\nA1 flash sequential prefetch (straight-line uncached "
+                "code): on=%llu cycles, off=%llu (+%.1f%% without)\n",
+                static_cast<unsigned long long>(c_with),
+                static_cast<unsigned long long>(c_without),
+                100.0 * (static_cast<double>(c_without) - static_cast<double>(c_with)) /
+                    static_cast<double>(c_with));
+  }
+
+  // --- A2: value of the dual-ported flash ---
+  // Approximate a shared single port by serializing everything through
+  // wait states doubled on the data side (the array is busy with code).
+  // Direct measurement: count port-conflict cycles with the real model.
+  {
+    soc::Soc soc{soc::SocConfig{}};
+    (void)workload::install_engine(soc, w);
+    soc.run(60'000'000);
+    const auto& fs = soc.pflash().stats();
+    std::printf("A2 code/data port arbitration: %llu array fetches, %llu "
+                "conflict wait cycles (%.2f%% of runtime) absorbed by the "
+                "dual-port + buffer design\n",
+                static_cast<unsigned long long>(fs.array_fetches),
+                static_cast<unsigned long long>(fs.port_conflict_cycles),
+                100.0 * static_cast<double>(fs.port_conflict_cycles) /
+                    static_cast<double>(soc.cycle()));
+  }
+
+  // --- A3: arbitration policy when the flash data port oversubscribes ---
+  // With one outstanding CPU request the port never saturates from a
+  // single master (the engine run is policy-neutral — verified). Three
+  // contenders (TC diag + DMA flood + a PCP flash loop) oversubscribe it;
+  // fixed priority then starves the lowest master (the PCP).
+  {
+    auto contended = isa::assemble(R"(
+      .text 0x80000000
+main:
+      movha a15, 0xC000
+      movh  d6, 0xA004
+      mov.ad a2, d6
+_tc_loop:
+      ld.w  d1, [a2+0]
+      lea   a2, [a2+36]
+      xor   d0, d0, d1
+      j     _tc_loop
+      .text 0xD0000000
+pcp_main:
+      di
+      movha a15, 0xD400
+      movh  d6, 0xA006
+      mov.ad a2, d6
+_pcp_loop:
+      ld.w  d1, [a2+0]
+      lea   a2, [a2+36]
+      xor   d0, d0, d1
+      j     _pcp_loop
+)");
+    if (!contended.is_ok()) return 1;
+    auto pcp_progress = [&](bus::ArbitrationPolicy policy) {
+      soc::SocConfig cfg;
+      cfg.arbitration = policy;
+      soc::Soc soc(cfg);
+      (void)soc.load(contended.value());
+      const Addr tc = contended.value().symbol_addr("main").value();
+      const Addr pcp = contended.value().symbol_addr("pcp_main").value();
+      soc.reset(tc, pcp);
+      periph::DmaController::ChannelConfig flood;
+      flood.src = mem::kPFlashUncachedBase + 0x60000;
+      flood.dst = mem::kDsprBase + 0xF000;
+      flood.count = 0xFFFFFFFF;
+      flood.src_step = 64;
+      flood.dst_step = 0;
+      soc.dma().setup_channel(1, flood, true);
+      soc.run(200'000);
+      return soc.pcp()->retired();
+    };
+    const u64 fixed = pcp_progress(bus::ArbitrationPolicy::kFixedPriority);
+    const u64 rr = pcp_progress(bus::ArbitrationPolicy::kRoundRobin);
+    std::printf("A3 arbitration on an oversubscribed flash port (TC + DMA + "
+                "PCP): PCP progress fixed-priority=%llu instrs, "
+                "round-robin=%llu (%.2fx fairer)\n",
+                static_cast<unsigned long long>(fixed),
+                static_cast<unsigned long long>(rr),
+                fixed == 0 ? 0.0
+                           : static_cast<double>(rr) / static_cast<double>(fixed));
+  }
+
+  // --- A4: trace compression ---
+  {
+    profiling::SessionOptions opts;
+    opts.resolution = 1000;
+    opts.program_trace = true;
+    opts.ed.emem.size_bytes = 16 * 1024 * 1024;
+    opts.ed.emem.overlay_bytes = 0;
+    profiling::ProfilingSession session(soc::SocConfig{}, opts);
+    (void)session.load(w.program);
+    workload::configure_engine(session.device().soc(), w.options);
+    session.reset(w.tc_entry, w.pcp_entry);
+    const auto result = session.run(500'000);
+    // Naive encoding: every message as fixed fields (kind 1B + ts 8B +
+    // pc/addr 4B + value/count payload 4B per element).
+    u64 naive = 0;
+    for (const auto& m : result.messages) {
+      naive += 1 + 8 + 4 + 4 * std::max<usize>(1, m.counts.size());
+    }
+    std::printf("A4 trace compression: %llu bytes bit-packed vs %llu naive "
+                "(%.1fx) over %zu messages\n",
+                static_cast<unsigned long long>(result.trace_bytes),
+                static_cast<unsigned long long>(naive),
+                static_cast<double>(naive) /
+                    static_cast<double>(result.trace_bytes),
+                result.messages.size());
+  }
+
+  // --- A5: EMEM capacity vs measurement length ---
+  {
+    std::printf("A5 EMEM capacity vs usable fill-mode measurement length "
+                "(flow trace + standard rates):\n");
+    for (u32 kib : {64u, 128u, 256u, 512u}) {
+      mcds::McdsConfig cfg;
+      cfg.program_trace = true;
+      cfg.counter_groups = profiling::standard_groups(1000);
+      ed::EdConfig ed_cfg;
+      ed_cfg.emem.size_bytes = kib * 1024;
+      ed_cfg.emem.overlay_bytes = 0;
+      ed::EmulationDevice ed(soc::SocConfig{}, cfg, ed_cfg);
+      (void)ed.load(w.program);
+      workload::configure_engine(ed.soc(), w.options);
+      ed.reset(w.tc_entry, w.pcp_entry);
+      // Run until the first message is dropped.
+      while (ed.mcds().dropped_messages() == 0 &&
+             !ed.soc().tc().halted() && ed.soc().cycle() < 60'000'000) {
+        ed.step();
+      }
+      std::printf("  %4u KiB -> %9llu cycles of gap-free capture\n", kib,
+                  static_cast<unsigned long long>(ed.soc().cycle()));
+    }
+  }
+  return 0;
+}

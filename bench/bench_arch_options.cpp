@@ -1,0 +1,122 @@
+// E6 — §6: "This allows an objective assessment of improvement options by
+// comparing their performance cost ratios" / "choose the ones with the
+// best ratio between performance gain ... and development effort and area
+// increase".
+//
+// Regenerates: the architecture-option ranking table over a customer-like
+// workload suite (kernels + engine application with several HW/SW
+// mappings, per §4: "different customers are using the same
+// microcontroller in different ways").
+#include "bench_common.hpp"
+
+#include "optimize/evaluator.hpp"
+#include "workload/transmission.hpp"
+
+using namespace audo;
+using namespace audo::bench;
+
+int main() {
+  header("E6: quantitative option assessment by performance/cost ratio",
+         "objective ranking of next-generation SoC options");
+
+  optimize::ArchitectureEvaluator evaluator{soc::SocConfig{}};
+
+  // Kernel suite (one customer's algorithm mix).
+  for (const auto& spec : workload::standard_suite()) {
+    auto program = spec.build();
+    if (!program.is_ok()) continue;
+    optimize::WorkloadCase wc;
+    wc.name = spec.name;
+    wc.program = std::move(program).value();
+    wc.tc_entry = wc.program.entry();
+    evaluator.add_case(std::move(wc));
+  }
+  // The engine application under three different HW/SW mappings —
+  // different customers solving the same problem differently (§4).
+  auto add_engine = [&](const char* name, workload::EngineOptions opt,
+                        double weight) {
+    opt.halt_after_bg = 250;  // compute-bound completion
+    opt.crank_time_scale = 100;
+    opt.table_dim = 64;          // 32 KiB of maps
+    opt.diag_words = 256;
+    opt.diag_uncached = true;    // flash-integrity sweep hits the array
+    opt.diag_stride_bytes = 36;
+    auto engine = workload::build_engine_workload(opt);
+    if (!engine.is_ok()) return;
+    optimize::WorkloadCase wc;
+    wc.name = name;
+    wc.program = engine.value().program;
+    wc.tc_entry = engine.value().tc_entry;
+    wc.pcp_entry = engine.value().pcp_entry;
+    wc.configure = [opt](soc::Soc& soc) {
+      workload::configure_engine(soc, opt);
+    };
+    wc.weight = weight;
+    evaluator.add_case(std::move(wc));
+  };
+  add_engine("engine_tc_only", {}, 2.0);
+  {
+    workload::EngineOptions opt;
+    opt.pcp_offload = true;
+    add_engine("engine_pcp_split", opt, 2.0);
+  }
+  {
+    workload::EngineOptions opt;
+    opt.use_dma_for_adc = true;
+    add_engine("engine_dma_adc", opt, 1.0);
+  }
+
+  {
+    // A second customer family: the transmission controller.
+    workload::TransmissionOptions opt;
+    opt.time_scale = 100;
+    opt.halt_after_tasks = 60;
+    auto tcu = workload::build_transmission_workload(opt);
+    if (tcu.is_ok()) {
+      optimize::WorkloadCase wc;
+      wc.name = "transmission";
+      wc.program = tcu.value().program;
+      wc.tc_entry = tcu.value().tc_entry;
+      wc.configure = [opt](soc::Soc& soc) {
+        workload::configure_transmission(soc, opt);
+      };
+      wc.weight = 2.0;
+      evaluator.add_case(std::move(wc));
+    }
+  }
+
+  const auto catalogue = optimize::standard_catalogue();
+  const auto results = evaluator.evaluate(catalogue);
+
+  std::printf("\n%s\n",
+              optimize::ArchitectureEvaluator::format_ranking(results).c_str());
+
+  // Interaction check on the flash-path options: does the greedy
+  // additivity assumption hold?
+  {
+    std::vector<optimize::ArchOption> top;
+    for (const char* name :
+         {"flash_ws_3", "cache_line_64", "dcache_16k", "read_buffers_4"}) {
+      if (const auto* o = optimize::find_option(catalogue, name)) {
+        top.push_back(*o);
+      }
+    }
+    const auto interactions = evaluator.evaluate_interactions(top);
+    std::printf("pairwise interactions (synergy 1.0 = independent gains):\n%s\n",
+                optimize::ArchitectureEvaluator::format_interactions(
+                    interactions).c_str());
+  }
+
+  std::printf("per-workload cycles for the top option (%s):\n",
+              results.front().option.c_str());
+  const auto base_runs = evaluator.run_config(evaluator.baseline());
+  for (usize i = 0; i < base_runs.size(); ++i) {
+    const auto& b = base_runs[i];
+    const auto& v = results.front().runs[i];
+    std::printf("  %-18s %10llu -> %10llu (%.3fx)\n", b.workload.c_str(),
+                static_cast<unsigned long long>(b.cycles),
+                static_cast<unsigned long long>(v.cycles),
+                v.cycles ? static_cast<double>(b.cycles) / v.cycles : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the experiment benches (E1..E10 in DESIGN.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "profiling/session.hpp"
+#include "workload/engine.hpp"
+#include "workload/kernels.hpp"
+
+namespace audo::bench {
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+inline workload::EngineWorkload default_engine(u32 halt_after_revs = 0) {
+  workload::EngineOptions opt;
+  opt.rpm = 4000;
+  opt.crank_time_scale = 80;
+  opt.table_dim = 64;          // 32 KiB of maps: real D-cache pressure
+  opt.diag_words = 256;        // background sweeps a decent flash block
+  opt.diag_uncached = true;    // integrity check reads the array itself
+  opt.diag_stride_bytes = 36;  // defeats the read buffer (worst case)
+  opt.halt_after_revs = halt_after_revs;
+  auto w = workload::build_engine_workload(opt);
+  if (!w.is_ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 w.status().to_string().c_str());
+    std::abort();
+  }
+  return std::move(w).value();
+}
+
+/// Run the engine on a fresh SoC for `cycles`; returns the SoC.
+inline std::unique_ptr<soc::Soc> run_engine(const workload::EngineWorkload& w,
+                                            const soc::SocConfig& config,
+                                            u64 cycles) {
+  auto soc = std::make_unique<soc::Soc>(config);
+  if (Status s = workload::install_engine(*soc, w); !s.is_ok()) {
+    std::fprintf(stderr, "install failed: %s\n", s.to_string().c_str());
+    std::abort();
+  }
+  soc->run(cycles);
+  return soc;
+}
+
+using profiling::bucketize;
+
+}  // namespace audo::bench

@@ -1,0 +1,106 @@
+// E10 — §2/§3: the ED "consists of the unchanged product chip part
+// extended by ... overlay RAM and a powerful trigger and trace unit";
+// EDs "differ only in their slightly higher power consumption".
+//
+// Regenerates: product-chip-mode vs ED-mode equivalence over the whole
+// workload suite (cycle counts and architectural results identical), the
+// EMEM calibration overlay, and the honest counter-example: tool accesses
+// through Cerberus DO occupy the product bus (they are the one ED
+// activity that is not free).
+#include "bench_common.hpp"
+
+#include "ed/emulation_device.hpp"
+
+using namespace audo;
+using namespace audo::bench;
+
+int main() {
+  header("E10: Emulation Device == product chip + EEC",
+         "the product-chip part is unchanged; observing it is free");
+
+  mcds::McdsConfig trace_all;
+  trace_all.program_trace = true;
+  trace_all.data_trace = true;
+  trace_all.irq_trace = true;
+  trace_all.counter_groups = profiling::standard_groups(500);
+
+  std::printf("\n%-20s %14s %14s %9s %12s\n", "workload", "chip cycles",
+              "ED cycles", "equal?", "trace msgs");
+  bool all_equal = true;
+  for (const auto& spec : workload::standard_suite()) {
+    auto program = spec.build();
+    if (!program.is_ok()) continue;
+
+    soc::Soc chip{soc::SocConfig{}};
+    (void)chip.load(program.value());
+    chip.reset(program.value().entry());
+    const u64 chip_cycles = chip.run(40'000'000);
+
+    ed::EdConfig ed_cfg;
+    ed_cfg.emem.size_bytes = 2 * 1024 * 1024;
+    ed_cfg.emem.overlay_bytes = 128 * 1024;
+    ed::EmulationDevice ed(soc::SocConfig{}, trace_all, ed_cfg);
+    (void)ed.load(program.value());
+    ed.reset(program.value().entry());
+    const u64 ed_cycles = ed.run(40'000'000);
+
+    const bool regs_equal = [&] {
+      for (unsigned i = 0; i < 16; ++i) {
+        if (chip.tc().d(i) != ed.soc().tc().d(i)) return false;
+        if (chip.tc().a(i) != ed.soc().tc().a(i)) return false;
+      }
+      return chip.dspr().array() == ed.soc().dspr().array();
+    }();
+    const bool equal = chip_cycles == ed_cycles && regs_equal;
+    all_equal = all_equal && equal;
+    std::printf("%-20s %14llu %14llu %9s %12llu\n", spec.name,
+                static_cast<unsigned long long>(chip_cycles),
+                static_cast<unsigned long long>(ed_cycles),
+                equal ? "yes" : "NO",
+                static_cast<unsigned long long>(
+                    ed.emem().total_pushed_messages()));
+  }
+  std::printf("=> full-trace observation is %s\n",
+              all_equal ? "cycle-exact transparent" : "NOT transparent (BUG)");
+
+  // Calibration overlay: the ED's original purpose (§3).
+  {
+    ed::EdConfig ed_cfg;
+    ed::EmulationDevice ed(soc::SocConfig{}, mcds::McdsConfig{}, ed_cfg);
+    ed.emem().overlay().write32(0x40, 1234);  // tool writes a map value
+    std::printf("\ncalibration overlay: %u KiB of EMEM reserved; tool "
+                "read-back of a written parameter: %u (expected 1234)\n",
+                static_cast<unsigned>(ed.emem().config().overlay_bytes / 1024),
+                ed.emem().overlay().read32(0x40));
+  }
+
+  // The honest exception: Cerberus tool accesses share the product bus.
+  {
+    auto program = workload::build_checksum(4096);
+    if (program.is_ok()) {
+      auto run_with_tool_traffic = [&](unsigned polls) {
+        ed::EmulationDevice ed(soc::SocConfig{}, mcds::McdsConfig{},
+                               ed::EdConfig{});
+        (void)ed.load(program.value());
+        ed.reset(program.value().entry());
+        u64 extra = 0;
+        for (unsigned i = 0; i < polls && !ed.soc().tc().halted(); ++i) {
+          ed.run(2'000);
+          ed.tool_read32(0xC0000000);  // monitor-style poll
+          ++extra;
+        }
+        ed.run(40'000'000);
+        return ed.soc().cycle();
+      };
+      const u64 quiet = run_with_tool_traffic(0);
+      const u64 polled = run_with_tool_traffic(20);
+      std::printf("\ntool-access cost: run with 20 Cerberus polls takes "
+                  "%lld extra cycles (%.3f%%) — observation is free, "
+                  "*access* is not\n",
+                  static_cast<long long>(polled) - static_cast<long long>(quiet),
+                  100.0 * (static_cast<double>(polled) - static_cast<double>(quiet)) /
+                      static_cast<double>(quiet));
+    }
+  }
+  return 0;
+}

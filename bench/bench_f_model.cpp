@@ -1,0 +1,123 @@
+// E9 — Figure 1 (F-model): evolutionary microcontroller generations.
+// "Customers want to reuse their software from the last microcontroller
+// generation unchanged"; the manufacturer profiles the current generation
+// and folds the best-ratio options into the next one.
+//
+// Regenerates: two F-model iterations. The customer software (kernels +
+// engine application) stays byte-identical across generations; each
+// generation applies the best options under an area budget; performance
+// grows monotonically.
+#include "bench_common.hpp"
+
+#include "optimize/evaluator.hpp"
+#include "soc/presets.hpp"
+#include "workload/transmission.hpp"
+
+using namespace audo;
+using namespace audo::bench;
+
+namespace {
+
+optimize::ArchitectureEvaluator make_evaluator(const soc::SocConfig& base) {
+  optimize::ArchitectureEvaluator evaluator(base);
+  for (const char* name : {"lookup", "fir", "checksum", "sort", "matmul"}) {
+    for (const auto& spec : workload::standard_suite()) {
+      if (std::string_view(spec.name) != name) continue;
+      auto program = spec.build();
+      if (!program.is_ok()) continue;
+      optimize::WorkloadCase wc;
+      wc.name = name;
+      wc.program = std::move(program).value();
+      wc.tc_entry = wc.program.entry();
+      evaluator.add_case(std::move(wc));
+    }
+  }
+  workload::EngineOptions opt;
+  opt.halt_after_bg = 250;  // compute-bound completion
+  opt.crank_time_scale = 100;
+  opt.table_dim = 64;          // 32 KiB of maps
+  opt.diag_words = 256;
+  opt.diag_uncached = true;    // flash-integrity sweep hits the array
+  opt.diag_stride_bytes = 36;
+  auto engine = workload::build_engine_workload(opt);
+  if (engine.is_ok()) {
+    optimize::WorkloadCase wc;
+    wc.name = "engine";
+    wc.program = engine.value().program;
+    wc.tc_entry = engine.value().tc_entry;
+    wc.configure = [opt](soc::Soc& soc) {
+      workload::configure_engine(soc, opt);
+    };
+    wc.weight = 3.0;
+    evaluator.add_case(std::move(wc));
+  }
+  {
+    workload::TransmissionOptions topt;
+    topt.time_scale = 100;
+    topt.halt_after_tasks = 60;
+    auto tcu = workload::build_transmission_workload(topt);
+    if (tcu.is_ok()) {
+      optimize::WorkloadCase wc;
+      wc.name = "transmission";
+      wc.program = tcu.value().program;
+      wc.tc_entry = tcu.value().tc_entry;
+      wc.configure = [topt](soc::Soc& soc) {
+        workload::configure_transmission(soc, topt);
+      };
+      wc.weight = 2.0;
+      evaluator.add_case(std::move(wc));
+    }
+  }
+  return evaluator;
+}
+
+u64 suite_cycles(const optimize::ArchitectureEvaluator& evaluator,
+                 const soc::SocConfig& config) {
+  u64 total = 0;
+  for (const auto& run : evaluator.run_config(config)) total += run.cycles;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  header("E9: the F-model generational loop",
+         "profile generation N, apply the best performance/cost options, "
+         "ship generation N+1 running the unchanged customer software");
+
+  constexpr double kBudgetPerGen = 250.0;
+  // Generation 0 is the *previous* device generation (TC1796-like: no
+  // D-cache, single prefetch buffer, slower flash). Historically, the
+  // next generation (TC1797) added exactly the flash-path improvements
+  // the methodology should rediscover here.
+  soc::SocConfig generation = soc::tc1796_like();
+  const auto catalogue = optimize::standard_catalogue();
+
+  double prev_cycles = 0;
+  for (int gen = 0; gen <= 2; ++gen) {
+    optimize::ArchitectureEvaluator evaluator = make_evaluator(generation);
+    const double area = evaluator.cost_model().soc_area(generation);
+    const u64 cycles = suite_cycles(evaluator, generation);
+    std::printf("\ngeneration %d: area %.1f au, suite runtime %llu cycles",
+                gen, area, static_cast<unsigned long long>(cycles));
+    if (gen > 0) {
+      std::printf(" (%.2f%% faster than the previous generation)",
+                  100.0 * (prev_cycles - static_cast<double>(cycles)) /
+                      prev_cycles);
+    }
+    std::printf("\n");
+    prev_cycles = static_cast<double>(cycles);
+    if (gen == 2) break;
+
+    std::vector<std::string> applied;
+    generation = evaluator.next_generation(catalogue, kBudgetPerGen, &applied);
+    generation.name = "gen" + std::to_string(gen + 1);
+    std::printf("  profiling selects for gen %d (budget %.0f au):", gen + 1,
+                kBudgetPerGen);
+    for (const auto& name : applied) std::printf(" %s", name.c_str());
+    if (applied.empty()) std::printf(" (nothing profitable fits)");
+    std::printf("\n");
+  }
+  std::printf("\ncustomer software: byte-identical across all generations\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E5 — §4: "Due to the high amount of CPU access to the flash (data and
+// code) the path from CPU to flash is the main lever to increase the CPU
+// system performance for the real application."
+//
+// Regenerates: (1) the access-mix and stall-cause breakdown of the engine
+// application, showing where cycles go; (2) runtime sensitivity of the
+// application to flash wait states vs LMU (on-chip SRAM) latency — the
+// flash path must dominate.
+#include <limits>
+
+#include "bench_common.hpp"
+
+using namespace audo;
+using namespace audo::bench;
+
+int main() {
+  header("E5: the CPU-to-flash path is the main performance lever",
+         "flash-path improvements move application runtime far more than "
+         "equal-looking SRAM improvements");
+
+  workload::EngineWorkload w = [] {
+    workload::EngineOptions opt;
+    opt.rpm = 4000;
+    opt.crank_time_scale = 80;
+    opt.table_dim = 64;
+    opt.diag_words = 256;
+    opt.diag_uncached = true;    // integrity checks read the array
+    opt.diag_stride_bytes = 36;  // worst case for the read buffer
+    opt.can_ring_in_lmu = true;  // give the LMU a real role
+    opt.halt_after_bg = 400;     // compute-bound completion criterion
+    auto built = workload::build_engine_workload(opt);
+    if (!built.is_ok()) std::abort();
+    return std::move(built).value();
+  }();
+
+  // --- breakdown on the baseline chip ---
+  {
+    soc::Soc soc{soc::SocConfig{}};
+    (void)workload::install_engine(soc, w);
+    u64 stall[8] = {0};
+    u64 retired_cycles = 0;
+    while (!soc.tc().halted() && soc.cycle() < 20'000'000) {
+      soc.step();
+      const auto& tc = soc.frame().tc;
+      if (tc.retired > 0) {
+        ++retired_cycles;
+      } else {
+        stall[static_cast<unsigned>(tc.stall)]++;
+      }
+    }
+    const u64 total = soc.cycle();
+    std::printf("\ncycle breakdown of the engine application (%llu cycles):\n",
+                static_cast<unsigned long long>(total));
+    std::printf("  %-22s %10llu (%5.1f%%)\n", "retiring",
+                static_cast<unsigned long long>(retired_cycles),
+                100.0 * retired_cycles / total);
+    const char* cause_names[] = {"-",        "ifetch",   "load-use",
+                                 "ls-port",  "exec-lat", "wfi",
+                                 "halted"};
+    for (unsigned c = 1; c <= 6; ++c) {
+      if (stall[c] == 0) continue;
+      std::printf("  stall: %-15s %10llu (%5.1f%%)\n", cause_names[c],
+                  static_cast<unsigned long long>(stall[c]),
+                  100.0 * stall[c] / total);
+    }
+    const auto& fs = soc.pflash().stats();
+    std::printf("  flash: %llu code accesses (%.1f%% buffered), "
+                "%llu data accesses (%.1f%% buffered), %llu port conflicts\n",
+                static_cast<unsigned long long>(fs.code_accesses),
+                fs.code_accesses ? 100.0 * fs.code_buffer_hits / fs.code_accesses : 0.0,
+                static_cast<unsigned long long>(fs.data_accesses),
+                fs.data_accesses ? 100.0 * fs.data_buffer_hits / fs.data_accesses : 0.0,
+                static_cast<unsigned long long>(fs.port_conflict_cycles));
+  }
+
+  // --- sensitivity sweeps ---
+  auto runtime_with = [&](unsigned flash_ws, unsigned lmu_lat) {
+    soc::SocConfig cfg;
+    cfg.pflash.wait_states = flash_ws;
+    cfg.lmu_latency = lmu_lat;
+    soc::Soc soc(cfg);
+    (void)workload::install_engine(soc, w);
+    return soc.run(40'000'000);
+  };
+
+  std::printf("\nruntime (cycles to %u background iterations) vs flash "
+              "wait states (LMU fixed at 2):\n  ", w.options.halt_after_bg);
+  const u64 base = runtime_with(5, 2);
+  for (unsigned ws : {2u, 3u, 4u, 5u, 6u, 8u}) {
+    const u64 c = runtime_with(ws, 2);
+    std::printf("ws=%u:%llu(%+.1f%%)  ", ws,
+                static_cast<unsigned long long>(c),
+                100.0 * (static_cast<double>(c) - static_cast<double>(base)) /
+                    static_cast<double>(base));
+  }
+  std::printf("\n\nruntime vs LMU latency (flash fixed at 5):\n  ");
+  for (unsigned lat : {1u, 2u, 4u, 8u}) {
+    const u64 c = runtime_with(5, lat);
+    std::printf("lmu=%u:%llu(%+.1f%%)  ", lat,
+                static_cast<unsigned long long>(c),
+                100.0 * (static_cast<double>(c) - static_cast<double>(base)) /
+                    static_cast<double>(base));
+  }
+
+  const u64 flash_span =
+      runtime_with(8, 2) - runtime_with(2, 2);
+  const u64 lmu_span = runtime_with(5, 8) - runtime_with(5, 1);
+  std::printf("\n\nlever comparison: flash-path span %llu cycles vs "
+              "SRAM-path span %llu cycles (%.1fx)\n",
+              static_cast<unsigned long long>(flash_span),
+              static_cast<unsigned long long>(lmu_span),
+              lmu_span == 0 ? std::numeric_limits<double>::infinity()
+                            : static_cast<double>(flash_span) /
+                                  static_cast<double>(lmu_span));
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Microbenchmarks of the infrastructure itself (google-benchmark):
+// simulator throughput, trace codec throughput, assembler, cache model.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "common/prng.hpp"
+#include "isa/assembler.hpp"
+#include "mcds/trace.hpp"
+#include "profiling/session.hpp"
+#include "workload/engine.hpp"
+#include "workload/kernels.hpp"
+
+namespace {
+
+using namespace audo;
+
+void BM_SocSimulation(benchmark::State& state) {
+  workload::EngineOptions opt;
+  opt.crank_time_scale = 80;
+  auto w = workload::build_engine_workload(opt);
+  if (!w.is_ok()) {
+    state.SkipWithError("engine build failed");
+    return;
+  }
+  soc::Soc soc{soc::SocConfig{}};
+  (void)workload::install_engine(soc, w.value());
+  for (auto _ : state) {
+    soc.step();
+    benchmark::DoNotOptimize(soc.cycle());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+  state.SetLabel("simulated cycles/sec = items/sec");
+}
+BENCHMARK(BM_SocSimulation);
+
+void BM_SocSimulationWithMcds(benchmark::State& state) {
+  workload::EngineOptions opt;
+  opt.crank_time_scale = 80;
+  auto w = workload::build_engine_workload(opt);
+  if (!w.is_ok()) {
+    state.SkipWithError("engine build failed");
+    return;
+  }
+  profiling::SessionOptions so;
+  so.resolution = 1000;
+  so.program_trace = true;
+  profiling::ProfilingSession session(soc::SocConfig{}, so);
+  (void)session.load(w.value().program);
+  workload::configure_engine(session.device().soc(), w.value().options);
+  session.reset(w.value().tc_entry, w.value().pcp_entry);
+  for (auto _ : state) {
+    session.device().step();
+    benchmark::DoNotOptimize(session.device().soc().cycle());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_SocSimulationWithMcds);
+
+void BM_TraceEncode(benchmark::State& state) {
+  mcds::TraceEncoder encoder;
+  mcds::TraceMessage sync;
+  sync.kind = mcds::MsgKind::kSync;
+  sync.source = mcds::MsgSource::kTcCore;
+  sync.pc = 0x80001000;
+  encoder.encode(sync);
+  mcds::TraceMessage rate;
+  rate.kind = mcds::MsgKind::kRate;
+  rate.source = mcds::MsgSource::kChip;
+  rate.group = 2;
+  rate.basis = 1000;
+  rate.counts = {12, 0, 997, 3, 55};
+  Cycle cycle = 0;
+  for (auto _ : state) {
+    rate.cycle = (cycle += 1000);
+    benchmark::DoNotOptimize(encoder.encode(rate));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+  state.SetBytesProcessed(static_cast<i64>(encoder.bytes_encoded()));
+}
+BENCHMARK(BM_TraceEncode);
+
+void BM_TraceDecode(benchmark::State& state) {
+  mcds::TraceEncoder encoder;
+  std::vector<mcds::EncodedMessage> units;
+  mcds::TraceMessage sync;
+  sync.kind = mcds::MsgKind::kSync;
+  sync.source = mcds::MsgSource::kTcCore;
+  sync.pc = 0x80001000;
+  units.push_back(encoder.encode(sync));
+  Prng prng(5);
+  Addr pc = 0x80001000;
+  for (int i = 0; i < 999; ++i) {
+    mcds::TraceMessage flow;
+    flow.kind = mcds::MsgKind::kFlow;
+    flow.source = mcds::MsgSource::kTcCore;
+    flow.cycle = static_cast<Cycle>(i * 7);
+    pc += static_cast<Addr>(prng.next_range(-64, 64)) * 4;
+    flow.pc = pc;
+    flow.instr_count = static_cast<u32>(prng.next_below(30));
+    units.push_back(encoder.encode(flow));
+  }
+  for (auto _ : state) {
+    auto decoded = mcds::TraceDecoder::decode(units);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_TraceDecode);
+
+void BM_Assembler(benchmark::State& state) {
+  workload::EngineOptions opt;
+  auto w = workload::build_engine_workload(opt);
+  if (!w.is_ok()) {
+    state.SkipWithError("engine build failed");
+    return;
+  }
+  const std::string source = w.value().source;
+  for (auto _ : state) {
+    auto program = isa::assemble(source);
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(source.size()));
+}
+BENCHMARK(BM_Assembler);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::Cache cache(cache::CacheConfig{
+      true, 16 * 1024, static_cast<unsigned>(state.range(0)), 32,
+      cache::Replacement::kLru});
+  Prng prng(7);
+  std::vector<Addr> addrs(4096);
+  for (Addr& a : addrs) {
+    a = 0x80000000 + static_cast<Addr>(prng.next_below(64 * 1024));
+  }
+  usize i = 0;
+  for (auto _ : state) {
+    const Addr a = addrs[i++ & 4095];
+    if (!cache.access(a)) cache.fill(a);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

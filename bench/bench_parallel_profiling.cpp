@@ -1,0 +1,102 @@
+// E1 — §5/Figure 5: "all these parameters can be dynamically and in
+// parallel measured, non-intrusively, with a configurable resolution".
+//
+// Regenerates: the parallel parameter time series of an engine-control
+// run (IPC, cache rates, access mix, interrupt rate — all from ONE run),
+// plus the non-intrusiveness check (cycle-identical run with the EEC
+// disabled) and the single-run-requirement demonstration (two runs of the
+// same application under live inputs are NOT identical, so sequential
+// single-parameter measurement would correlate different executions).
+#include <iterator>
+
+#include "bench_common.hpp"
+
+using namespace audo;
+using namespace audo::bench;
+
+int main() {
+  header("E1: parallel, dynamic, non-intrusive parameter measurement",
+         "all essential parameters measured in parallel over the time "
+         "line, without disturbing the target");
+
+  auto w = default_engine();
+  constexpr u64 kCycles = 1'500'000;
+
+  profiling::SessionOptions opts;
+  opts.resolution = 1000;
+  profiling::ProfilingSession session(soc::SocConfig{}, opts);
+  (void)session.load(w.program);
+  workload::configure_engine(session.device().soc(), w.options);
+  session.reset(w.tc_entry, w.pcp_entry);
+  // Drive a realistic engine transient: idle -> acceleration -> cruise.
+  // (The observed quantity is hard real-time activity following the
+  // physical environment — exactly why §5 wants the time axis.)
+  constexpr u32 kRpmProfile[] = {900,  1200, 2200, 3500, 5200, 6400,
+                                 6000, 5200, 4200, 3600, 3300, 3200};
+  profiling::SessionResult result;
+  {
+    const u64 slice = kCycles / std::size(kRpmProfile);
+    for (u32 rpm : kRpmProfile) {
+      session.device().soc().crank().set_rpm(rpm);
+      session.device().run(slice);
+    }
+    result = session.run(0);  // download & decode
+  }
+
+  // --- parallel series over the time line ---
+  const char* names[] = {
+      "ipc/tc.retired",          "cache/tc.icache.miss",
+      "cache/tc.dcache.miss",    "access/tc.flash.data_access",
+      "access/tc.dspr.access",   "system/tc.irq.entry",
+      "system/tc.stalled",
+  };
+  constexpr usize kBuckets = 12;
+  std::printf("\n%-30s", "series \\ time bucket");
+  for (usize b = 0; b < kBuckets; ++b) std::printf("%7zu", b);
+  std::printf("\n");
+  for (const char* name : names) {
+    const auto* series = result.find_series(name);
+    if (series == nullptr) continue;
+    const auto buckets = bucketize(*series, kBuckets);
+    std::printf("%-30s", name);
+    for (double v : buckets) std::printf("%7.3f", v);
+    std::printf("\n");
+  }
+  std::printf("\nall %zu series from ONE run, %llu rate messages, "
+              "%.1f trace bytes/kcycle\n",
+              result.series.size(),
+              static_cast<unsigned long long>(result.trace_messages),
+              result.bytes_per_kcycle);
+
+  // --- non-intrusiveness: same environment, EEC absent ---
+  auto run_bare = [&](u32 rpm_scale_percent) {
+    auto soc = std::make_unique<soc::Soc>(soc::SocConfig{});
+    (void)workload::install_engine(*soc, w);
+    const u64 slice = kCycles / std::size(kRpmProfile);
+    for (u32 rpm : kRpmProfile) {
+      soc->crank().set_rpm(rpm * rpm_scale_percent / 100);
+      soc->run(slice);
+    }
+    return soc;
+  };
+  auto bare = run_bare(100);
+  const u64 observed_retired = session.device().soc().tc().retired();
+  std::printf("\nnon-intrusiveness: bare run retired %llu instructions, "
+              "observed run retired %llu -> %s\n",
+              static_cast<unsigned long long>(bare->tc().retired()),
+              static_cast<unsigned long long>(observed_retired),
+              bare->tc().retired() == observed_retired ? "IDENTICAL"
+                                                       : "DIVERGED");
+
+  // --- why parallel measurement matters: runs are not repeatable ---
+  // Perturb the environment slightly (2% engine-speed difference) and
+  // show the executions diverge — "it is usually not possible to repeat
+  // the same application run under identical conditions" (§5).
+  auto other = run_bare(102);
+  std::printf("repeatability: a 2%% rpm difference changes retired "
+              "instructions by %lld -> sequential per-parameter "
+              "measurement would mix different executions\n",
+              static_cast<long long>(other->tc().retired()) -
+                  static_cast<long long>(bare->tc().retired()));
+  return 0;
+}

@@ -1,0 +1,143 @@
+// E2 — §5: "cache miss/hit/access events are measured as rates relating
+// to executed instructions", because a per-cycle rate is meaningless when
+// the CPU stalls (e.g. on high-latency accesses or bus contention).
+//
+// Regenerates: ONE program (an endless lookup loop, byte-identical in
+// all phases) measured with the same event on two bases, while the
+// environment changes: in the middle phase a DMA burst floods the flash
+// data port, stalling the CPU. The per-CYCLE miss rate dips in that phase
+// (suggesting the cache got better — false); the per-INSTRUCTION rate
+// stays flat (the truth: the code's cache behaviour never changed).
+#include "bench_common.hpp"
+
+#include "isa/assembler.hpp"
+#include "mem/memory_map.hpp"
+
+using namespace audo;
+using namespace audo::bench;
+
+int main() {
+  header("E2: event rates on an executed-instructions basis",
+         "per-cycle event rates mislead under stalls; per-instruction "
+         "rates reflect the code's behaviour");
+
+  // Endless random lookups over a 32 KiB flash table (real dcache misses
+  // with a 2 KiB dcache).
+  auto program = isa::assemble(R"(
+    .text 0x80000000
+main:
+    movha a15, 0xC000
+    movh  d6, hi(table)
+    ori   d6, d6, lo(table)
+    movd  d0, 0x1234
+    movh  d8, 25
+    ori   d8, d8, 26125      ; 1664525
+    movh  d9, 15470
+    ori   d9, d9, 62303      ; 1013904223
+    movd  d7, 0x7FFC
+_lookup:
+    mul   d0, d0, d8
+    add   d0, d0, d9
+    shri  d1, d0, 8
+    and   d1, d1, d7
+    add   d2, d6, d1
+    mov.ad a2, d2
+    ld.w  d3, [a2+0]
+    xor   d5, d5, d3
+    j     _lookup
+    .data 0x80040000
+table:
+    .space 32768
+)");
+  if (!program.is_ok()) {
+    std::printf("asm: %s\n", program.status().to_string().c_str());
+    return 1;
+  }
+
+  profiling::SessionOptions opts;
+  opts.standard_rates = false;
+  mcds::CounterGroupConfig per_cycle;
+  per_cycle.name = "per_cycle";
+  per_cycle.basis = mcds::EventId::kCycles;
+  per_cycle.resolution = 2000;
+  per_cycle.counters = {{mcds::EventId::kTcDCacheMiss, {}, {}},
+                        {mcds::EventId::kTcRetired, {}, {}},
+                        {mcds::EventId::kBusContention, {}, {}}};
+  mcds::CounterGroupConfig per_instr;
+  per_instr.name = "per_instr";
+  per_instr.basis = mcds::EventId::kTcRetired;
+  per_instr.resolution = 2000;
+  per_instr.counters = {{mcds::EventId::kTcDCacheMiss, {}, {}}};
+  opts.extra_groups = {per_cycle, per_instr};
+
+  soc::SocConfig chip;
+  chip.dcache.size_bytes = 2 * 1024;
+  profiling::ProfilingSession session(chip, opts);
+  (void)session.load(program.value());
+  session.reset(program.value().entry());
+
+  // Environment phases: quiet / DMA flood of the flash data port / quiet.
+  constexpr u64 kSlice = 300'000;
+  auto& soc = session.device().soc();
+  session.device().run(kSlice);
+  periph::DmaController::ChannelConfig flood;
+  flood.src = mem::kPFlashUncachedBase + 0x60000;  // flash data port
+  flood.dst = mem::kLmuBase;
+  flood.count = 0xFFFFFFFF;
+  flood.src_step = 64;  // strided: each DMA read occupies the array
+  flood.dst_step = 0;
+  soc.dma().setup_channel(0, flood, /*enabled=*/true);
+  session.device().run(kSlice);
+  soc.dma().enable_channel(0, false);
+  session.device().run(kSlice);
+  const auto result = session.run(0);
+
+  const auto* mpc = result.find_series("per_cycle/tc.dcache.miss");
+  const auto* ipc = result.find_series("per_cycle/tc.retired");
+  const auto* bus = result.find_series("per_cycle/bus.contention");
+  const auto* mpi = result.find_series("per_instr/tc.dcache.miss");
+  if (mpc == nullptr || mpi == nullptr || ipc == nullptr || bus == nullptr) {
+    return 1;
+  }
+
+  constexpr usize kBuckets = 15;
+  const auto b_mpc = bucketize(*mpc, kBuckets);
+  const auto b_ipc = bucketize(*ipc, kBuckets);
+  const auto b_bus = bucketize(*bus, kBuckets);
+  const auto b_mpi = bucketize(*mpi, kBuckets);
+  auto row = [&](const char* name, const std::vector<double>& buckets) {
+    std::printf("%-26s", name);
+    for (double v : buckets) std::printf("%7.3f", v);
+    std::printf("\n");
+  };
+  std::printf("\n%-26s", "time bucket");
+  for (usize b = 0; b < kBuckets; ++b) std::printf("%7zu", b);
+  std::printf("\n");
+  row("IPC", b_ipc);
+  row("bus contention / cycle", b_bus);
+  row("D$ misses / cycle", b_mpc);
+  row("D$ misses / instruction", b_mpi);
+
+  auto phase_ratio = [&](const std::vector<double>& buckets) {
+    double outer = 0, inner = 0;
+    unsigned no = 0, ni = 0;
+    for (usize i = 0; i < buckets.size(); ++i) {
+      if (i >= buckets.size() / 3 && i < 2 * buckets.size() / 3) {
+        inner += buckets[i];
+        ++ni;
+      } else {
+        outer += buckets[i];
+        ++no;
+      }
+    }
+    inner /= ni;
+    outer /= no;
+    return outer == 0 ? 0.0 : inner / outer;
+  };
+  std::printf("\nDMA-flood-phase / quiet-phase ratio of the SAME code:\n");
+  std::printf("  misses per cycle:        %.2f  (dips: misleading)\n",
+              phase_ratio(b_mpc));
+  std::printf("  misses per instruction:  %.2f  (flat: the truth)\n",
+              phase_ratio(b_mpi));
+  return 0;
+}

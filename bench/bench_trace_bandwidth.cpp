@@ -1,0 +1,110 @@
+// E4 — §5/§6: "the reduced tool interface bandwidth requirement of this
+// new approach ... the bandwidth of the tool interface does not scale
+// with the CPU frequency"; "sustainable for increasing clock frequencies".
+//
+// Regenerates: tool-interface bandwidth demand for four measurement
+// strategies on the same engine run, swept over CPU clock frequency:
+//   (a) cycle-accurate program trace       (tick + flow messages),
+//   (b) program flow trace                 (flow messages only),
+//   (c) external counter polling           (tool reads two 32-bit
+//       counters per sample over DAP — the pre-ED approach §5 contrasts),
+//   (d) on-chip rate messages              (this paper's method).
+// Byte counts for (a), (b), (d) are real encoder output; (c) is the DAP
+// transaction cost of polling (8 data bytes + 4 protocol bytes per
+// sample-pair, one pair per counter group sample).
+#include "bench_common.hpp"
+
+using namespace audo;
+using namespace audo::bench;
+
+namespace {
+
+struct Strategy {
+  const char* name;
+  double bytes;  // per run
+};
+
+}  // namespace
+
+int main() {
+  header("E4: trace bandwidth vs measurement strategy and CPU clock",
+         "rate messages keep tool bandwidth flat where instruction trace "
+         "and external polling overrun the interface");
+
+  auto w = default_engine();
+  constexpr u64 kCycles = 1'000'000;
+  constexpr u32 kResolution = 1000;
+
+  auto run_session = [&](bool cycle_accurate, bool program_trace,
+                         bool rates) {
+    profiling::SessionOptions opts;
+    opts.standard_rates = rates;
+    opts.resolution = kResolution;
+    opts.program_trace = program_trace;
+    opts.cycle_accurate = cycle_accurate;
+    opts.ed.emem.size_bytes = 8 * 1024 * 1024;  // unconstrained for counting
+    opts.ed.emem.overlay_bytes = 0;
+    profiling::ProfilingSession session(soc::SocConfig{}, opts);
+    (void)session.load(w.program);
+    workload::configure_engine(session.device().soc(), w.options);
+    session.reset(w.tc_entry, w.pcp_entry);
+    return session.run(kCycles);
+  };
+
+  const auto full = run_session(true, true, false);
+  const auto flow = run_session(false, true, false);
+  const auto rates = run_session(false, false, true);
+
+  // External polling: for every rate-message window the tool would issue
+  // one debug-port read per counter plus one for the basis counter; a
+  // 32-bit read over DAP/JTAG costs ~12 bytes (addressing + handshake +
+  // data) — §5: "sampling by the external tool at least two long
+  // counters" per parameter vs "a single trace message".
+  double polling_bytes = 0;
+  for (const auto& m : rates.messages) {
+    if (m.kind == mcds::MsgKind::kRate) {
+      polling_bytes += (static_cast<double>(m.counts.size()) + 1.0) * 12.0;
+    }
+  }
+
+  Strategy strategies[] = {
+      {"cycle-accurate trace", static_cast<double>(full.trace_bytes)},
+      {"program flow trace", static_cast<double>(flow.trace_bytes)},
+      {"external counter polling", polling_bytes},
+      {"on-chip rate messages", static_cast<double>(rates.trace_bytes)},
+  };
+
+  std::printf("\nper-run volume over %llu cycles:\n",
+              static_cast<unsigned long long>(kCycles));
+  for (const auto& s : strategies) {
+    std::printf("  %-26s %12.0f bytes (%7.2f bytes/kcycle)\n", s.name,
+                s.bytes, 1000.0 * s.bytes / static_cast<double>(kCycles));
+  }
+
+  // Sweep CPU frequency: demand (bytes/s) = bytes/cycle * f.
+  const double dap_capacity = 40e6 / 8.0;  // 40 Mbit/s DAP
+  std::printf("\nbandwidth demand vs CPU clock (DAP capacity %.1f MB/s):\n",
+              dap_capacity / 1e6);
+  std::printf("%-26s", "strategy \\ f");
+  for (double mhz : {80.0, 180.0, 300.0, 500.0}) std::printf("%12.0fMHz", mhz);
+  std::printf("\n");
+  for (const auto& s : strategies) {
+    std::printf("%-26s", s.name);
+    for (double mhz : {80.0, 180.0, 300.0, 500.0}) {
+      const double demand =
+          s.bytes / static_cast<double>(kCycles) * mhz * 1e6;
+      std::printf("%10.2fMB%s", demand / 1e6,
+                  demand <= dap_capacity ? " +" : " !");
+    }
+    std::printf("\n");
+  }
+  std::printf("('+' fits the tool interface, '!' overruns it)\n");
+
+  std::printf("\nreduction factors at any clock: rate messages are %.0fx "
+              "smaller than cycle-accurate trace, %.1fx smaller than "
+              "external polling\n",
+              static_cast<double>(full.trace_bytes) /
+                  static_cast<double>(rates.trace_bytes),
+              polling_bytes / static_cast<double>(rates.trace_bytes));
+  return 0;
+}

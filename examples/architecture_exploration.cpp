@@ -1,0 +1,94 @@
+// Architecture exploration: quantify next-generation SoC options across
+// a workload suite and rank them by performance-gain / area-cost — the
+// paper's §6 decision procedure — then apply an F-model generation step.
+//
+// Build & run:   ./build/examples/architecture_exploration
+#include <cstdio>
+
+#include "optimize/evaluator.hpp"
+#include "workload/engine.hpp"
+#include "workload/kernels.hpp"
+#include "workload/transmission.hpp"
+
+using namespace audo;
+
+int main() {
+  soc::SocConfig baseline;  // TC1797-like
+  optimize::ArchitectureEvaluator evaluator(baseline);
+
+  // Customer-like workload suite: kernels plus a bounded engine run.
+  for (const auto& spec : workload::standard_suite()) {
+    auto program = spec.build();
+    if (!program.is_ok()) continue;
+    optimize::WorkloadCase wc;
+    wc.name = spec.name;
+    wc.program = std::move(program).value();
+    wc.tc_entry = wc.program.entry();
+    evaluator.add_case(std::move(wc));
+  }
+  {
+    workload::EngineOptions opt;
+    opt.crank_time_scale = 100;
+    opt.halt_after_revs = 4;
+    auto engine = workload::build_engine_workload(opt);
+    if (engine.is_ok()) {
+      optimize::WorkloadCase wc;
+      wc.name = "engine_4revs";
+      wc.program = engine.value().program;
+      wc.tc_entry = engine.value().tc_entry;
+      wc.pcp_entry = engine.value().pcp_entry;
+      wc.configure = [opt](soc::Soc& soc) {
+        workload::configure_engine(soc, opt);
+      };
+      wc.weight = 3.0;  // the application matters more than kernels
+      evaluator.add_case(std::move(wc));
+    }
+  }
+
+  {
+    workload::TransmissionOptions opt;
+    opt.time_scale = 100;
+    opt.halt_after_tasks = 50;
+    auto tcu = workload::build_transmission_workload(opt);
+    if (tcu.is_ok()) {
+      optimize::WorkloadCase wc;
+      wc.name = "transmission_50t";
+      wc.program = tcu.value().program;
+      wc.tc_entry = tcu.value().tc_entry;
+      wc.configure = [opt](soc::Soc& soc) {
+        workload::configure_transmission(soc, opt);
+      };
+      wc.weight = 2.0;
+      evaluator.add_case(std::move(wc));
+    }
+  }
+
+  const auto catalogue = optimize::standard_catalogue();
+  std::printf("evaluating %zu options over the workload suite...\n\n",
+              catalogue.size());
+  const auto results = evaluator.evaluate(catalogue);
+  std::printf("%s\n",
+              optimize::ArchitectureEvaluator::format_ranking(results).c_str());
+
+  // F-model step: pick the best options under a 150 au budget.
+  std::vector<std::string> applied;
+  const soc::SocConfig next =
+      evaluator.next_generation(catalogue, 150.0, &applied);
+  std::printf("next generation (budget 150 au) applies:");
+  for (const std::string& name : applied) std::printf(" %s", name.c_str());
+  std::printf("\n");
+  const double base_area = evaluator.cost_model().soc_area(baseline);
+  const double next_area = evaluator.cost_model().soc_area(next);
+  std::printf("area: %.1f au -> %.1f au (+%.1f)\n", base_area, next_area,
+              next_area - base_area);
+
+  u64 base_cycles = 0, next_cycles = 0;
+  for (const auto& run : evaluator.run_config(baseline)) base_cycles += run.cycles;
+  for (const auto& run : evaluator.run_config(next)) next_cycles += run.cycles;
+  std::printf("suite cycles: %llu -> %llu (%.2fx)\n",
+              static_cast<unsigned long long>(base_cycles),
+              static_cast<unsigned long long>(next_cycles),
+              static_cast<double>(base_cycles) /
+                  static_cast<double>(next_cycles));
+  return 0;
+}

@@ -1,0 +1,66 @@
+; Demo program for the audo-profile CLI:
+;   ./build/tools/audo-profile examples/demo.s --functions --listing 20
+;
+; A small "sensor fusion" loop: LCG-generated samples filtered in the
+; DSPR, calibration gain looked up from a flash table.
+    .equ ITERATIONS, 400
+
+    .text 0x80000000
+main:
+    movha a15, 0xC000          ; DSPR base
+    movd  d0, 0x1357           ; LCG state
+    movh  d8, 25
+    ori   d8, d8, 26125        ; 1664525
+    movh  d9, 15470
+    ori   d9, d9, 62303        ; 1013904223
+    movd  d1, ITERATIONS
+    mov.ad a2, d1
+_mainloop:
+    call  sample
+    call  filter
+    call  calibrate
+    loop  a2, _mainloop
+    halt
+
+sample:                        ; d2 = next pseudo-sensor value
+    mul   d0, d0, d8
+    add   d0, d0, d9
+    shri  d2, d0, 20
+    ret
+
+filter:                        ; filt += (sample - filt) / 8
+    ld.w  d3, [a15+lo(filt)]
+    sub   d4, d2, d3
+    sari  d4, d4, 3
+    add   d3, d3, d4
+    st.w  d3, [a15+lo(filt)]
+    ret
+
+calibrate:                     ; out = filt * gain[filt % 64]
+    andi  d4, d3, 63
+    shli  d4, d4, 2
+    movh  d5, hi(gains)
+    ori   d5, d5, lo(gains)
+    add   d5, d5, d4
+    mov.ad a3, d5
+    ld.w  d6, [a3+0]
+    mul   d7, d3, d6
+    st.w  d7, [a15+lo(output)]
+    ret
+
+    .data 0xC0000000
+filt:
+    .word 2048
+output:
+    .word 0
+
+    .data 0x80020000
+gains:
+    .word 10, 11, 12, 13, 14, 15, 16, 17
+    .word 18, 19, 20, 21, 22, 23, 24, 25
+    .word 26, 27, 28, 29, 30, 31, 32, 33
+    .word 34, 35, 36, 37, 38, 39, 40, 41
+    .word 42, 43, 44, 45, 46, 47, 48, 49
+    .word 50, 51, 52, 53, 54, 55, 56, 57
+    .word 58, 59, 60, 61, 62, 63, 64, 65
+    .word 66, 67, 68, 69, 70, 71, 72, 73

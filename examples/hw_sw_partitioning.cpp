@@ -1,0 +1,133 @@
+// HW/SW partitioning study: §1's "software partitioning between TriCore
+// and PCP cores" and the DMA alternative, quantified with the profiling
+// methodology. Compares three mappings of the same application under an
+// increasing interrupt load and reports where the TC runs out of slack.
+//
+// Build & run:   ./build/examples/hw_sw_partitioning
+#include <cstdio>
+
+#include "profiling/session.hpp"
+#include "workload/engine.hpp"
+
+using namespace audo;
+
+namespace {
+
+struct Mapping {
+  const char* name;
+  bool pcp_offload;
+  bool dma_adc;
+};
+
+struct Row {
+  u64 cycles = 0;       // to finish the fixed background work
+  double tc_ipc = 0.0;
+  u64 irqs_tc = 0;
+  u64 pcp_retired = 0;
+  u64 dma_units = 0;
+  u32 tooth_lat_max = 0;   // worst-case tooth-ISR entry latency (cycles)
+  double tooth_lat_avg = 0.0;
+};
+
+Row run_mapping(const Mapping& mapping, u32 adc_period, u32 can_period) {
+  workload::EngineOptions opt;
+  opt.rpm = 4500;
+  opt.crank_time_scale = 100;
+  opt.adc_period = adc_period;
+  opt.can_rx_period = can_period;
+  opt.pcp_offload = mapping.pcp_offload;
+  opt.use_dma_for_adc = mapping.dma_adc;
+  opt.halt_after_bg = 200;  // fixed background work = the figure of merit
+  auto w = workload::build_engine_workload(opt);
+  if (!w.is_ok()) {
+    std::fprintf(stderr, "build: %s\n", w.status().to_string().c_str());
+    std::abort();
+  }
+
+  soc::Soc soc{soc::SocConfig{}};
+  if (Status s = workload::install_engine(soc, w.value()); !s.is_ok()) {
+    std::abort();
+  }
+  soc.run(80'000'000);
+
+  Row row;
+  row.cycles = soc.cycle();
+  row.tc_ipc = static_cast<double>(soc.tc().retired()) /
+               static_cast<double>(soc.cycle());
+  const auto& srcs = soc.srcs();
+  for (unsigned id : {srcs.stm0, srcs.crank_tooth, srcs.crank_sync,
+                      srcs.adc_done, srcs.can_rx}) {
+    const auto& node = soc.irq_router().node(id);
+    if (node.target == periph::IrqTarget::kTc) row.irqs_tc += node.serviced;
+  }
+  if (soc.pcp() != nullptr) row.pcp_retired = soc.pcp()->retired();
+  row.dma_units = soc.dma().stats(0).units;
+  // ISR-entry latency measured by the application itself.
+  const auto& prog = w.value().program;
+  row.tooth_lat_max = soc.dspr().read(prog.symbol_addr("lat_max").value(), 4);
+  const u32 sum = soc.dspr().read(prog.symbol_addr("lat_sum").value(), 4);
+  const u32 teeth = soc.dspr().read(prog.symbol_addr("tooth_count").value(), 4);
+  row.tooth_lat_avg = teeth == 0 ? 0.0 : static_cast<double>(sum) / teeth;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const Mapping mappings[] = {
+      {"all-on-TC", false, false},
+      {"PCP offload (ADC+CAN)", true, false},
+      {"DMA for ADC", false, true},
+  };
+
+  std::printf("HW/SW partitioning under increasing peripheral load\n");
+  std::printf("(cycles to finish 200 background iterations; lower = more "
+              "TC headroom)\n\n");
+  struct LoadPoint {
+    const char* label;
+    u32 adc_period;
+    u32 can_period;
+  };
+  const LoadPoint loads[] = {
+      {"light  (adc 5k / can 20k)", 5000, 20000},
+      {"medium (adc 2k / can 8k)", 2000, 8000},
+      {"heavy  (adc 800 / can 3k)", 800, 3000},
+  };
+
+  std::printf("%-28s", "load \\ mapping");
+  for (const auto& m : mappings) std::printf("%24s", m.name);
+  std::printf("\n");
+  for (const auto& load : loads) {
+    std::printf("%-28s", load.label);
+    u64 baseline = 0;
+    for (const auto& m : mappings) {
+      const Row row = run_mapping(m, load.adc_period, load.can_period);
+      if (baseline == 0) baseline = row.cycles;
+      std::printf("%15llu (%4.2fx)",
+                  static_cast<unsigned long long>(row.cycles),
+                  static_cast<double>(baseline) /
+                      static_cast<double>(row.cycles));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ndetail at the heavy load point:\n");
+  std::printf("%-24s %12s %8s %10s %12s %10s %10s %10s\n", "mapping",
+              "cycles", "TC IPC", "TC irqs", "PCP instrs", "DMA units",
+              "lat avg", "lat max");
+  for (const auto& m : mappings) {
+    const Row row = run_mapping(m, 800, 3000);
+    std::printf("%-24s %12llu %8.3f %10llu %12llu %10llu %10.1f %10u\n",
+                m.name, static_cast<unsigned long long>(row.cycles),
+                row.tc_ipc, static_cast<unsigned long long>(row.irqs_tc),
+                static_cast<unsigned long long>(row.pcp_retired),
+                static_cast<unsigned long long>(row.dma_units),
+                row.tooth_lat_avg, row.tooth_lat_max);
+  }
+  std::printf("(lat = tooth-ISR entry latency in cycles, measured by the "
+              "application via the crank TOOTH_TIME timestamp)\n");
+  std::printf("\nthe mapping choice is the §1/§4 point: the same silicon "
+              "serves different customer partitionings, so architecture "
+              "options must not privilege one mapping.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: assemble a small program, run it on an Emulation Device
+// with the standard §5 profiling specification, and print the measured
+// parameter series.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "isa/assembler.hpp"
+#include "profiling/session.hpp"
+
+using namespace audo;
+
+int main() {
+  // A tiny "application": a cached-flash compute loop followed by a
+  // flash-data-heavy lookup loop.
+  auto program = isa::assemble(R"(
+    .text 0x80000000
+main:
+    movd  d0, 2000
+    mov.ad a2, d0
+_compute:
+    addi  d1, d1, 3
+    mul   d2, d1, d1
+    loop  a2, _compute
+
+    movh  d3, hi(table)
+    ori   d3, d3, lo(table)
+    mov.ad a3, d3
+    movd  d0, 500
+    mov.ad a4, d0
+_lookups:
+    ld.w  d4, [a3+0]
+    xor   d5, d5, d4
+    lea   a3, [a3+36]     ; stride that defeats the read buffer
+    loop  a4, _lookups
+    halt
+
+    .data 0x80020000
+table:
+    .space 32768
+)");
+  if (!program.is_ok()) {
+    std::printf("assembly failed: %s\n", program.status().to_string().c_str());
+    return 1;
+  }
+
+  // An Emulation Device around a TC1797-like SoC, measuring the standard
+  // parameter set with a 500-instruction/500-cycle resolution.
+  soc::SocConfig chip;  // defaults model the TC1797
+  profiling::SessionOptions options;
+  options.resolution = 500;
+
+  profiling::ProfilingSession session(chip, options);
+  if (Status s = session.load(program.value()); !s.is_ok()) {
+    std::printf("load failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  session.reset(program.value().entry());
+  const profiling::SessionResult result = session.run(1'000'000);
+
+  std::printf("ran %llu cycles, %llu instructions, IPC %.3f\n",
+              static_cast<unsigned long long>(result.cycles),
+              static_cast<unsigned long long>(result.tc_retired), result.ipc);
+  std::printf("trace: %llu messages, %llu bytes (%.1f bytes/kcycle)\n\n",
+              static_cast<unsigned long long>(result.trace_messages),
+              static_cast<unsigned long long>(result.trace_bytes),
+              result.bytes_per_kcycle);
+  std::printf("%s\n", profiling::format_series_summary(result.series).c_str());
+
+  if (const auto* ipc = result.find_series("ipc/tc.retired")) {
+    std::printf("IPC over time:   [%s]\n",
+                profiling::sparkline(*ipc).c_str());
+  }
+  if (const auto* flash = result.find_series("access/tc.flash.data_access")) {
+    std::printf("flash data rate: [%s]\n",
+                profiling::sparkline(*flash).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// The SRI-like multi-master crossbar.
+//
+// Address decoding, per-slave arbitration (fixed priority or round-robin),
+// per-cycle contention observation, and cumulative statistics. The Back
+// Bone Bus of the EEC reuses the same class with a different region map.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "bus/port.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace audo::bus {
+
+enum class ArbitrationPolicy : u8 { kFixedPriority, kRoundRobin };
+
+/// Restricts a region to instruction-fetch or data transactions. The
+/// program flash maps the same addresses twice: fetches to its code port,
+/// data reads to its data port.
+enum class PortFilter : u8 { kAny, kFetchOnly, kDataOnly };
+
+/// An address window routed to one slave. Windows may only overlap when
+/// their port filters are disjoint (fetch vs data).
+struct Region {
+  Addr base = 0;
+  u32 size = 0;
+  unsigned slave = 0;  // index into the crossbar's slave table
+  PortFilter filter = PortFilter::kAny;
+
+  bool matches(Addr addr, bool fetch) const {
+    if (filter == PortFilter::kFetchOnly && !fetch) return false;
+    if (filter == PortFilter::kDataOnly && fetch) return false;
+    return addr >= base && addr - base < size;
+  }
+};
+
+/// What the fabric did this cycle — the MCDS bus observation input.
+struct FabricObservation {
+  bool any_grant = false;
+  MasterId granted_master = MasterId::kCount;
+  unsigned granted_slave = 0;
+  Addr granted_addr = 0;
+  bool granted_write = false;
+  /// >1 master wanted the same slave this cycle, or a request sat waiting
+  /// behind a busy slave — the §3 "bus contention" event source.
+  bool contention = false;
+  unsigned waiting_masters = 0;
+
+  void clear() { *this = FabricObservation{}; }
+};
+
+struct SlaveStats {
+  u64 grants = 0;
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 wait_cycles = 0;     // master-cycles spent waiting for grant
+  u64 busy_cycles = 0;     // cycles the slave was serving a transaction
+  u64 contention_cycles = 0;
+};
+
+class Crossbar {
+ public:
+  explicit Crossbar(ArbitrationPolicy policy = ArbitrationPolicy::kFixedPriority)
+      : policy_(policy) {}
+
+  /// Register a slave; returns its index for region mapping.
+  unsigned add_slave(BusSlave* slave);
+
+  /// Map [base, base+size) to a registered slave.
+  Status map_region(Addr base, u32 size, unsigned slave,
+                    PortFilter filter = PortFilter::kAny);
+
+  /// Set the arbitration priority order (first = highest). Only used with
+  /// kFixedPriority. Defaults to MasterId enumeration order.
+  void set_priority_order(std::vector<MasterId> order);
+
+  void set_policy(ArbitrationPolicy policy) { policy_ = policy; }
+  ArbitrationPolicy policy() const { return policy_; }
+
+  /// Issue a request on a master's port. The port must be idle.
+  /// Returns false (and leaves the port idle) if no region matches.
+  bool issue(MasterPort& port, const BusRequest& req, Cycle now);
+
+  /// Advance one cycle: progress active transactions, complete finished
+  /// ones, then arbitrate and grant new ones.
+  void step(Cycle now);
+
+  const FabricObservation& observation() const { return observation_; }
+  const SlaveStats& slave_stats(unsigned slave) const {
+    return stats_.at(slave);
+  }
+  unsigned slave_count() const { return static_cast<unsigned>(slaves_.size()); }
+  std::string_view slave_name(unsigned slave) const {
+    return slaves_.at(slave)->name();
+  }
+
+  /// Decode an address; returns slave index or error.
+  Result<unsigned> decode(Addr addr, bool fetch = false) const;
+
+ private:
+  struct SlaveState {
+    bool busy = false;
+    MasterPort* active_port = nullptr;
+    unsigned rr_next = 0;  // round-robin pointer over master ids
+  };
+
+  ArbitrationPolicy policy_;
+  std::vector<BusSlave*> slaves_;
+  std::vector<SlaveState> slave_state_;
+  std::vector<SlaveStats> stats_;
+  std::vector<Region> regions_;
+  std::array<MasterId, kNumMasters> priority_order_{};
+  bool priority_set_ = false;
+
+  // Ports currently waiting or active, one slot per master (a master has
+  // at most one outstanding request on this fabric).
+  std::array<MasterPort*, kNumMasters> pending_{};
+
+  FabricObservation observation_;
+};
+
+}  // namespace audo::bus

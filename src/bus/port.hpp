@@ -1,0 +1,94 @@
+// Bus master/slave interfaces for the SRI-like crossbar fabric.
+//
+// Timing model ("latency and grant", see DESIGN.md): a master issues at
+// most one outstanding request per port; each cycle every slave's arbiter
+// grants one waiting request; the slave reports an access latency at grant
+// time (this is where flash prefetch-buffer state matters); the master's
+// port turns `done` when the latency has elapsed. Contention — more than
+// one master waiting for the same slave, or a request waiting behind a
+// busy slave — is observable per cycle for the MCDS.
+#pragma once
+
+#include <cassert>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace audo::bus {
+
+/// Identities of bus masters, in *default* descending priority order.
+/// Real powertrain SoCs prioritise latency-critical DMA over CPU data.
+enum class MasterId : u8 {
+  kDma = 0,
+  kTcData,
+  kTcFetch,
+  kPcpData,
+  kCerberus,  // tool-side access from the EEC (ED only)
+  kCount,
+};
+inline constexpr unsigned kNumMasters = static_cast<unsigned>(MasterId::kCount);
+
+const char* to_string(MasterId id);
+
+enum class AccessKind : u8 { kRead, kWrite };
+
+struct BusRequest {
+  MasterId master = MasterId::kTcData;
+  Addr addr = 0;
+  AccessKind kind = AccessKind::kRead;
+  u8 bytes = 4;   // 1, 2 or 4
+  u32 wdata = 0;  // for writes
+  bool fetch = false;  // instruction-side access (routes to flash code port)
+};
+
+/// A slave on the crossbar. One outstanding transaction at a time (the
+/// crossbar enforces this); multi-ported devices (the program flash)
+/// register one slave object per port.
+class BusSlave {
+ public:
+  virtual ~BusSlave() = default;
+
+  /// Called when the arbiter grants `req` to this slave. Returns the
+  /// access latency in cycles (>= 1). This is the point where
+  /// device-internal state (wait states, buffer hits, internal bank
+  /// conflicts) is sampled.
+  virtual unsigned start_access(const BusRequest& req) = 0;
+
+  /// Called once the latency has elapsed; performs the data transfer and
+  /// returns read data (ignored for writes).
+  virtual u32 complete_access(const BusRequest& req) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// The master-side handle. Masters poll `done()`.
+class MasterPort {
+ public:
+  enum class State : u8 { kIdle, kWaiting, kActive, kDone };
+
+  bool idle() const { return state_ == State::kIdle; }
+  bool busy() const {
+    return state_ == State::kWaiting || state_ == State::kActive;
+  }
+  bool done() const { return state_ == State::kDone; }
+
+  /// Read data of a completed request; resets the port to idle.
+  u32 take_rdata() {
+    assert(state_ == State::kDone);
+    state_ = State::kIdle;
+    return rdata_;
+  }
+
+  const BusRequest& request() const { return request_; }
+
+ private:
+  friend class Crossbar;
+  State state_ = State::kIdle;
+  BusRequest request_;
+  unsigned slave_index = 0;
+  unsigned remaining = 0;
+  u32 rdata_ = 0;
+  Cycle issued_at = 0;
+};
+
+}  // namespace audo::bus

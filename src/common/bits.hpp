@@ -1,0 +1,65 @@
+// Bit-manipulation helpers used by the ISA encoder/decoder, cache indexing
+// and the trace-message bit packer.
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace audo {
+
+/// Extract `count` bits of `value` starting at bit `lsb` (0 = least
+/// significant). count must be 1..32 for 32-bit, 1..64 for 64-bit values.
+constexpr u32 bits(u32 value, unsigned lsb, unsigned count) {
+  assert(lsb < 32 && count >= 1 && lsb + count <= 32);
+  const u32 mask = (count == 32) ? ~u32{0} : ((u32{1} << count) - 1);
+  return (value >> lsb) & mask;
+}
+
+constexpr u64 bits64(u64 value, unsigned lsb, unsigned count) {
+  assert(lsb < 64 && count >= 1 && lsb + count <= 64);
+  const u64 mask = (count == 64) ? ~u64{0} : ((u64{1} << count) - 1);
+  return (value >> lsb) & mask;
+}
+
+/// Insert `count` bits of `field` into `target` at bit `lsb`.
+constexpr u32 insert_bits(u32 target, unsigned lsb, unsigned count, u32 field) {
+  assert(lsb < 32 && count >= 1 && lsb + count <= 32);
+  const u32 mask = (count == 32) ? ~u32{0} : ((u32{1} << count) - 1);
+  assert((field & ~mask) == 0 && "field does not fit");
+  return (target & ~(mask << lsb)) | ((field & mask) << lsb);
+}
+
+/// Sign-extend the low `count` bits of `value` to 32 bits.
+constexpr i32 sign_extend(u32 value, unsigned count) {
+  assert(count >= 1 && count <= 32);
+  const unsigned shift = 32 - count;
+  return static_cast<i32>(value << shift) >> shift;
+}
+
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(u64 v) {
+  assert(is_pow2(v));
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Number of bits needed to represent `v` (0 -> 0 bits).
+constexpr unsigned bit_width(u64 v) {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+/// Round `v` up to a multiple of `align` (align must be a power of two).
+constexpr u64 align_up(u64 v, u64 align) {
+  assert(is_pow2(align));
+  return (v + align - 1) & ~(align - 1);
+}
+
+constexpr bool is_aligned(u64 v, u64 align) {
+  assert(is_pow2(align));
+  return (v & (align - 1)) == 0;
+}
+
+}  // namespace audo

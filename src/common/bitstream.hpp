@@ -1,0 +1,98 @@
+// Bit-granular writer/reader used by the MCDS trace-message encoder.
+//
+// Trace compression is the load-bearing claim of the paper's bandwidth
+// argument (§5), so message sizes must be real: messages are packed to the
+// bit, and the byte size reported to the DAP drain model is the exact
+// ceil(bits/8) of the stream.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace audo {
+
+class BitWriter {
+ public:
+  /// Append the low `count` bits of `value` (LSB first).
+  void write(u64 value, unsigned count) {
+    assert(count >= 1 && count <= 64);
+    for (unsigned i = 0; i < count; ++i) {
+      const bool bit = (value >> i) & 1;
+      if (bit_pos_ == 0) bytes_.push_back(0);
+      if (bit) bytes_.back() |= static_cast<u8>(1u << bit_pos_);
+      bit_pos_ = (bit_pos_ + 1) % 8;
+    }
+    total_bits_ += count;
+  }
+
+  /// Unsigned LEB-style variable-length quantity in 4-bit groups:
+  /// each nibble holds 3 payload bits + 1 continuation bit. Small deltas
+  /// (the common case for timestamps) cost 4 bits.
+  void write_varint(u64 value) {
+    do {
+      const u64 payload = value & 0x7;
+      value >>= 3;
+      write(payload | (value != 0 ? 0x8 : 0x0), 4);
+    } while (value != 0);
+  }
+
+  u64 bit_count() const { return total_bits_; }
+  usize byte_count() const { return bytes_.size(); }
+  const std::vector<u8>& bytes() const { return bytes_; }
+
+  void clear() {
+    bytes_.clear();
+    bit_pos_ = 0;
+    total_bits_ = 0;
+  }
+
+ private:
+  std::vector<u8> bytes_;
+  unsigned bit_pos_ = 0;  // next free bit within bytes_.back()
+  u64 total_bits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<u8>& bytes) : bytes_(&bytes) {}
+
+  u64 read(unsigned count) {
+    assert(count >= 1 && count <= 64);
+    u64 value = 0;
+    for (unsigned i = 0; i < count; ++i) {
+      assert(!exhausted());
+      const u8 byte = (*bytes_)[pos_ / 8];
+      const bool bit = (byte >> (pos_ % 8)) & 1;
+      if (bit) value |= u64{1} << i;
+      ++pos_;
+    }
+    return value;
+  }
+
+  u64 read_varint() {
+    u64 value = 0;
+    unsigned shift = 0;
+    for (;;) {
+      const u64 nibble = read(4);
+      value |= (nibble & 0x7) << shift;
+      if ((nibble & 0x8) == 0) break;
+      shift += 3;
+    }
+    return value;
+  }
+
+  u64 bit_position() const { return pos_; }
+  bool exhausted() const { return pos_ >= bytes_->size() * 8; }
+  /// True when fewer than `count` bits remain.
+  bool remaining_less_than(unsigned count) const {
+    return pos_ + count > bytes_->size() * 8;
+  }
+
+ private:
+  const std::vector<u8>* bytes_;
+  u64 pos_ = 0;
+};
+
+}  // namespace audo

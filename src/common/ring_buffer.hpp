@@ -1,0 +1,72 @@
+// Fixed-capacity ring buffer. Used for flash prefetch queues, bus request
+// queues, and as the fill-mode model of the EMEM trace sink.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace audo {
+
+/// A bounded FIFO with O(1) push/pop and explicit overflow policy decided
+/// by the caller (push() on a full buffer is a programming error; use
+/// push_overwrite() for ring-mode trace sinks).
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(usize capacity) : storage_(capacity) {
+    assert(capacity > 0);
+  }
+
+  usize capacity() const { return storage_.size(); }
+  usize size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == storage_.size(); }
+
+  void push(T value) {
+    assert(!full());
+    storage_[(head_ + size_) % storage_.size()] = std::move(value);
+    ++size_;
+  }
+
+  /// Push, discarding the oldest element when full. Returns true if an
+  /// element was discarded (the ring "wrapped").
+  bool push_overwrite(T value) {
+    const bool wrapped = full();
+    if (wrapped) pop();
+    push(std::move(value));
+    return wrapped;
+  }
+
+  T pop() {
+    assert(!empty());
+    T out = std::move(storage_[head_]);
+    head_ = (head_ + 1) % storage_.size();
+    --size_;
+    return out;
+  }
+
+  const T& front() const {
+    assert(!empty());
+    return storage_[head_];
+  }
+
+  /// Element `i` positions behind front (0 == front).
+  const T& at(usize i) const {
+    assert(i < size_);
+    return storage_[(head_ + i) % storage_.size()];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> storage_;
+  usize head_ = 0;
+  usize size_ = 0;
+};
+
+}  // namespace audo

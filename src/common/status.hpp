@@ -1,0 +1,96 @@
+// Error handling for configuration-time and decode-time failures.
+//
+// Simulation hot paths never construct a Status; they are designed so that
+// illegal states are unrepresentable or caught by assertions. Status/Result
+// are for user-facing APIs: assembling programs, configuring the MCDS,
+// building SoC variants, decoding trace streams.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace audo {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kParseError,
+  kDecodeError,
+};
+
+/// Human-readable name of a status code (stable, for logs and tests).
+const char* to_string(StatusCode code);
+
+/// A cheap error-or-ok value with an optional message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status error(StatusCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+/// Value-or-Status. Accessing value() on an error aborts in debug builds.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {     // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).is_ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value_or(const T& fallback) const& {
+    return is_ok() ? std::get<T>(data_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace audo

@@ -1,0 +1,31 @@
+// Fundamental type aliases shared by every module of the AUDO-profiler
+// reproduction. Keep this header dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace audo {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated clock cycle index. 64 bits: multi-minute runs at 180 MHz fit.
+using Cycle = u64;
+
+/// Physical address on the product-chip side (32-bit machine).
+using Addr = u32;
+
+/// Size in bytes.
+using usize = std::size_t;
+
+inline constexpr usize kKiB = 1024;
+inline constexpr usize kMiB = 1024 * kKiB;
+
+}  // namespace audo

@@ -1,0 +1,178 @@
+// The TC core — a TriCore-flavoured in-order multi-issue CPU model — and,
+// with a narrower configuration, the PCP coprocessor.
+//
+// Timing model (see DESIGN.md):
+//  * fetch: naturally-aligned blocks from the program scratchpad (1 cycle),
+//    the I-cache (1 cycle on hit, bus refill on miss) or, word-wise, over
+//    the bus for non-cacheable code;
+//  * issue: up to `issue_width` instructions per cycle, in order, at most
+//    one per pipe (IP integer, LS load/store, LP loop/branch); SYS
+//    instructions issue alone. This reproduces TriCore's "up to 3
+//    instructions within a clock cycle" (§5);
+//  * hazards: a register scoreboard delays consumers by the producer's
+//    result latency; bus loads block consumers until the data returns;
+//  * interrupts: priority-driven entry through a vector table (BIV), with
+//    preemption of lower-priority handlers, as in the TriCore ICU model.
+//
+// Architectural state is updated at issue (except bus loads), so the model
+// is deterministic and directly checkable by tests.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "bus/crossbar.hpp"
+#include "cache/cache.hpp"
+#include "common/types.hpp"
+#include "isa/core_regs.hpp"
+#include "isa/isa.hpp"
+#include "mcds/observation.hpp"
+#include "mem/mem_array.hpp"
+#include "mem/sram.hpp"
+
+namespace audo::cpu {
+
+struct CpuConfig {
+  bool is_pcp = false;
+  unsigned issue_width = 3;       // 1 for the PCP
+  unsigned fetch_block_words = 4; // instructions per fetch access
+  unsigned fetch_queue_depth = 8;
+  bus::MasterId fetch_master = bus::MasterId::kTcFetch;
+  bus::MasterId data_master = bus::MasterId::kTcData;
+};
+
+/// Interface to the interrupt router: the highest-priority pending
+/// service request targeting this core.
+class IrqSource {
+ public:
+  virtual ~IrqSource() = default;
+  virtual std::optional<u8> pending() const = 0;
+  virtual void acknowledge(u8 prio) = 0;
+};
+
+class Cpu {
+ public:
+  /// Wiring to the rest of the SoC. Null members disable the feature
+  /// (e.g. the PCP has no caches; a bare test CPU may have no bus).
+  struct Env {
+    bus::Crossbar* bus = nullptr;
+    mem::Scratchpad* code_spr = nullptr;  // PSPR (TC) / PRAM (PCP)
+    mem::Scratchpad* data_spr = nullptr;  // DSPR (TC) / PCP data RAM
+    cache::Cache* icache = nullptr;
+    cache::Cache* dcache = nullptr;
+    /// Backing flash array for cache-hit reads (tag-only caches).
+    mem::MemArray* flash = nullptr;
+    u32 flash_size = 0;
+    IrqSource* irq = nullptr;
+  };
+
+  Cpu(const CpuConfig& config, Env env);
+
+  /// Reset the core to start execution at `entry`. If `start_halted` the
+  /// core sits in WFI until the first interrupt (PCP channel model).
+  void reset(Addr entry, bool start_halted = false);
+
+  /// Advance one clock cycle; fills the core's observation record.
+  void step(Cycle now, mcds::CoreObservation& obs);
+
+  bool halted() const { return halted_; }
+  bool waiting() const { return wfi_; }
+
+  u32 d(unsigned i) const { return d_.at(i); }
+  u32 a(unsigned i) const { return a_.at(i); }
+  void set_d(unsigned i, u32 v) { d_.at(i) = v; }
+  void set_a(unsigned i, u32 v) { a_.at(i) = v; }
+  Addr next_pc() const { return next_pc_; }
+
+  u64 retired() const { return retired_; }
+  u64 cycles() const { return cycles_; }
+  /// Accesses that decoded to no bus region (read-as-zero / dropped).
+  u64 bus_errors() const { return bus_errors_; }
+
+  u32 icr() const { return icr_; }
+  void set_biv(Addr biv) { biv_ = biv; }
+  Addr biv() const { return biv_; }
+
+  const CpuConfig& config() const { return config_; }
+
+ private:
+  struct Fetched {
+    Addr pc;
+    isa::Instr instr;
+  };
+
+  enum class FetchState : u8 { kIdle, kLocalWait, kBusWait };
+
+  static constexpr Cycle kFar = ~Cycle{0};
+
+  // -- fetch machinery -------------------------------------------------
+  void try_start_fetch(Cycle now, mcds::CoreObservation& obs);
+  void try_finish_fetch(Cycle now);
+  void flush_fetch();
+  bool addr_in_cached_flash(Addr addr) const;
+
+  // -- issue machinery -------------------------------------------------
+  void take_interrupt(u8 prio, Cycle now, mcds::CoreObservation& obs);
+  bool sources_ready(const isa::Instr& instr, Cycle now) const;
+  bool dest_blocked(const isa::Instr& instr) const;
+  /// Execute one instruction; returns false if it could not start
+  /// (structural hazard) and sets `stall`.
+  bool execute(const Fetched& f, Cycle now, mcds::CoreObservation& obs,
+               mcds::StallCause& stall);
+  void redirect(Addr target, mcds::CoreObservation& obs);
+  u32 read_cr(u16 cr) const;
+  void write_cr(u16 cr, u32 value);
+
+  // -- data-side memory ------------------------------------------------
+  enum class DataRoute : u8 { kSpr, kCachedFlashHit, kBus };
+  /// Start a data access; returns the route taken or nullopt on a
+  /// structural hazard (bus port busy).
+  std::optional<DataRoute> start_data_access(const isa::Instr& instr,
+                                             Addr addr, Cycle now,
+                                             mcds::CoreObservation& obs);
+  void finish_bus_data(Cycle now, mcds::CoreObservation& obs);
+
+  CpuConfig config_;
+  Env env_;
+
+  // Architectural state.
+  std::array<u32, 16> d_{};
+  std::array<u32, 16> a_{};
+  Addr next_pc_ = 0;  // PC of the next instruction in program order
+  u32 icr_ = 0;
+  Addr biv_ = 0;
+  u8 last_irq_prio_ = 0;
+  u32 scratch_cr_[2] = {0, 0};
+  std::vector<std::pair<Addr, u32>> irq_stack_;  // (return PC, saved ICR)
+
+  // Scoreboard: cycle at which a register value becomes usable.
+  std::array<Cycle, 16> d_ready_{};
+  std::array<Cycle, 16> a_ready_{};
+
+  // Fetch.
+  std::deque<Fetched> fetch_queue_;
+  Addr fetch_pc_ = 0;
+  FetchState fetch_state_ = FetchState::kIdle;
+  Cycle fetch_ready_at_ = 0;
+  Addr fetch_addr_ = 0;        // address of the in-flight fetch
+  unsigned fetch_words_ = 0;   // words the in-flight fetch will deliver
+  bool fetch_discard_ = false; // in-flight fetch was flushed
+  bus::MasterPort fetch_port_;
+
+  // Data side.
+  bus::MasterPort data_port_;
+  bool load_pending_ = false;
+  isa::Instr pending_load_instr_{};
+  bool store_pending_ = false;  // write in flight (port busy, no waiters)
+
+  // Status.
+  bool halted_ = false;
+  bool wfi_ = false;
+  u64 retired_ = 0;
+  u64 cycles_ = 0;
+  u64 bus_errors_ = 0;
+};
+
+}  // namespace audo::cpu

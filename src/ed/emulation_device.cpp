@@ -1,0 +1,98 @@
+#include "ed/emulation_device.hpp"
+
+#include <cmath>
+
+namespace audo::ed {
+
+EmulationDevice::EmulationDevice(const soc::SocConfig& soc_config,
+                                 mcds::McdsConfig mcds_config,
+                                 EdConfig ed_config)
+    : soc_(soc_config),
+      mcds_(std::move(mcds_config)),
+      config_(ed_config),
+      emem_(ed_config.emem),
+      mli_(&mcds_, &emem_) {
+  mcds_.set_sink(&emem_);
+  // The MLI bridge gives product-chip software (a monitor routine) access
+  // to the EEC through the normal SFR space.
+  soc_.bridge().add_device(MliBridge::kWindowOffset, MliBridge::kWindowSize,
+                           &mli_);
+}
+
+void EmulationDevice::reset(Addr tc_entry, Addr pcp_entry) {
+  soc_.reset(tc_entry, pcp_entry);
+  mcds_.reset();
+  emem_.clear();
+  drain_budget_ = 0.0;
+  dap_drained_ = 0;
+}
+
+double EmulationDevice::dap_bytes_per_cycle() const {
+  return static_cast<double>(config_.dap_bits_per_second) / 8.0 /
+         static_cast<double>(soc_.config().clock_hz);
+}
+
+void EmulationDevice::step() {
+  soc_.step();
+  mcds_.observe(soc_.frame());
+  if (config_.stream_drain) {
+    drain_budget_ += dap_bytes_per_cycle();
+    if (drain_budget_ >= 1.0) {
+      const u64 whole = static_cast<u64>(drain_budget_);
+      const usize moved = emem_.drain(whole);
+      dap_drained_ += moved;
+      drain_budget_ -= static_cast<double>(whole);
+    }
+  }
+}
+
+u64 EmulationDevice::run(u64 max_cycles) {
+  u64 steps = 0;
+  // A pending MCDS break (OCDS debug halt) pauses the device until the
+  // tool clears it — run() returns immediately, like a hit breakpoint.
+  while (steps < max_cycles && !soc_.tc().halted() &&
+         !mcds_.break_requested()) {
+    step();
+    ++steps;
+  }
+  return steps;
+}
+
+u32 EmulationDevice::tool_read32(Addr addr) {
+  bus::BusRequest req;
+  req.master = bus::MasterId::kCerberus;
+  req.addr = addr;
+  req.kind = bus::AccessKind::kRead;
+  req.bytes = 4;
+  if (!soc_.sri().issue(cerberus_port_, req, soc_.cycle())) {
+    return 0;
+  }
+  while (!cerberus_port_.done()) {
+    step();
+  }
+  return cerberus_port_.take_rdata();
+}
+
+void EmulationDevice::tool_write32(Addr addr, u32 value) {
+  bus::BusRequest req;
+  req.master = bus::MasterId::kCerberus;
+  req.addr = addr;
+  req.kind = bus::AccessKind::kWrite;
+  req.bytes = 4;
+  req.wdata = value;
+  if (!soc_.sri().issue(cerberus_port_, req, soc_.cycle())) {
+    return;
+  }
+  while (!cerberus_port_.done()) {
+    step();
+  }
+  cerberus_port_.take_rdata();
+}
+
+Result<std::vector<mcds::TraceMessage>> EmulationDevice::download_trace() {
+  mcds_.flush(soc_.cycle());  // final sync: outstanding instruction counts
+  emem_.download_all();
+  return mcds::TraceDecoder::decode(emem_.host_units());
+}
+
+}  // namespace audo::ed

@@ -1,0 +1,63 @@
+#include "ed/mli_bridge.hpp"
+
+namespace audo::ed {
+
+u32 MliBridge::read_sfr(u32 offset) {
+  switch (offset) {
+    case 0x00:
+      return (mcds_->trace_frozen() ? 1u : 0u) |
+             (mcds_->break_requested() ? 2u : 0u) |
+             (mcds_->trace_enabled() ? 4u : 0u);
+    case 0x04:
+      return static_cast<u32>(emem_->occupancy_bytes());
+    case 0x08:
+      return static_cast<u32>(emem_->total_pushed_messages());
+    case 0x0C:
+      return static_cast<u32>(mcds_->dropped_messages());
+    case 0x10:
+      return static_cast<u32>(mcds_->trigger_out_pulses());
+    case 0x14: {
+      // Monitor-side trace streaming: drain one message at a time into
+      // the host view and serve it byte-wise.
+      const auto& units = emem_->host_units();
+      while (unit_index_ < units.size() &&
+             byte_index_ >= units[unit_index_].bytes.size()) {
+        ++unit_index_;
+        byte_index_ = 0;
+      }
+      if (unit_index_ >= units.size()) {
+        // Pull more from the trace buffer if available.
+        if (emem_->occupancy_bytes() == 0) return 0xFFFFFFFF;
+        emem_->drain(64);
+        if (unit_index_ >= emem_->host_units().size()) return 0xFFFFFFFF;
+      }
+      const u8 byte = emem_->host_units()[unit_index_].bytes[byte_index_++];
+      ++bytes_popped_;
+      return byte;
+    }
+    case 0x1C:
+      return overlay_index_;
+    case 0x20:
+      return emem_->overlay().read32(static_cast<usize>(overlay_index_) * 4);
+    default:
+      return 0;
+  }
+}
+
+void MliBridge::write_sfr(u32 offset, u32 value) {
+  switch (offset) {
+    case 0x18:
+      mcds_->clear_break();
+      break;
+    case 0x1C:
+      overlay_index_ = value;
+      break;
+    case 0x20:
+      emem_->overlay().write32(static_cast<usize>(overlay_index_) * 4, value);
+      break;
+    default:
+      break;  // read-only or unknown
+  }
+}
+
+}  // namespace audo::ed

@@ -1,0 +1,82 @@
+#include "emem/emem.hpp"
+
+#include <cassert>
+
+namespace audo::emem {
+
+Emem::Emem(const EmemConfig& config)
+    : config_(config), overlay_(config.overlay_bytes) {
+  assert(config.overlay_bytes <= config.size_bytes);
+}
+
+bool Emem::push(mcds::EncodedMessage msg, Cycle now) {
+  (void)now;
+  const usize size = msg.size();
+  if (size > config_.trace_bytes()) {
+    ++dropped_;
+    return false;
+  }
+  switch (config_.mode) {
+    case TraceMode::kFill:
+    case TraceMode::kStream:
+      if (occupancy_ + size > config_.trace_bytes()) {
+        ++dropped_;
+        return false;
+      }
+      break;
+    case TraceMode::kRing:
+      while (occupancy_ + size > config_.trace_bytes()) {
+        assert(!buffer_.empty());
+        occupancy_ -= buffer_.front().size() - partial_drained_;
+        partial_drained_ = 0;
+        buffer_.pop_front();
+        ++overwritten_;
+      }
+      break;
+  }
+  occupancy_ += size;
+  pushed_bytes_ += size;
+  ++pushed_messages_;
+  buffer_.push_back(std::move(msg));
+  return true;
+}
+
+usize Emem::drain(u64 budget_bytes) {
+  usize moved = 0;
+  while (budget_bytes > 0 && !buffer_.empty()) {
+    mcds::EncodedMessage& front = buffer_.front();
+    const u64 remaining = front.size() - partial_drained_;
+    if (remaining <= budget_bytes) {
+      budget_bytes -= remaining;
+      moved += remaining;
+      occupancy_ -= remaining;
+      partial_drained_ = 0;
+      host_units_.push_back(std::move(front));
+      buffer_.pop_front();
+    } else {
+      partial_drained_ += budget_bytes;
+      occupancy_ -= budget_bytes;
+      moved += budget_bytes;
+      budget_bytes = 0;
+    }
+  }
+  return moved;
+}
+
+void Emem::download_all() {
+  partial_drained_ = 0;
+  while (!buffer_.empty()) {
+    host_units_.push_back(std::move(buffer_.front()));
+    buffer_.pop_front();
+  }
+  occupancy_ = 0;
+}
+
+void Emem::clear() {
+  buffer_.clear();
+  host_units_.clear();
+  occupancy_ = 0;
+  partial_drained_ = 0;
+}
+
+}  // namespace audo::emem

@@ -1,0 +1,39 @@
+// Two-pass text assembler for the TRC ISA.
+//
+// Syntax (one statement per line, ';' or '#' starts a comment):
+//
+//   .text 0x80000000          ; open/continue a code section at an address
+//   .data 0xC0000000          ; open/continue a data section
+//   .word 1, 2, tbl           ; 32-bit values (symbols allowed)
+//   .half 7                   ; 16-bit
+//   .byte 0xFF
+//   .space 64                 ; zero-filled bytes
+//   .align 16                 ; pad to alignment (power of two)
+//   .equ   N_CYL, 4           ; named constant
+//
+//   main:                     ; labels; text labels become profiler functions
+//     movh  d1, hi(tbl)
+//     ori   d1, d1, lo(tbl)
+//     mov.ad a2, d1
+//     ld.w  d2, [a2+4]
+//     jne   d2, d0, main      ; branch targets may be labels or immediates
+//
+// Symbol arithmetic: lo(x) = x & 0xFFFF (pair with ori, zero-extended);
+// hi(x) = x >> 16 (pair with ori/movh); hia(x) = (x + 0x8000) >> 16
+// (pair with lea/addi, which sign-extend their 16-bit immediate).
+// Expressions support a single chain of + and - over atoms.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace audo::isa {
+
+/// Assemble `source` into a Program. On error the status message includes
+/// the 1-based line number.
+Result<Program> assemble(std::string_view source);
+
+}  // namespace audo::isa

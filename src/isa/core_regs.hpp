@@ -1,0 +1,32 @@
+// Core special-function registers reachable via MFCR/MTCR.
+//
+// Mirrors the handful of TriCore CSFRs the methodology touches: the
+// interrupt control register, the vector base, and free-running cycle /
+// instruction counters (the CCNT/ICNT debug counters of TriCore 1.3).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace audo::isa {
+
+enum class CoreReg : u16 {
+  kCoreId = 0,   // read-only: 0 = TriCore-like "TC", 1 = PCP
+  kIcr = 1,      // bit 0: IE (global enable); bits 8..15: CCPN
+  kBiv = 2,      // interrupt vector table base address
+  kCcntLo = 3,   // read-only free-running cycle counter, low 32 bits
+  kCcntHi = 4,   // high 32 bits
+  kIcnt = 5,     // read-only retired-instruction counter, low 32 bits
+  kIrqn = 6,     // read-only: priority of the most recent accepted interrupt
+  kScratch0 = 8, // software scratch CSFRs (monitor/RTOS use)
+  kScratch1 = 9,
+};
+
+inline constexpr u32 kIcrIeBit = 1u << 0;
+inline constexpr unsigned kIcrCcpnShift = 8;
+inline constexpr u32 kIcrCcpnMask = 0xFFu << kIcrCcpnShift;
+
+/// Bytes per interrupt vector table entry: priority p is dispatched to
+/// BIV + p * kVectorEntryBytes (room for a jump to the handler).
+inline constexpr u32 kVectorEntryBytes = 32;
+
+}  // namespace audo::isa

@@ -1,0 +1,110 @@
+#include "mcds/counters.hpp"
+
+#include <cassert>
+
+namespace audo::mcds {
+
+unsigned CounterBank::add_group(CounterGroupConfig config) {
+  assert(config.resolution > 0);
+  assert(config.counters.size() <= 8);
+  Group group;
+  group.armed = config.armed_at_start;
+  group.accs.assign(config.counters.size(), 0);
+  for (const RateCounterConfig& c : config.counters) {
+    if (c.threshold.has_value()) {
+      group.flag_slots.push_back(static_cast<unsigned>(flags_.size()));
+      flags_.push_back(false);
+    } else {
+      group.flag_slots.push_back(~0u);
+    }
+  }
+  group.config = std::move(config);
+  groups_.push_back(std::move(group));
+  return static_cast<unsigned>(groups_.size() - 1);
+}
+
+unsigned CounterBank::flag_index(unsigned group, unsigned counter) const {
+  return groups_.at(group).flag_slots.at(counter);
+}
+
+void CounterBank::arm(unsigned group, bool armed) {
+  Group& g = groups_.at(group);
+  if (g.armed == armed) return;
+  g.armed = armed;
+  if (armed) {
+    // A freshly armed group starts a clean measurement window.
+    g.basis_acc = 0;
+    std::fill(g.accs.begin(), g.accs.end(), 0u);
+  }
+}
+
+void CounterBank::emit_sample(Group& group, unsigned index, Cycle now) {
+  RateSample sample;
+  sample.cycle = now;
+  sample.group = index;
+  sample.basis = group.config.resolution;
+  sample.counts = group.accs;
+  // Update threshold flags from this sample.
+  for (usize c = 0; c < group.accs.size(); ++c) {
+    const auto& threshold = group.config.counters[c].threshold;
+    if (!threshold.has_value()) continue;
+    const bool flag = threshold->dir == Threshold::Dir::kBelow
+                          ? group.accs[c] < threshold->value
+                          : group.accs[c] >= threshold->value;
+    flags_[group.flag_slots[c]] = flag;
+  }
+  std::fill(group.accs.begin(), group.accs.end(), 0u);
+  samples_.push_back(std::move(sample));
+}
+
+void CounterBank::force_sample(unsigned group, Cycle now) {
+  Group& g = groups_.at(group);
+  if (g.basis_acc == 0) return;
+  RateSample sample;
+  sample.cycle = now;
+  sample.group = group;
+  sample.basis = g.basis_acc;  // partial window: report actual basis
+  sample.counts = g.accs;
+  std::fill(g.accs.begin(), g.accs.end(), 0u);
+  g.basis_acc = 0;
+  samples_.push_back(std::move(sample));
+}
+
+void CounterBank::step(const ObservationFrame& frame,
+                       const std::vector<bool>* comparator_hits) {
+  samples_.clear();
+  for (usize i = 0; i < groups_.size(); ++i) {
+    Group& g = groups_[i];
+    if (!g.armed) continue;
+    g.basis_acc += event_value(frame, g.config.basis);
+    for (usize c = 0; c < g.accs.size(); ++c) {
+      const RateCounterConfig& counter = g.config.counters[c];
+      if (counter.qualifier.has_value()) {
+        const unsigned q = *counter.qualifier;
+        if (comparator_hits == nullptr || q >= comparator_hits->size() ||
+            !(*comparator_hits)[q]) {
+          continue;
+        }
+      }
+      g.accs[c] += event_value(frame, counter.event);
+    }
+    // A multi-issue basis (up to 3 instructions/cycle) can step past the
+    // resolution; carry the remainder so long-run rates stay exact.
+    while (g.basis_acc >= g.config.resolution) {
+      g.basis_acc -= g.config.resolution;
+      emit_sample(g, static_cast<unsigned>(i), frame.cycle);
+    }
+  }
+}
+
+void CounterBank::reset() {
+  for (Group& g : groups_) {
+    g.armed = g.config.armed_at_start;
+    g.basis_acc = 0;
+    std::fill(g.accs.begin(), g.accs.end(), 0u);
+  }
+  std::fill(flags_.begin(), flags_.end(), false);
+  samples_.clear();
+}
+
+}  // namespace audo::mcds

@@ -1,0 +1,107 @@
+#include "mcds/events.hpp"
+
+namespace audo::mcds {
+
+const char* to_string(StallCause cause) {
+  switch (cause) {
+    case StallCause::kNone: return "none";
+    case StallCause::kIFetch: return "ifetch";
+    case StallCause::kLoadUse: return "load-use";
+    case StallCause::kLsPortBusy: return "ls-port-busy";
+    case StallCause::kExecLatency: return "exec-latency";
+    case StallCause::kWfi: return "wfi";
+    case StallCause::kHalted: return "halted";
+  }
+  return "?";
+}
+
+u32 event_value(const ObservationFrame& f, EventId id) {
+  const CoreObservation& tc = f.tc;
+  const CoreObservation& pcp = f.pcp;
+  switch (id) {
+    case EventId::kNone: return 0;
+    case EventId::kCycles: return 1;
+    case EventId::kTcRetired: return tc.retired;
+    case EventId::kTcStalled:
+      return (tc.present && tc.retired == 0 &&
+              tc.stall != StallCause::kHalted) ? 1 : 0;
+    case EventId::kTcStallIFetch: return tc.stall == StallCause::kIFetch ? 1 : 0;
+    case EventId::kTcStallLoadUse: return tc.stall == StallCause::kLoadUse ? 1 : 0;
+    case EventId::kTcICacheAccess: return tc.icache_access ? 1 : 0;
+    case EventId::kTcICacheHit: return tc.icache_hit ? 1 : 0;
+    case EventId::kTcICacheMiss: return tc.icache_miss ? 1 : 0;
+    case EventId::kTcDCacheAccess: return tc.dcache_access ? 1 : 0;
+    case EventId::kTcDCacheHit: return tc.dcache_hit ? 1 : 0;
+    case EventId::kTcDCacheMiss: return tc.dcache_miss ? 1 : 0;
+    case EventId::kTcDataAccess: return tc.data_access ? 1 : 0;
+    case EventId::kTcDataWrite: return (tc.data_access && tc.data_write) ? 1 : 0;
+    case EventId::kTcDsprAccess: return tc.dspr_access ? 1 : 0;
+    case EventId::kTcFlashDataAccess: return tc.flash_data_access ? 1 : 0;
+    case EventId::kTcSramDataAccess: return tc.sram_data_access ? 1 : 0;
+    case EventId::kTcPeriphDataAccess: return tc.periph_data_access ? 1 : 0;
+    case EventId::kTcIrqEntry: return tc.irq_entry ? 1 : 0;
+    case EventId::kTcIrqExit: return tc.irq_exit ? 1 : 0;
+    case EventId::kTcDiscontinuity: return tc.discontinuity ? 1 : 0;
+    case EventId::kPcpRetired: return pcp.retired;
+    case EventId::kPcpStalled:
+      return (pcp.present && pcp.retired == 0 &&
+              pcp.stall != StallCause::kHalted &&
+              pcp.stall != StallCause::kWfi) ? 1 : 0;
+    case EventId::kPcpIrqEntry: return pcp.irq_entry ? 1 : 0;
+    case EventId::kPcpDataAccess: return pcp.data_access ? 1 : 0;
+    case EventId::kFlashCodeAccess: return f.flash.code_access ? 1 : 0;
+    case EventId::kFlashCodeBufferHit: return f.flash.code_buffer_hit ? 1 : 0;
+    case EventId::kFlashDataPortAccess: return f.flash.data_access ? 1 : 0;
+    case EventId::kFlashDataBufferHit: return f.flash.data_buffer_hit ? 1 : 0;
+    case EventId::kFlashPortConflict: return f.flash.array_conflict ? 1 : 0;
+    case EventId::kBusGrant: return f.sri.any_grant ? 1 : 0;
+    case EventId::kBusContention: return f.sri.contention ? 1 : 0;
+    case EventId::kBusWaitingMasters: return f.sri.waiting_masters;
+    case EventId::kDmaTransfer: return f.dma.transfer ? 1 : 0;
+    case EventId::kEventCount: break;
+  }
+  return 0;
+}
+
+std::string_view event_name(EventId id) {
+  switch (id) {
+    case EventId::kNone: return "none";
+    case EventId::kCycles: return "cycles";
+    case EventId::kTcRetired: return "tc.retired";
+    case EventId::kTcStalled: return "tc.stalled";
+    case EventId::kTcStallIFetch: return "tc.stall.ifetch";
+    case EventId::kTcStallLoadUse: return "tc.stall.load_use";
+    case EventId::kTcICacheAccess: return "tc.icache.access";
+    case EventId::kTcICacheHit: return "tc.icache.hit";
+    case EventId::kTcICacheMiss: return "tc.icache.miss";
+    case EventId::kTcDCacheAccess: return "tc.dcache.access";
+    case EventId::kTcDCacheHit: return "tc.dcache.hit";
+    case EventId::kTcDCacheMiss: return "tc.dcache.miss";
+    case EventId::kTcDataAccess: return "tc.data.access";
+    case EventId::kTcDataWrite: return "tc.data.write";
+    case EventId::kTcDsprAccess: return "tc.dspr.access";
+    case EventId::kTcFlashDataAccess: return "tc.flash.data_access";
+    case EventId::kTcSramDataAccess: return "tc.sram.data_access";
+    case EventId::kTcPeriphDataAccess: return "tc.periph.data_access";
+    case EventId::kTcIrqEntry: return "tc.irq.entry";
+    case EventId::kTcIrqExit: return "tc.irq.exit";
+    case EventId::kTcDiscontinuity: return "tc.discontinuity";
+    case EventId::kPcpRetired: return "pcp.retired";
+    case EventId::kPcpStalled: return "pcp.stalled";
+    case EventId::kPcpIrqEntry: return "pcp.irq.entry";
+    case EventId::kPcpDataAccess: return "pcp.data.access";
+    case EventId::kFlashCodeAccess: return "flash.code.access";
+    case EventId::kFlashCodeBufferHit: return "flash.code.buffer_hit";
+    case EventId::kFlashDataPortAccess: return "flash.data.access";
+    case EventId::kFlashDataBufferHit: return "flash.data.buffer_hit";
+    case EventId::kFlashPortConflict: return "flash.port.conflict";
+    case EventId::kBusGrant: return "bus.grant";
+    case EventId::kBusContention: return "bus.contention";
+    case EventId::kBusWaitingMasters: return "bus.waiting_masters";
+    case EventId::kDmaTransfer: return "dma.transfer";
+    case EventId::kEventCount: break;
+  }
+  return "?";
+}
+
+}  // namespace audo::mcds

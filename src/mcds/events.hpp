@@ -1,0 +1,67 @@
+// The MCDS event-source mux: named performance events selectable as
+// counter inputs and trigger terms (§3: cache hits/misses, bus
+// contentions, etc.; §5: the "essential parameters for CPU system
+// performance").
+//
+// An event's per-cycle value is a small count: 0/1 for strobes, 0..3 for
+// retired instructions. Counters accumulate these values.
+#pragma once
+
+#include <string_view>
+
+#include "mcds/observation.hpp"
+
+namespace audo::mcds {
+
+enum class EventId : u8 {
+  kNone = 0,
+  kCycles,          // constant 1 — the clock-based resolution basis
+  // TriCore-like core.
+  kTcRetired,       // 0..3 — basis for instruction-relative rates & IPC
+  kTcStalled,       // 1 when the core retired nothing and is not halted
+  kTcStallIFetch,
+  kTcStallLoadUse,
+  kTcICacheAccess,
+  kTcICacheHit,
+  kTcICacheMiss,
+  kTcDCacheAccess,
+  kTcDCacheHit,
+  kTcDCacheMiss,
+  kTcDataAccess,        // any data-side load/store
+  kTcDataWrite,
+  kTcDsprAccess,        // data scratchpad
+  kTcFlashDataAccess,   // data-side access routed to the program flash
+  kTcSramDataAccess,    // data-side access routed to the LMU
+  kTcPeriphDataAccess,
+  kTcIrqEntry,
+  kTcIrqExit,
+  kTcDiscontinuity,     // taken branches + irq entries
+  // PCP.
+  kPcpRetired,
+  kPcpStalled,
+  kPcpIrqEntry,
+  kPcpDataAccess,
+  // Flash macro (chip-level: all masters).
+  kFlashCodeAccess,
+  kFlashCodeBufferHit,
+  kFlashDataPortAccess,
+  kFlashDataBufferHit,
+  kFlashPortConflict,
+  // Bus fabric.
+  kBusGrant,
+  kBusContention,
+  kBusWaitingMasters,   // 0..N
+  // DMA.
+  kDmaTransfer,
+  kEventCount,
+};
+
+inline constexpr unsigned kNumEvents = static_cast<unsigned>(EventId::kEventCount);
+
+/// The value of event `id` in frame `frame` (0 when the event did not
+/// occur this cycle).
+u32 event_value(const ObservationFrame& frame, EventId id);
+
+std::string_view event_name(EventId id);
+
+}  // namespace audo::mcds

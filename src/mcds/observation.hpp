@@ -1,0 +1,86 @@
+// The per-cycle observation frame: everything the MCDS can see.
+//
+// §3: "Adaptation logic allows reuse of the MCDS trigger block with a
+// range of cores" — this frame *is* that adaptation layer. The SoC
+// publishes one frame per clock cycle; MCDS observation blocks, trigger
+// logic and counters consume it. Observation is strictly read-only:
+// nothing in the MCDS can reach back into the SoC, which makes
+// non-intrusiveness a structural property (verified by test).
+#pragma once
+
+#include "bus/crossbar.hpp"
+#include "common/types.hpp"
+#include "mem/pflash.hpp"
+
+namespace audo::mcds {
+
+/// Why a core issued zero instructions in a cycle.
+enum class StallCause : u8 {
+  kNone = 0,      // instructions issued
+  kIFetch,        // fetch starved (I-cache miss / flash fetch in flight)
+  kLoadUse,       // operand waiting on an outstanding load
+  kLsPortBusy,    // load/store port structurally busy
+  kExecLatency,   // multi-cycle result (DIV/MUL chain) not ready
+  kWfi,           // waiting for interrupt
+  kHalted,
+};
+
+const char* to_string(StallCause cause);
+
+/// One core's activity in one cycle.
+struct CoreObservation {
+  bool present = false;  // core exists in this SoC configuration
+  u8 retired = 0;        // instructions retired this cycle (0..3)
+  Addr retire_pc = 0;    // PC of the last instruction retired this cycle
+  StallCause stall = StallCause::kNone;
+
+  // Program-flow discontinuity (taken branch, call, return, irq entry).
+  bool discontinuity = false;
+  Addr discontinuity_target = 0;
+
+  bool irq_entry = false;
+  u8 irq_prio = 0;
+  bool irq_exit = false;
+
+  /// The DEBUG instruction retired this cycle — a software-placed MCDS
+  /// trigger strobe (used to mark regions of interest from code).
+  bool debug_marker = false;
+
+  // Data-side access retired this cycle (at most one per core per cycle).
+  bool data_access = false;
+  bool data_write = false;
+  Addr data_addr = 0;
+  u32 data_value = 0;
+  u8 data_bytes = 0;
+
+  // Event strobes tapped directly from the core-side hardware (§3: "tap
+  // directly performance relevant event sources").
+  bool icache_access = false;
+  bool icache_hit = false;
+  bool icache_miss = false;
+  bool dcache_access = false;
+  bool dcache_hit = false;
+  bool dcache_miss = false;
+  bool dspr_access = false;   // local data scratchpad access
+  bool flash_data_access = false;  // data-side access routed to PFlash
+  bool sram_data_access = false;   // data-side access routed to LMU SRAM
+  bool periph_data_access = false; // data-side access routed to SFR space
+};
+
+/// DMA controller activity in one cycle.
+struct DmaObservation {
+  bool transfer = false;   // a DMA bus transaction completed this cycle
+  u8 channel = 0;
+};
+
+/// Everything observable in one clock cycle.
+struct ObservationFrame {
+  Cycle cycle = 0;
+  CoreObservation tc;
+  CoreObservation pcp;
+  bus::FabricObservation sri;
+  mem::PFlash::Strobes flash;
+  DmaObservation dma;
+};
+
+}  // namespace audo::mcds

@@ -1,0 +1,66 @@
+// Byte-addressable backing storage shared by all memory models.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace audo::mem {
+
+/// Little-endian byte array with 1/2/4-byte accessors. Out-of-range
+/// accesses are tolerated (reads return 0, writes are dropped) but
+/// counted, so buggy workload software cannot crash the simulator yet
+/// tests can assert cleanliness.
+class MemArray {
+ public:
+  explicit MemArray(usize size) : bytes_(size, 0) {}
+
+  usize size() const { return bytes_.size(); }
+
+  u32 read(usize offset, unsigned bytes) const {
+    assert(bytes == 1 || bytes == 2 || bytes == 4);
+    if (offset + bytes > bytes_.size()) {
+      ++violations_;
+      return 0;
+    }
+    u32 value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+      value |= static_cast<u32>(bytes_[offset + i]) << (8 * i);
+    }
+    return value;
+  }
+
+  void write(usize offset, u32 value, unsigned bytes) {
+    assert(bytes == 1 || bytes == 2 || bytes == 4);
+    if (offset + bytes > bytes_.size()) {
+      ++violations_;
+      return;
+    }
+    for (unsigned i = 0; i < bytes; ++i) {
+      bytes_[offset + i] = static_cast<u8>(value >> (8 * i));
+    }
+  }
+
+  u32 read32(usize offset) const { return read(offset, 4); }
+  void write32(usize offset, u32 value) { write(offset, value, 4); }
+
+  /// Bulk load (program image sections).
+  void load(usize offset, const std::vector<u8>& data) {
+    assert(offset + data.size() <= bytes_.size());
+    std::copy(data.begin(), data.end(), bytes_.begin() + static_cast<long>(offset));
+  }
+
+  void fill(u8 value) { std::fill(bytes_.begin(), bytes_.end(), value); }
+
+  /// Accesses outside the array since construction (sticky diagnostic).
+  u64 violations() const { return violations_; }
+
+  bool operator==(const MemArray& other) const { return bytes_ == other.bytes_; }
+
+ private:
+  std::vector<u8> bytes_;
+  mutable u64 violations_ = 0;
+};
+
+}  // namespace audo::mem

@@ -1,0 +1,49 @@
+// The TC1797-like physical memory map.
+//
+// Mirrors the TriCore convention that segment 0x8 is the cached view of
+// the program flash and segment 0xA the non-cached alias of the same
+// array — the mechanism behind "map this table to scratchpad / access it
+// non-cached" software optimizations in §5.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace audo::mem {
+
+inline constexpr Addr kPFlashCachedBase = 0x8000'0000;
+inline constexpr Addr kPFlashUncachedBase = 0xA000'0000;
+inline constexpr u32 kPFlashMaxSize = 4u * 1024 * 1024;
+
+inline constexpr Addr kDFlashBase = 0xAF00'0000;  // EEPROM emulation
+inline constexpr u32 kDFlashMaxSize = 64u * 1024;
+
+inline constexpr Addr kLmuBase = 0x9000'0000;  // on-chip SRAM behind the bus
+
+inline constexpr Addr kDsprBase = 0xC000'0000;  // TC data scratchpad (local)
+inline constexpr Addr kPsprBase = 0xC800'0000;  // TC program scratchpad (local)
+
+inline constexpr Addr kPcpPramBase = 0xD000'0000;  // PCP code RAM (local)
+inline constexpr Addr kPcpDramBase = 0xD400'0000;  // PCP data RAM (local)
+
+inline constexpr Addr kEmemBase = 0xE000'0000;  // EEC emulation memory (ED only)
+
+inline constexpr Addr kPeriphBase = 0xF000'0000;  // SFR space
+inline constexpr u32 kPeriphSize = 0x0100'0000;
+
+/// True for both the cached and non-cached alias of the program flash.
+inline constexpr bool is_pflash(Addr addr, u32 flash_size) {
+  return (addr >= kPFlashCachedBase && addr - kPFlashCachedBase < flash_size) ||
+         (addr >= kPFlashUncachedBase && addr - kPFlashUncachedBase < flash_size);
+}
+
+/// True only for the cached (segment 0x8) alias.
+inline constexpr bool is_pflash_cached_alias(Addr addr, u32 flash_size) {
+  return addr >= kPFlashCachedBase && addr - kPFlashCachedBase < flash_size;
+}
+
+/// Byte offset into the flash array for either alias.
+inline constexpr u32 pflash_offset(Addr addr) {
+  return addr & 0x0FFF'FFFF;
+}
+
+}  // namespace audo::mem

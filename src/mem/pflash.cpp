@@ -1,0 +1,141 @@
+#include "mem/pflash.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "mem/memory_map.hpp"
+
+namespace audo::mem {
+
+PFlash::PFlash(const PFlashConfig& config)
+    : config_(config),
+      array_(config.size),
+      code_port_(this, /*is_code=*/true, std::max(1u, config.code_buffers),
+                 "PFlash.code"),
+      data_port_(this, /*is_code=*/false, std::max(1u, config.data_buffers),
+                 "PFlash.data") {
+  assert(is_pow2(config.line_bytes));
+  code_port_.buffers_.resize(std::max(1u, config.code_buffers));
+  data_port_.buffers_.resize(std::max(1u, config.data_buffers));
+}
+
+void PFlash::tick(Cycle now) {
+  now_ = now;
+  strobes_ = Strobes{};
+}
+
+u32 PFlash::line_of(Addr addr) const {
+  return pflash_offset(addr) / config_.line_bytes;
+}
+
+Cycle PFlash::reserve_array() {
+  const Cycle start = std::max(now_, array_free_at_);
+  const Cycle done = start + config_.wait_states;
+  array_free_at_ = done;
+  stats_.array_fetches++;
+  if (start > now_) {
+    stats_.port_conflict_cycles += start - now_;
+    strobes_.array_conflict = true;
+  }
+  return done;
+}
+
+void PFlash::invalidate_buffers() {
+  code_port_.invalidate();
+  data_port_.invalidate();
+  array_free_at_ = 0;
+}
+
+PFlash::BufferEntry* PFlash::Port::find(u32 line) {
+  for (BufferEntry& e : buffers_) {
+    if (e.valid && e.line == line) return &e;
+  }
+  return nullptr;
+}
+
+PFlash::BufferEntry& PFlash::Port::victim() {
+  // Invalid first, then LRU.
+  for (BufferEntry& e : buffers_) {
+    if (!e.valid) return e;
+  }
+  return *std::min_element(buffers_.begin(), buffers_.end(),
+                           [](const BufferEntry& a, const BufferEntry& b) {
+                             return a.last_used < b.last_used;
+                           });
+}
+
+void PFlash::Port::invalidate() {
+  for (BufferEntry& e : buffers_) e = BufferEntry{};
+}
+
+unsigned PFlash::Port::start_access(const bus::BusRequest& req) {
+  PFlash& f = *flash_;
+  Stats& st = f.stats_;
+  if (req.kind == bus::AccessKind::kWrite) {
+    // Flash programming over the bus is a command sequence outside this
+    // model's scope; drop the write but make it visible in stats.
+    st.illegal_writes++;
+    return 1;
+  }
+  const u32 line = f.line_of(req.addr);
+  if (is_code_) {
+    st.code_accesses++;
+    f.strobes_.code_access = true;
+  } else {
+    st.data_accesses++;
+    f.strobes_.data_access = true;
+  }
+
+  unsigned latency;
+  if (BufferEntry* hit = find(line)) {
+    // Buffer hit: single cycle, or the remaining in-flight time for a
+    // prefetched line still being read from the array.
+    latency = 1;
+    if (hit->available_at > f.now_) {
+      latency = static_cast<unsigned>(hit->available_at - f.now_) + 1;
+    }
+    hit->last_used = f.now_;
+    if (is_code_) {
+      st.code_buffer_hits++;
+      f.strobes_.code_buffer_hit = true;
+      if (hit->prefetched) {
+        st.prefetch_hits++;
+        hit->prefetched = false;  // count each prefetched line once
+      }
+    } else {
+      st.data_buffer_hits++;
+      f.strobes_.data_buffer_hit = true;
+    }
+  } else {
+    const Cycle done = f.reserve_array();
+    latency = static_cast<unsigned>(done - f.now_) + 1;
+    BufferEntry& slot = victim();
+    slot = BufferEntry{line, done, f.now_, true, false};
+
+    // Sequential prefetch: after a demand miss on the code port the array
+    // continues with the next line in the shadow of execution.
+    if (is_code_ && f.config_.sequential_prefetch) {
+      const u32 next = line + 1;
+      if (static_cast<u64>(next + 1) * f.config_.line_bytes <= f.config_.size &&
+          find(next) == nullptr) {
+        BufferEntry& pf_slot = victim();
+        // With a single buffer the prefetch would evict the demand line
+        // before the CPU consumed it; real hardware gates this too.
+        if (&pf_slot != &slot) {
+          const Cycle pf_done = f.array_free_at_ + f.config_.wait_states;
+          f.array_free_at_ = pf_done;
+          pf_slot = BufferEntry{next, pf_done, f.now_, true, true};
+          st.prefetches_issued++;
+        }
+      }
+    }
+  }
+  return latency;
+}
+
+u32 PFlash::Port::complete_access(const bus::BusRequest& req) {
+  if (req.kind == bus::AccessKind::kWrite) return 0;
+  return flash_->array_.read(pflash_offset(req.addr), req.bytes);
+}
+
+}  // namespace audo::mem

@@ -1,0 +1,164 @@
+#include "optimize/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace audo::optimize {
+
+std::vector<CaseRun> ArchitectureEvaluator::run_config(
+    const soc::SocConfig& config) const {
+  std::vector<CaseRun> runs;
+  runs.reserve(cases_.size());
+  for (const WorkloadCase& wc : cases_) {
+    soc::Soc soc(config);
+    CaseRun run;
+    run.workload = wc.name;
+    if (Status s = soc.load(wc.program); !s.is_ok()) {
+      runs.push_back(run);
+      continue;
+    }
+    if (wc.configure) wc.configure(soc);
+    soc.reset(wc.tc_entry, wc.pcp_entry);
+    run.cycles = soc.run(wc.max_cycles);
+    run.instructions = soc.tc().retired();
+    run.halted = soc.tc().halted();
+    runs.push_back(run);
+  }
+  return runs;
+}
+
+double ArchitectureEvaluator::speedup_of(
+    const std::vector<CaseRun>& base, const std::vector<CaseRun>& variant) const {
+  double log_sum = 0.0;
+  double weight_sum = 0.0;
+  for (usize i = 0; i < base.size() && i < variant.size(); ++i) {
+    if (base[i].cycles == 0 || variant[i].cycles == 0) continue;
+    const double s = static_cast<double>(base[i].cycles) /
+                     static_cast<double>(variant[i].cycles);
+    log_sum += cases_[i].weight * std::log(s);
+    weight_sum += cases_[i].weight;
+  }
+  return weight_sum == 0.0 ? 1.0 : std::exp(log_sum / weight_sum);
+}
+
+std::vector<OptionResult> ArchitectureEvaluator::evaluate(
+    const std::vector<ArchOption>& catalogue) const {
+  const std::vector<CaseRun> base_runs = run_config(baseline_);
+  const double base_area = cost_.soc_area(baseline_);
+
+  std::vector<OptionResult> results;
+  results.reserve(catalogue.size());
+  for (const ArchOption& option : catalogue) {
+    const soc::SocConfig variant = option.apply(baseline_);
+    OptionResult result;
+    result.option = option.name;
+    result.description = option.description;
+    result.runs = run_config(variant);
+    result.speedup = speedup_of(base_runs, result.runs);
+    result.area_delta_au = cost_.soc_area(variant) - base_area;
+    const double gain_percent = (result.speedup - 1.0) * 100.0;
+    if (result.area_delta_au > 0.0) {
+      result.gain_per_cost = gain_percent / (result.area_delta_au / 100.0);
+    } else {
+      // Free or area-saving options: rank by gain with a large multiplier,
+      // capped so the table stays readable.
+      result.gain_per_cost = gain_percent >= 0.0 ? gain_percent * 1000.0
+                                                 : gain_percent;
+    }
+    results.push_back(std::move(result));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const OptionResult& a, const OptionResult& b) {
+              return a.gain_per_cost > b.gain_per_cost;
+            });
+  return results;
+}
+
+std::vector<ArchitectureEvaluator::InteractionResult>
+ArchitectureEvaluator::evaluate_interactions(
+    const std::vector<ArchOption>& options) const {
+  const std::vector<CaseRun> base_runs = run_config(baseline_);
+  // Cache single-option runs.
+  std::vector<double> single(options.size(), 1.0);
+  for (usize i = 0; i < options.size(); ++i) {
+    single[i] = speedup_of(base_runs, run_config(options[i].apply(baseline_)));
+  }
+  std::vector<InteractionResult> results;
+  for (usize i = 0; i < options.size(); ++i) {
+    for (usize j = i + 1; j < options.size(); ++j) {
+      InteractionResult r;
+      r.option_a = options[i].name;
+      r.option_b = options[j].name;
+      r.speedup_a = single[i];
+      r.speedup_b = single[j];
+      const soc::SocConfig combined =
+          options[j].apply(options[i].apply(baseline_));
+      r.speedup_both = speedup_of(base_runs, run_config(combined));
+      r.expected = r.speedup_a * r.speedup_b;
+      r.synergy = r.expected == 0.0 ? 1.0 : r.speedup_both / r.expected;
+      results.push_back(std::move(r));
+    }
+  }
+  return results;
+}
+
+std::string ArchitectureEvaluator::format_interactions(
+    const std::vector<InteractionResult>& results) {
+  std::string out;
+  char line[200];
+  std::snprintf(line, sizeof line, "%-18s %-18s %8s %8s %9s %9s %8s\n",
+                "option a", "option b", "a", "b", "a+b", "a*b", "synergy");
+  out += line;
+  for (const InteractionResult& r : results) {
+    std::snprintf(line, sizeof line,
+                  "%-18s %-18s %7.3fx %7.3fx %8.3fx %8.3fx %8.3f\n",
+                  r.option_a.c_str(), r.option_b.c_str(), r.speedup_a,
+                  r.speedup_b, r.speedup_both, r.expected, r.synergy);
+    out += line;
+  }
+  return out;
+}
+
+soc::SocConfig ArchitectureEvaluator::next_generation(
+    const std::vector<ArchOption>& catalogue, double area_budget_au,
+    std::vector<std::string>* applied) const {
+  // Greedy by measured ratio, re-measuring nothing (first-order additivity
+  // assumption — the evolutionary, low-risk step §4 argues for).
+  const std::vector<OptionResult> ranked = evaluate(catalogue);
+  soc::SocConfig next = baseline_;
+  double budget = area_budget_au;
+  double base_area = cost_.soc_area(baseline_);
+  for (const OptionResult& result : ranked) {
+    if (result.speedup <= 1.001) continue;  // no measurable gain
+    const ArchOption* option = find_option(catalogue, result.option);
+    if (option == nullptr) continue;
+    const soc::SocConfig candidate = option->apply(next);
+    const double delta = cost_.soc_area(candidate) - cost_.soc_area(next);
+    if (delta > budget) continue;
+    if (!candidate.valid()) continue;
+    next = candidate;
+    budget -= delta;
+    if (applied != nullptr) applied->push_back(result.option);
+  }
+  (void)base_area;
+  return next;
+}
+
+std::string ArchitectureEvaluator::format_ranking(
+    const std::vector<OptionResult>& results) {
+  std::string out;
+  char line[200];
+  std::snprintf(line, sizeof line, "%-18s %9s %10s %14s  %s\n", "option",
+                "speedup", "d-area/au", "gain%/100au", "description");
+  out += line;
+  for (const OptionResult& r : results) {
+    std::snprintf(line, sizeof line, "%-18s %8.3fx %10.1f %14.2f  %s\n",
+                  r.option.c_str(), r.speedup, r.area_delta_au,
+                  r.gain_per_cost, r.description.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace audo::optimize

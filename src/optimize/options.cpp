@@ -1,0 +1,91 @@
+#include "optimize/options.hpp"
+
+#include <algorithm>
+
+namespace audo::optimize {
+
+std::vector<ArchOption> standard_catalogue() {
+  std::vector<ArchOption> options;
+  auto add = [&](std::string name, std::string description,
+                 std::function<soc::SocConfig(soc::SocConfig)> apply) {
+    options.push_back(ArchOption{std::move(name), std::move(description),
+                                 std::move(apply)});
+  };
+
+  add("icache_32k", "double the instruction cache to 32 KiB",
+      [](soc::SocConfig c) {
+        c.icache.size_bytes = std::max<u32>(c.icache.size_bytes, 32 * 1024);
+        return c;
+      });
+  add("icache_4way", "instruction cache associativity 2 -> 4",
+      [](soc::SocConfig c) {
+        c.icache.ways = std::max(c.icache.ways, 4u);
+        return c;
+      });
+  add("dcache_8k", "an (enabled) 8 KiB data cache",
+      [](soc::SocConfig c) {
+        c.dcache.enabled = true;
+        c.dcache.size_bytes = std::max<u32>(c.dcache.size_bytes, 8 * 1024);
+        return c;
+      });
+  add("dcache_16k", "an (enabled) 16 KiB data cache",
+      [](soc::SocConfig c) {
+        c.dcache.enabled = true;
+        c.dcache.size_bytes = std::max<u32>(c.dcache.size_bytes, 16 * 1024);
+        return c;
+      });
+  add("prefetch_4", "4 flash code-port prefetch buffers + sequential prefetch",
+      [](soc::SocConfig c) {
+        c.pflash.code_buffers = std::max(c.pflash.code_buffers, 4u);
+        c.pflash.sequential_prefetch = true;
+        return c;
+      });
+  add("read_buffers_2", "2 flash data-port read buffers (from 1)",
+      [](soc::SocConfig c) {
+        c.pflash.data_buffers = std::max(c.pflash.data_buffers, 2u);
+        return c;
+      });
+  add("read_buffers_4", "4 flash data-port read buffers (from 1)",
+      [](soc::SocConfig c) {
+        c.pflash.data_buffers = std::max(c.pflash.data_buffers, 4u);
+        return c;
+      });
+  add("flash_ws_4", "flash wait states 5 -> 4 (faster sense amps)",
+      [](soc::SocConfig c) {
+        c.pflash.wait_states = std::min(c.pflash.wait_states, 4u);
+        return c;
+      });
+  add("flash_ws_3", "flash wait states 5 -> 3",
+      [](soc::SocConfig c) {
+        c.pflash.wait_states = std::min(c.pflash.wait_states, 3u);
+        return c;
+      });
+  add("lmu_fast", "1-cycle LMU SRAM (from 2)",
+      [](soc::SocConfig c) {
+        c.lmu_latency = std::min(c.lmu_latency, 1u);
+        return c;
+      });
+  add("bus_round_robin", "round-robin bus arbitration (from fixed priority)",
+      [](soc::SocConfig c) {
+        c.arbitration = bus::ArbitrationPolicy::kRoundRobin;
+        return c;
+      });
+  add("cache_line_64", "64-byte cache lines and flash line buffers",
+      [](soc::SocConfig c) {
+        c.icache.line_bytes = 64;
+        c.dcache.line_bytes = 64;
+        c.pflash.line_bytes = 64;
+        return c;
+      });
+  return options;
+}
+
+const ArchOption* find_option(const std::vector<ArchOption>& catalogue,
+                              std::string_view name) {
+  for (const ArchOption& option : catalogue) {
+    if (option.name == name) return &option;
+  }
+  return nullptr;
+}
+
+}  // namespace audo::optimize

@@ -1,0 +1,30 @@
+// The architecture-option catalogue: the next-generation SoC improvements
+// §4 motivates ("improve on identified or expected bottlenecks without
+// negative side effects for other possible use cases").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "soc/soc_config.hpp"
+
+namespace audo::optimize {
+
+struct ArchOption {
+  std::string name;
+  std::string description;
+  /// Apply the option to a configuration (returns the modified copy).
+  std::function<soc::SocConfig(soc::SocConfig)> apply;
+};
+
+/// The standard catalogue evaluated in E6: cache geometry, flash-path
+/// improvements (prefetch buffers, read buffers, wait states), bus
+/// arbitration and LMU speed.
+std::vector<ArchOption> standard_catalogue();
+
+/// Look up an option by name.
+const ArchOption* find_option(const std::vector<ArchOption>& catalogue,
+                              std::string_view name);
+
+}  // namespace audo::optimize

@@ -1,0 +1,52 @@
+#include "periph/irq_router.hpp"
+
+namespace audo::periph {
+
+unsigned IrqRouter::add_source(std::string name) {
+  nodes_.push_back(SrcNode{std::move(name), 0, IrqTarget::kTc, false, false,
+                           0, 0, 0});
+  return static_cast<unsigned>(nodes_.size() - 1);
+}
+
+void IrqRouter::configure(unsigned src, u8 priority, IrqTarget target,
+                          bool enabled) {
+  SrcNode& node = nodes_.at(src);
+  node.priority = priority;
+  node.target = target;
+  node.enabled = enabled;
+}
+
+void IrqRouter::post(unsigned src) {
+  SrcNode& node = nodes_.at(src);
+  node.posted++;
+  if (node.pending) {
+    node.lost++;  // previous request not yet serviced
+    return;
+  }
+  node.pending = true;
+}
+
+std::optional<u8> IrqRouter::View::pending() const {
+  u8 best = 0;
+  for (const SrcNode& node : router_->nodes_) {
+    if (node.pending && node.enabled && node.target == target_ &&
+        node.priority > best) {
+      best = node.priority;
+    }
+  }
+  if (best == 0) return std::nullopt;
+  return best;
+}
+
+void IrqRouter::View::acknowledge(u8 prio) {
+  for (SrcNode& node : router_->nodes_) {
+    if (node.pending && node.enabled && node.target == target_ &&
+        node.priority == prio) {
+      node.pending = false;
+      node.serviced++;
+      return;
+    }
+  }
+}
+
+}  // namespace audo::periph

@@ -1,0 +1,105 @@
+#include "profiling/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace audo::profiling {
+
+std::string series_to_csv(const std::vector<RateSeries>& series) {
+  std::string out = "cycle";
+  for (const RateSeries& s : series) {
+    out += ',';
+    out += s.name;
+  }
+  out += '\n';
+
+  // Union of sample cycles -> per-series latest value at/before it.
+  std::map<Cycle, std::vector<double>> rows;
+  for (usize i = 0; i < series.size(); ++i) {
+    for (const SeriesPoint& p : series[i].points) {
+      auto& row = rows[p.cycle];
+      if (row.empty()) row.assign(series.size(), -1.0);
+      row[i] = p.rate();
+    }
+  }
+  std::vector<double> last(series.size(), -1.0);
+  char buf[64];
+  for (auto& [cycle, row] : rows) {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(cycle));
+    out += buf;
+    for (usize i = 0; i < series.size(); ++i) {
+      if (row[i] >= 0.0) last[i] = row[i];
+      out += ',';
+      if (last[i] >= 0.0) {
+        std::snprintf(buf, sizeof buf, "%.6f", last[i]);
+        out += buf;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string messages_to_csv(const std::vector<mcds::TraceMessage>& messages) {
+  static const char* kKinds[] = {"sync", "flow", "tick",      "data",
+                                 "rate", "wp",   "irq",       "overflow"};
+  static const char* kSources[] = {"tc", "pcp", "chip"};
+  std::string out = "cycle,source,kind,detail\n";
+  char buf[160];
+  for (const mcds::TraceMessage& m : messages) {
+    std::snprintf(buf, sizeof buf, "%llu,%s,%s,",
+                  static_cast<unsigned long long>(m.cycle),
+                  kSources[static_cast<unsigned>(m.source)],
+                  kKinds[static_cast<unsigned>(m.kind)]);
+    out += buf;
+    switch (m.kind) {
+      case mcds::MsgKind::kSync:
+        std::snprintf(buf, sizeof buf, "pc=0x%08X", m.pc);
+        out += buf;
+        break;
+      case mcds::MsgKind::kFlow:
+        std::snprintf(buf, sizeof buf, "target=0x%08X instrs=%u", m.pc,
+                      m.instr_count);
+        out += buf;
+        break;
+      case mcds::MsgKind::kTick:
+        std::snprintf(buf, sizeof buf, "retired=%u", m.instr_count);
+        out += buf;
+        break;
+      case mcds::MsgKind::kData:
+        std::snprintf(buf, sizeof buf, "%s addr=0x%08X value=0x%08X size=%u",
+                      m.write ? "write" : "read", m.addr, m.value, m.bytes);
+        out += buf;
+        break;
+      case mcds::MsgKind::kRate: {
+        std::snprintf(buf, sizeof buf, "group=%u basis=%u counts=", m.group,
+                      m.basis);
+        out += buf;
+        for (usize i = 0; i < m.counts.size(); ++i) {
+          if (i > 0) out += '|';
+          std::snprintf(buf, sizeof buf, "%u", m.counts[i]);
+          out += buf;
+        }
+        break;
+      }
+      case mcds::MsgKind::kWatchpoint:
+        std::snprintf(buf, sizeof buf, "id=%u", m.id);
+        out += buf;
+        break;
+      case mcds::MsgKind::kIrq:
+        std::snprintf(buf, sizeof buf, "%s prio=%u",
+                      m.irq_entry ? "entry" : "exit", m.id);
+        out += buf;
+        break;
+      case mcds::MsgKind::kOverflow:
+        out += "messages-lost-before-here";
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace audo::profiling

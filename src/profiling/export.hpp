@@ -1,0 +1,23 @@
+// Tool-side export of profiling results: CSV for the rate series (one
+// row per sample window, one column per parameter — the format external
+// calibration/measurement tools ingest) and a flat event list for the
+// decoded message stream.
+#pragma once
+
+#include <string>
+
+#include "mcds/trace.hpp"
+#include "profiling/timeseries.hpp"
+
+namespace audo::profiling {
+
+/// All series merged on their sample windows: `cycle,name1,name2,...`.
+/// Series sampled on different cadences are forward-filled to the union
+/// of sample points (empty cell when a series has no sample yet).
+std::string series_to_csv(const std::vector<RateSeries>& series);
+
+/// One decoded message per line:
+/// `cycle,source,kind,field1=value1,...` — greppable raw-event export.
+std::string messages_to_csv(const std::vector<mcds::TraceMessage>& messages);
+
+}  // namespace audo::profiling

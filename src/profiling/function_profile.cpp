@@ -1,0 +1,162 @@
+#include "profiling/function_profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace audo::profiling {
+
+void SystemProfiler::consume(const std::vector<mcds::TraceMessage>& messages,
+                             mcds::MsgSource core) {
+  using mcds::MsgKind;
+  bool have_pc = false;
+  Addr pc = 0;        // start of the currently executing sequential span
+  Cycle last_cycle = 0;
+  bool have_cycle = false;
+
+  auto attribute = [&](u32 instr_count, Cycle msg_cycle) {
+    // Instructions since the previous message ran linearly from `pc`.
+    if (have_pc && instr_count > 0) {
+      // Split the instruction span over functions (spans can cross
+      // function boundaries by fall-through).
+      Addr p = pc;
+      u32 remaining = instr_count;
+      const Cycle delta_cycles =
+          have_cycle && msg_cycle > last_cycle ? msg_cycle - last_cycle : 0;
+      // Cycle attribution: proportional to instructions per function
+      // within the span (the span is the finest the flow trace resolves).
+      while (remaining > 0) {
+        const std::string& fn = symbols_.function_at(p);
+        // Count contiguous instructions within the same function.
+        u32 run = 0;
+        while (run < remaining &&
+               symbols_.function_at(p + run * 4) == fn) {
+          ++run;
+        }
+        if (run == 0) run = remaining;  // unmapped: attribute as one block
+        FunctionStats& fs = functions_[fn];
+        fs.name = fn;
+        fs.instructions += run;
+        fs.cycles += delta_cycles * run / instr_count;
+        p += run * 4;
+        remaining -= run;
+      }
+      total_cycles_ += delta_cycles;
+    }
+  };
+
+  for (const mcds::TraceMessage& msg : messages) {
+    if (msg.source != core) continue;
+    switch (msg.kind) {
+      case MsgKind::kSync:
+        attribute(msg.instr_count, msg.cycle);
+        pc = msg.pc;
+        have_pc = msg.pc != 0;
+        last_cycle = msg.cycle;
+        have_cycle = true;
+        break;
+      case MsgKind::kFlow: {
+        attribute(msg.instr_count, msg.cycle);
+        pc = msg.pc;  // discontinuity target
+        have_pc = true;
+        last_cycle = msg.cycle;
+        have_cycle = true;
+        const std::string& fn = symbols_.function_at(msg.pc);
+        // A jump landing on a function's first instruction is an entry.
+        for (const auto& range : symbols_.functions()) {
+          if (range.begin == msg.pc) {
+            FunctionStats& fs = functions_[fn];
+            fs.name = fn;
+            fs.entries++;
+            break;
+          }
+        }
+        break;
+      }
+      case MsgKind::kTick:
+        attribute(msg.instr_count, msg.cycle);
+        if (have_pc) pc += msg.instr_count * 4;
+        last_cycle = msg.cycle;
+        have_cycle = true;
+        break;
+      case MsgKind::kData: {
+        const std::string& sym = symbols_.data_symbol_at(msg.addr);
+        DataObjectStats& ds = data_[sym];
+        ds.name = sym;
+        if (msg.write) ds.writes++; else ds.reads++;
+        break;
+      }
+      case MsgKind::kOverflow:
+        have_pc = false;  // lost context until the next sync
+        have_cycle = false;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<FunctionStats> SystemProfiler::function_profile() const {
+  std::vector<FunctionStats> out;
+  out.reserve(functions_.size());
+  for (const auto& [name, stats] : functions_) out.push_back(stats);
+  for (FunctionStats& f : out) {
+    f.cycles_percent = total_cycles_ == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(f.cycles) /
+                                 static_cast<double>(total_cycles_);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.cycles > b.cycles;
+  });
+  return out;
+}
+
+std::vector<DataObjectStats> SystemProfiler::data_profile() const {
+  std::vector<DataObjectStats> out;
+  out.reserve(data_.size());
+  for (const auto& [name, stats] : data_) out.push_back(stats);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total() > b.total();
+  });
+  return out;
+}
+
+std::string SystemProfiler::format_function_profile(usize top_n) const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-24s %10s %10s %8s %7s %6s\n",
+                "function", "cycles", "instrs", "entries", "cyc%", "IPC");
+  out += line;
+  usize n = 0;
+  for (const FunctionStats& f : function_profile()) {
+    if (n++ >= top_n) break;
+    std::snprintf(line, sizeof line,
+                  "%-24s %10llu %10llu %8llu %6.1f%% %6.2f\n",
+                  f.name.c_str(), static_cast<unsigned long long>(f.cycles),
+                  static_cast<unsigned long long>(f.instructions),
+                  static_cast<unsigned long long>(f.entries),
+                  f.cycles_percent, f.ipc());
+    out += line;
+  }
+  return out;
+}
+
+std::string SystemProfiler::format_data_profile(usize top_n) const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-24s %10s %10s %10s\n", "data object",
+                "reads", "writes", "total");
+  out += line;
+  usize n = 0;
+  for (const DataObjectStats& d : data_profile()) {
+    if (n++ >= top_n) break;
+    std::snprintf(line, sizeof line, "%-24s %10llu %10llu %10llu\n",
+                  d.name.c_str(), static_cast<unsigned long long>(d.reads),
+                  static_cast<unsigned long long>(d.writes),
+                  static_cast<unsigned long long>(d.total()));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace audo::profiling

@@ -1,0 +1,67 @@
+// Function-level system profiling from program-flow and data trace —
+// "the analysis of the application software on function level to find out
+// where in the system the performance is consumed and how/why" (§5).
+//
+// Reconstruction: between two flow/sync messages the core executed
+// `instr_count` sequential instructions starting at the previous
+// discontinuity target; cycles between message timestamps are attributed
+// to the same span. Data messages are attributed to data symbols, giving
+// the scratchpad-mapping candidate list.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "mcds/trace.hpp"
+
+namespace audo::profiling {
+
+struct FunctionStats {
+  std::string name;
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 entries = 0;  // discontinuity targets landing on the function start
+  double cycles_percent = 0.0;
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+};
+
+struct DataObjectStats {
+  std::string name;
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 total() const { return reads + writes; }
+};
+
+class SystemProfiler {
+ public:
+  explicit SystemProfiler(isa::SymbolMap symbols)
+      : symbols_(std::move(symbols)) {}
+
+  /// Consume the flow/sync/data messages of `core` from a decoded stream.
+  void consume(const std::vector<mcds::TraceMessage>& messages,
+               mcds::MsgSource core = mcds::MsgSource::kTcCore);
+
+  /// Hot-function list, sorted by cycles descending.
+  std::vector<FunctionStats> function_profile() const;
+
+  /// Hot data objects, sorted by access count descending — the §5
+  /// "data structures/variables that should be mapped to scratchpad".
+  std::vector<DataObjectStats> data_profile() const;
+
+  std::string format_function_profile(usize top_n = 20) const;
+  std::string format_data_profile(usize top_n = 20) const;
+
+ private:
+  isa::SymbolMap symbols_;
+  std::map<std::string, FunctionStats> functions_;
+  std::map<std::string, DataObjectStats> data_;
+  u64 total_cycles_ = 0;
+};
+
+}  // namespace audo::profiling

@@ -1,0 +1,104 @@
+#include "profiling/listing.hpp"
+
+#include <cstdio>
+
+#include "isa/isa.hpp"
+
+namespace audo::profiling {
+namespace {
+
+/// Fetch a code word from the program image (returns false outside it).
+bool image_word(const isa::Program& program, Addr addr, u32* word) {
+  for (const isa::Section& sec : program.sections()) {
+    if (addr >= sec.base && addr + 4 <= sec.end()) {
+      const usize offset = addr - sec.base;
+      u32 w = 0;
+      for (int i = 0; i < 4; ++i) {
+        w |= u32{sec.bytes[offset + i]} << (8 * i);
+      }
+      *word = w;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string execution_listing(const isa::Program& program,
+                              const std::vector<mcds::TraceMessage>& messages,
+                              const ListingOptions& options) {
+  const isa::SymbolMap symbols(program);
+  std::string out;
+  char line[160];
+  usize lines = 0;
+  bool have_pc = false;
+  Addr pc = 0;
+
+  auto emit_span = [&](u32 count, Cycle at) {
+    for (u32 i = 0; i < count && lines < options.max_lines; ++i) {
+      u32 word = 0;
+      if (!image_word(program, pc, &word)) {
+        std::snprintf(line, sizeof line,
+                      "  [~%-9llu] 0x%08X  <outside program image>\n",
+                      static_cast<unsigned long long>(at), pc);
+        out += line;
+        ++lines;
+        return;
+      }
+      const auto decoded = isa::decode(word);
+      std::snprintf(line, sizeof line, "  [~%-9llu] 0x%08X  %-28s ; in %s\n",
+                    static_cast<unsigned long long>(at), pc,
+                    decoded.is_ok()
+                        ? isa::format_instr(decoded.value()).c_str()
+                        : "<bad encoding>",
+                    symbols.function_at(pc).c_str());
+      out += line;
+      ++lines;
+      pc += isa::kInstrBytes;
+    }
+  };
+
+  for (const mcds::TraceMessage& m : messages) {
+    if (lines >= options.max_lines) break;
+    if (m.source != options.core) continue;
+    if (m.cycle < options.from_cycle) {
+      // Still track the flow so the listing can start mid-trace.
+      if (m.kind == mcds::MsgKind::kSync || m.kind == mcds::MsgKind::kFlow) {
+        pc = m.pc;
+        have_pc = m.pc != 0;
+      }
+      continue;
+    }
+    switch (m.kind) {
+      case mcds::MsgKind::kSync:
+        if (have_pc) emit_span(m.instr_count, m.cycle);
+        pc = m.pc;
+        have_pc = m.pc != 0;
+        break;
+      case mcds::MsgKind::kFlow:
+        if (have_pc) emit_span(m.instr_count, m.cycle);
+        std::snprintf(line, sizeof line, "  [~%-9llu] ---------- branch/irq -> 0x%08X (%s)\n",
+                      static_cast<unsigned long long>(m.cycle), m.pc,
+                      symbols.function_at(m.pc).c_str());
+        out += line;
+        ++lines;
+        pc = m.pc;
+        have_pc = true;
+        break;
+      case mcds::MsgKind::kTick:
+        if (have_pc) emit_span(m.instr_count, m.cycle);
+        break;
+      case mcds::MsgKind::kOverflow:
+        out += "  ---------- trace gap (messages lost) ----------\n";
+        ++lines;
+        have_pc = false;
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace audo::profiling

@@ -1,0 +1,29 @@
+// Instruction-level execution listing reconstructed from the program-flow
+// trace — what a debugger's trace window shows: every executed
+// instruction, recovered from compressed flow messages plus the program
+// image (the trace itself never carries instruction bytes).
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+#include "mcds/trace.hpp"
+
+namespace audo::profiling {
+
+struct ListingOptions {
+  usize max_lines = 200;
+  /// Start reconstruction at this cycle (0 = from the first sync).
+  Cycle from_cycle = 0;
+  mcds::MsgSource core = mcds::MsgSource::kTcCore;
+};
+
+/// Reconstruct the executed-instruction listing. Lines look like
+/// `  [~cycle] 0x80001008  add d1, d2, d3   ; in <function>`.
+/// Cycle numbers are the enclosing message timestamps (the flow trace
+/// resolves time to discontinuities, not single instructions).
+std::string execution_listing(const isa::Program& program,
+                              const std::vector<mcds::TraceMessage>& messages,
+                              const ListingOptions& options = {});
+
+}  // namespace audo::profiling

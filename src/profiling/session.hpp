@@ -1,0 +1,87 @@
+// ProfilingSession: the user-facing harness of the Enhanced System
+// Profiling methodology.
+//
+// Wraps an Emulation Device with a measurement specification, runs the
+// target application, downloads the trace over the (bandwidth-limited)
+// DAP model and reconstructs the parameter time series — the full §5
+// workflow as one object.
+#pragma once
+
+#include <optional>
+
+#include "ed/emulation_device.hpp"
+#include "profiling/spec.hpp"
+#include "profiling/timeseries.hpp"
+
+namespace audo::profiling {
+
+struct SessionOptions {
+  /// Basis ticks per rate sample (instructions for event-rate groups,
+  /// cycles for IPC/chip groups).
+  u32 resolution = 1000;
+  /// Install the §5 standard parameter set (IPC + cache + access +
+  /// system + chip groups).
+  bool standard_rates = true;
+  /// Extra groups appended after the standard ones.
+  std::vector<mcds::CounterGroupConfig> extra_groups;
+
+  bool program_trace = false;
+  bool data_trace = false;
+  bool irq_trace = false;
+  bool cycle_accurate = false;
+  u32 sync_interval_cycles = 4096;
+
+  std::vector<mcds::Comparator> comparators;
+  std::vector<mcds::ActionBinding> actions;
+  mcds::StateMachineConfig fsm;
+  std::optional<unsigned> data_qualifier;
+
+  ed::EdConfig ed;
+};
+
+struct SessionResult {
+  u64 cycles = 0;
+  u64 tc_retired = 0;
+  double ipc = 0.0;
+
+  std::vector<RateSeries> series;
+  std::vector<mcds::TraceMessage> messages;
+
+  u64 trace_bytes = 0;
+  u64 trace_messages = 0;
+  u64 dropped_messages = 0;
+  /// Average trace bandwidth in bytes per thousand CPU cycles.
+  double bytes_per_kcycle = 0.0;
+
+  const RateSeries* find_series(std::string_view name) const {
+    for (const RateSeries& s : series) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+class ProfilingSession {
+ public:
+  ProfilingSession(const soc::SocConfig& soc_config,
+                   const SessionOptions& options);
+
+  Status load(const isa::Program& program) { return ed_.load(program); }
+  void reset(Addr tc_entry, Addr pcp_entry = 0) {
+    ed_.reset(tc_entry, pcp_entry);
+  }
+
+  /// Run (until TC halt or max_cycles), download and decode.
+  SessionResult run(u64 max_cycles);
+
+  ed::EmulationDevice& device() { return ed_; }
+  const std::vector<mcds::CounterGroupConfig>& groups() const {
+    return groups_;
+  }
+
+ private:
+  std::vector<mcds::CounterGroupConfig> groups_;
+  ed::EmulationDevice ed_;
+};
+
+}  // namespace audo::profiling

@@ -1,0 +1,135 @@
+#include "profiling/spec.hpp"
+
+namespace audo::profiling {
+
+using mcds::CounterGroupConfig;
+using mcds::EventId;
+using mcds::RateCounterConfig;
+
+mcds::CounterGroupConfig ipc_group(u32 resolution, bool pcp) {
+  CounterGroupConfig g;
+  g.name = pcp ? "pcp_ipc" : "ipc";
+  g.basis = EventId::kCycles;
+  g.resolution = resolution;
+  g.counters = {
+      RateCounterConfig{pcp ? EventId::kPcpRetired : EventId::kTcRetired, {}, {}},
+  };
+  return g;
+}
+
+mcds::CounterGroupConfig cache_rate_group(u32 resolution) {
+  CounterGroupConfig g;
+  g.name = "cache";
+  g.basis = EventId::kTcRetired;
+  g.resolution = resolution;
+  g.counters = {
+      RateCounterConfig{EventId::kTcICacheAccess, {}, {}},
+      RateCounterConfig{EventId::kTcICacheMiss, {}, {}},
+      RateCounterConfig{EventId::kTcDCacheAccess, {}, {}},
+      RateCounterConfig{EventId::kTcDCacheMiss, {}, {}},
+  };
+  return g;
+}
+
+mcds::CounterGroupConfig access_rate_group(u32 resolution) {
+  CounterGroupConfig g;
+  g.name = "access";
+  g.basis = EventId::kTcRetired;
+  g.resolution = resolution;
+  g.counters = {
+      RateCounterConfig{EventId::kTcDataAccess, {}, {}},
+      RateCounterConfig{EventId::kTcFlashDataAccess, {}, {}},
+      RateCounterConfig{EventId::kTcSramDataAccess, {}, {}},
+      RateCounterConfig{EventId::kTcDsprAccess, {}, {}},
+      RateCounterConfig{EventId::kTcPeriphDataAccess, {}, {}},
+  };
+  return g;
+}
+
+mcds::CounterGroupConfig system_rate_group(u32 resolution) {
+  CounterGroupConfig g;
+  g.name = "system";
+  g.basis = EventId::kTcRetired;
+  g.resolution = resolution;
+  g.counters = {
+      RateCounterConfig{EventId::kTcIrqEntry, {}, {}},
+      RateCounterConfig{EventId::kTcDiscontinuity, {}, {}},
+      RateCounterConfig{EventId::kTcStalled, {}, {}},
+      RateCounterConfig{EventId::kTcStallIFetch, {}, {}},
+      RateCounterConfig{EventId::kTcStallLoadUse, {}, {}},
+  };
+  return g;
+}
+
+mcds::CounterGroupConfig chip_event_group(u32 resolution) {
+  CounterGroupConfig g;
+  g.name = "chip";
+  g.basis = EventId::kCycles;
+  g.resolution = resolution;
+  g.counters = {
+      RateCounterConfig{EventId::kFlashCodeAccess, {}, {}},
+      RateCounterConfig{EventId::kFlashCodeBufferHit, {}, {}},
+      RateCounterConfig{EventId::kFlashDataPortAccess, {}, {}},
+      RateCounterConfig{EventId::kFlashDataBufferHit, {}, {}},
+      RateCounterConfig{EventId::kFlashPortConflict, {}, {}},
+      RateCounterConfig{EventId::kBusContention, {}, {}},
+      RateCounterConfig{EventId::kDmaTransfer, {}, {}},
+  };
+  return g;
+}
+
+std::vector<mcds::CounterGroupConfig> standard_groups(u32 resolution) {
+  return {
+      ipc_group(resolution),
+      cache_rate_group(resolution),
+      access_rate_group(resolution),
+      system_rate_group(resolution),
+      chip_event_group(resolution),
+  };
+}
+
+std::vector<mcds::CounterGroupConfig> cascaded_ipc_groups(
+    u32 low_resolution, u32 high_resolution, u32 ipc_threshold_percent,
+    unsigned base_index, unsigned flag_index,
+    std::vector<mcds::ActionBinding>& actions) {
+  CounterGroupConfig guard;
+  guard.name = "ipc_guard";
+  guard.basis = EventId::kCycles;
+  guard.resolution = low_resolution;
+  // Threshold in retired instructions per low-resolution window.
+  const u32 threshold =
+      static_cast<u32>(static_cast<u64>(low_resolution) *
+                       ipc_threshold_percent / 100u);
+  guard.counters = {RateCounterConfig{
+      EventId::kTcRetired,
+      mcds::Threshold{mcds::Threshold::Dir::kBelow, threshold}, {}}};
+
+  CounterGroupConfig detail;
+  detail.name = "ipc_detail";
+  detail.basis = EventId::kCycles;
+  detail.resolution = high_resolution;
+  detail.armed_at_start = false;
+  detail.counters = {
+      RateCounterConfig{EventId::kTcRetired, {}, {}},
+      RateCounterConfig{EventId::kTcICacheMiss, {}, {}},
+      RateCounterConfig{EventId::kTcDCacheMiss, {}, {}},
+      RateCounterConfig{EventId::kTcStallIFetch, {}, {}},
+      RateCounterConfig{EventId::kTcStallLoadUse, {}, {}},
+  };
+
+  actions.push_back(mcds::ActionBinding{
+      mcds::Equation::counter_flag(flag_index),
+      mcds::TriggerAction::kArmGroup, base_index + 1});
+  actions.push_back(mcds::ActionBinding{
+      mcds::Equation::counter_flag(flag_index, /*negate=*/true),
+      mcds::TriggerAction::kDisarmGroup, base_index + 1});
+
+  return {guard, detail};
+}
+
+std::string series_name(const mcds::CounterGroupConfig& group, usize counter) {
+  return group.name + "/" +
+         std::string(mcds::event_name(group.counters.at(counter).event));
+}
+
+}  // namespace audo::profiling

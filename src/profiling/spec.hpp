@@ -1,0 +1,66 @@
+// Standard Enhanced-System-Profiling measurement specifications.
+//
+// §5 lists the essential parameters for CPU system performance of an
+// engine-control system: data/instruction cache hit/miss rates, CPU
+// data/instruction access rates to flash/SRAM/scratchpads, flash buffer
+// hit rates, CPU IPC rate, interrupt rate. These builders turn that list
+// into MCDS counter-group configurations:
+//
+//  * the IPC group counts retired instructions on a *clock* basis;
+//  * all event-rate groups count on an *executed instructions* basis —
+//    the paper is explicit that "an instruction cache miss in clock cycle
+//    x is not a meaningful information" (§5);
+//  * cascaded pairs arm a high-resolution group only while a low-
+//    resolution guard rate crosses its threshold.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcds/counters.hpp"
+#include "mcds/mcds.hpp"
+
+namespace audo::profiling {
+
+/// IPC measurement: instructions per `resolution` clock cycles.
+mcds::CounterGroupConfig ipc_group(u32 resolution, bool pcp = false);
+
+/// Cache behaviour per `resolution` executed instructions:
+/// icache access/miss, dcache access/miss.
+mcds::CounterGroupConfig cache_rate_group(u32 resolution);
+
+/// CPU data-access mix per `resolution` executed instructions:
+/// any access, flash, SRAM (LMU), scratchpad, peripheral.
+mcds::CounterGroupConfig access_rate_group(u32 resolution);
+
+/// System events per `resolution` executed instructions:
+/// interrupt entries, taken discontinuities, stall cycles.
+mcds::CounterGroupConfig system_rate_group(u32 resolution);
+
+/// Chip-level events per `resolution` clock cycles: flash buffer
+/// activity, flash port conflicts, bus contention, DMA transfers.
+mcds::CounterGroupConfig chip_event_group(u32 resolution);
+
+/// The full §5 parameter set, measured in parallel.
+std::vector<mcds::CounterGroupConfig> standard_groups(u32 resolution);
+
+/// A cascaded IPC measurement: the low-resolution guard group is always
+/// armed; when its IPC sample falls below `ipc_threshold_percent` (in
+/// retired instructions per 100 cycles), trigger actions arm the
+/// high-resolution group — and disarm it when IPC recovers.
+///
+/// Returns the groups in order {guard, detail} and appends the arm/disarm
+/// actions to `actions`. Group indices are `base_index` and
+/// `base_index + 1` in the final McdsConfig; `flag_index` is the global
+/// threshold-flag slot the guard counter will own (the number of
+/// threshold-carrying counters in groups registered before these — 0 when
+/// the cascade comes first).
+std::vector<mcds::CounterGroupConfig> cascaded_ipc_groups(
+    u32 low_resolution, u32 high_resolution, u32 ipc_threshold_percent,
+    unsigned base_index, unsigned flag_index,
+    std::vector<mcds::ActionBinding>& actions);
+
+/// Human-readable name for counter `c` of group `g` ("ipc/tc.retired").
+std::string series_name(const mcds::CounterGroupConfig& group, usize counter);
+
+}  // namespace audo::profiling

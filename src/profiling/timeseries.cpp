@@ -1,0 +1,130 @@
+#include "profiling/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "profiling/spec.hpp"
+
+namespace audo::profiling {
+
+double RateSeries::mean_rate() const {
+  const u64 basis = total_basis();
+  return basis == 0 ? 0.0
+                    : static_cast<double>(total_count()) /
+                          static_cast<double>(basis);
+}
+
+double RateSeries::min_rate() const {
+  double best = points.empty() ? 0.0 : points.front().rate();
+  for (const SeriesPoint& p : points) best = std::min(best, p.rate());
+  return best;
+}
+
+double RateSeries::max_rate() const {
+  double best = 0.0;
+  for (const SeriesPoint& p : points) best = std::max(best, p.rate());
+  return best;
+}
+
+u64 RateSeries::total_count() const {
+  u64 sum = 0;
+  for (const SeriesPoint& p : points) sum += p.count;
+  return sum;
+}
+
+u64 RateSeries::total_basis() const {
+  u64 sum = 0;
+  for (const SeriesPoint& p : points) sum += p.basis;
+  return sum;
+}
+
+std::vector<RateSeries> extract_series(
+    const std::vector<mcds::CounterGroupConfig>& groups,
+    const std::vector<mcds::TraceMessage>& messages) {
+  std::vector<RateSeries> series;
+  std::vector<usize> first_of_group(groups.size(), 0);
+  for (usize g = 0; g < groups.size(); ++g) {
+    first_of_group[g] = series.size();
+    for (usize c = 0; c < groups[g].counters.size(); ++c) {
+      RateSeries s;
+      s.name = series_name(groups[g], c);
+      s.group = static_cast<unsigned>(g);
+      s.counter = static_cast<unsigned>(c);
+      series.push_back(std::move(s));
+    }
+  }
+  for (const mcds::TraceMessage& msg : messages) {
+    if (msg.kind != mcds::MsgKind::kRate) continue;
+    if (msg.group >= groups.size()) continue;
+    const usize base = first_of_group[msg.group];
+    for (usize c = 0; c < msg.counts.size() &&
+                      c < groups[msg.group].counters.size();
+         ++c) {
+      series[base + c].points.push_back(
+          SeriesPoint{msg.cycle, msg.counts[c], msg.basis});
+    }
+  }
+  return series;
+}
+
+std::vector<double> bucketize(const RateSeries& series, usize buckets) {
+  std::vector<double> out(buckets, 0.0);
+  std::vector<unsigned> counts(buckets, 0);
+  if (series.points.empty() || buckets == 0) return out;
+  const Cycle span = series.points.back().cycle + 1;
+  for (const SeriesPoint& p : series.points) {
+    usize b = static_cast<usize>(static_cast<double>(p.cycle) /
+                                 static_cast<double>(span) *
+                                 static_cast<double>(buckets));
+    if (b >= buckets) b = buckets - 1;
+    out[b] += p.rate();
+    counts[b]++;
+  }
+  for (usize i = 0; i < buckets; ++i) {
+    if (counts[i] > 0) out[i] /= counts[i];
+  }
+  return out;
+}
+
+std::string format_series_summary(const std::vector<RateSeries>& series) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-28s %8s %10s %10s %10s %10s\n",
+                "series", "samples", "mean", "min", "max", "events");
+  out += line;
+  for (const RateSeries& s : series) {
+    std::snprintf(line, sizeof line,
+                  "%-28s %8zu %10.4f %10.4f %10.4f %10llu\n", s.name.c_str(),
+                  s.points.size(), s.mean_rate(), s.min_rate(), s.max_rate(),
+                  static_cast<unsigned long long>(s.total_count()));
+    out += line;
+  }
+  return out;
+}
+
+std::string sparkline(const RateSeries& series, usize buckets) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (series.points.empty() || buckets == 0) return "";
+  const double lo = series.min_rate();
+  const double hi = series.max_rate();
+  const double span = hi - lo;
+  std::string out;
+  const usize per_bucket = std::max<usize>(1, series.points.size() / buckets);
+  for (usize b = 0; b * per_bucket < series.points.size(); ++b) {
+    double sum = 0;
+    usize n = 0;
+    for (usize i = b * per_bucket;
+         i < std::min(series.points.size(), (b + 1) * per_bucket); ++i) {
+      sum += series.points[i].rate();
+      ++n;
+    }
+    const double v = n == 0 ? lo : sum / static_cast<double>(n);
+    const double norm = span <= 0.0 ? 0.0 : (v - lo) / span;
+    const usize level =
+        std::min<usize>(7, static_cast<usize>(norm * 7.999));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace audo::profiling

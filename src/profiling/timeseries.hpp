@@ -1,0 +1,55 @@
+// Host-side reconstruction of rate time series from downloaded trace
+// messages — the tool view of §5's "see all parameter values over the
+// time line".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mcds/counters.hpp"
+#include "mcds/trace.hpp"
+
+namespace audo::profiling {
+
+struct SeriesPoint {
+  Cycle cycle = 0;   // sample emission cycle (end of its window)
+  u32 count = 0;     // raw event count in the window
+  u32 basis = 0;     // basis ticks covered by the window
+  double rate() const {
+    return basis == 0 ? 0.0 : static_cast<double>(count) / basis;
+  }
+};
+
+struct RateSeries {
+  std::string name;
+  unsigned group = 0;
+  unsigned counter = 0;
+  std::vector<SeriesPoint> points;
+
+  double mean_rate() const;
+  double min_rate() const;
+  double max_rate() const;
+  u64 total_count() const;
+  u64 total_basis() const;
+};
+
+/// Extract one aligned series per (group, counter) from a decoded message
+/// stream. `groups` must be the CounterGroupConfig list the MCDS ran with.
+std::vector<RateSeries> extract_series(
+    const std::vector<mcds::CounterGroupConfig>& groups,
+    const std::vector<mcds::TraceMessage>& messages);
+
+/// Average the series into `buckets` equal time bins (tool-side
+/// downsampling for tables/plots). Empty bins hold 0.
+std::vector<double> bucketize(const RateSeries& series, usize buckets);
+
+/// Render a compact fixed-width table of series statistics (harness and
+/// example output).
+std::string format_series_summary(const std::vector<RateSeries>& series);
+
+/// Render one series as an ASCII sparkline over `buckets` time buckets
+/// (min..max scaled), for quick visual inspection in examples.
+std::string sparkline(const RateSeries& series, usize buckets = 60);
+
+}  // namespace audo::profiling

@@ -1,0 +1,74 @@
+// Device-family presets: configurations loosely mirroring the public
+// datasheet parameters of the AUDO device generations the paper spans.
+// Absolute values are calibrated to the simulator, not the silicon; what
+// matters is the *relative* structure (cache sizes, flash speed, PCP
+// presence) across the family.
+#pragma once
+
+#include "soc/soc_config.hpp"
+
+namespace audo::soc {
+
+/// TC1797-like: the paper's state-of-the-art device. 180 MHz, 4 MB
+/// flash, 16K I$ + 4K D$, PCP2, large scratchpads.
+inline SocConfig tc1797_like() {
+  SocConfig c;
+  c.name = "TC1797-like";
+  c.clock_hz = 180'000'000;
+  c.pflash.size = 4u * 1024 * 1024;
+  c.pflash.wait_states = 5;
+  c.pflash.code_buffers = 2;
+  c.pflash.data_buffers = 1;
+  c.icache.size_bytes = 16 * 1024;
+  c.dcache.size_bytes = 4 * 1024;
+  c.dspr_bytes = 128 * 1024;
+  c.pspr_bytes = 40 * 1024;
+  c.lmu_bytes = 128 * 1024;
+  c.has_pcp = true;
+  c.dma_channels = 8;
+  return c;
+}
+
+/// TC1767-like: the mid-range sibling (Figure 3's board). 133 MHz, 2 MB
+/// flash, smaller caches and scratchpads, PCP present.
+inline SocConfig tc1767_like() {
+  SocConfig c;
+  c.name = "TC1767-like";
+  c.clock_hz = 133'000'000;
+  c.pflash.size = 2u * 1024 * 1024;
+  c.pflash.wait_states = 4;  // slower clock -> fewer wait states
+  c.pflash.code_buffers = 2;
+  c.pflash.data_buffers = 1;
+  c.icache.size_bytes = 8 * 1024;
+  c.dcache.size_bytes = 0;  // data side: read buffers only
+  c.dcache.enabled = false;
+  c.dspr_bytes = 68 * 1024;
+  c.pspr_bytes = 24 * 1024;
+  c.lmu_bytes = 64 * 1024;
+  c.has_pcp = true;
+  c.dma_channels = 8;
+  return c;
+}
+
+/// TC1796-like: the previous generation (§2's predecessor reference).
+/// 150 MHz, 2 MB flash, no D-cache, fewer buffers.
+inline SocConfig tc1796_like() {
+  SocConfig c;
+  c.name = "TC1796-like";
+  c.clock_hz = 150'000'000;
+  c.pflash.size = 2u * 1024 * 1024;
+  c.pflash.wait_states = 6;
+  c.pflash.code_buffers = 1;
+  c.pflash.data_buffers = 1;
+  c.pflash.sequential_prefetch = false;
+  c.icache.size_bytes = 16 * 1024;
+  c.dcache.enabled = false;
+  c.dspr_bytes = 56 * 1024;
+  c.pspr_bytes = 16 * 1024;
+  c.lmu_bytes = 64 * 1024;
+  c.has_pcp = true;
+  c.dma_channels = 8;
+  return c;
+}
+
+}  // namespace audo::soc

@@ -1,0 +1,205 @@
+#include "soc/soc.hpp"
+
+#include "mem/memory_map.hpp"
+
+namespace audo::soc {
+namespace {
+
+SrcIds make_srcs(periph::IrqRouter& router, unsigned dma_channels) {
+  SrcIds s;
+  s.stm0 = router.add_source("stm.cmp0");
+  s.stm1 = router.add_source("stm.cmp1");
+  s.crank_tooth = router.add_source("crank.tooth");
+  s.crank_sync = router.add_source("crank.sync");
+  s.adc_done = router.add_source("adc.done");
+  s.can_rx = router.add_source("can.rx");
+  s.can_tx = router.add_source("can.tx");
+  s.wdt_timeout = router.add_source("wdt.timeout");
+  for (unsigned i = 0; i < dma_channels; ++i) {
+    s.dma_done.push_back(router.add_source("dma.done." + std::to_string(i)));
+  }
+  return s;
+}
+
+}  // namespace
+
+Soc::Soc(const SocConfig& config)
+    : config_(config),
+      sri_(config.arbitration),
+      pflash_(config.pflash),
+      dflash_(mem::kDFlashBase, config.dflash),
+      lmu_("LMU", mem::kLmuBase, config.lmu_bytes, config.lmu_latency),
+      dspr_(mem::kDsprBase, config.dspr_bytes),
+      pspr_(mem::kPsprBase, config.pspr_bytes),
+      dspr_slave_("DSPR.sri", &dspr_, config.spr_slave_latency),
+      pspr_slave_("PSPR.sri", &pspr_, config.spr_slave_latency),
+      icache_(config.icache),
+      dcache_(config.dcache),
+      srcs_(make_srcs(irq_router_, config.dma_channels)),
+      stm_(&irq_router_, srcs_.stm0, srcs_.stm1),
+      watchdog_(&irq_router_, srcs_.wdt_timeout),
+      crank_(periph::CrankWheel::Config{.clock_hz = config.clock_hz},
+             &irq_router_, srcs_.crank_tooth, srcs_.crank_sync),
+      adc_(periph::Adc::Config{}, &irq_router_, srcs_.adc_done),
+      can_(periph::CanLite::Config{}, &irq_router_, srcs_.can_rx, srcs_.can_tx),
+      dma_(config.dma_channels, &sri_, &irq_router_) {
+  assert(config.valid());
+
+  // --- bus fabric ----------------------------------------------------
+  const unsigned s_fcode = sri_.add_slave(&pflash_.code_port());
+  const unsigned s_fdata = sri_.add_slave(&pflash_.data_port());
+  const unsigned s_dflash = sri_.add_slave(&dflash_);
+  const unsigned s_lmu = sri_.add_slave(&lmu_);
+  const unsigned s_bridge = sri_.add_slave(&bridge_);
+  const unsigned s_dspr = sri_.add_slave(&dspr_slave_);
+  const unsigned s_pspr = sri_.add_slave(&pspr_slave_);
+
+  using bus::PortFilter;
+  const u32 fsize = config.pflash.size;
+  (void)sri_.map_region(mem::kPFlashCachedBase, fsize, s_fcode,
+                        PortFilter::kFetchOnly);
+  (void)sri_.map_region(mem::kPFlashUncachedBase, fsize, s_fcode,
+                        PortFilter::kFetchOnly);
+  (void)sri_.map_region(mem::kPFlashCachedBase, fsize, s_fdata,
+                        PortFilter::kDataOnly);
+  (void)sri_.map_region(mem::kPFlashUncachedBase, fsize, s_fdata,
+                        PortFilter::kDataOnly);
+  (void)sri_.map_region(mem::kDFlashBase, config.dflash.size, s_dflash);
+  (void)sri_.map_region(mem::kLmuBase, config.lmu_bytes, s_lmu);
+  (void)sri_.map_region(mem::kPeriphBase, mem::kPeriphSize, s_bridge);
+  (void)sri_.map_region(mem::kDsprBase, config.dspr_bytes, s_dspr);
+  (void)sri_.map_region(mem::kPsprBase, config.pspr_bytes, s_pspr);
+
+  // --- SFR windows ----------------------------------------------------
+  using namespace periph::sfr;
+  bridge_.add_device(kStm, kWindow, &stm_);
+  bridge_.add_device(kWatchdog, kWindow, &watchdog_);
+  bridge_.add_device(kCrank, kWindow, &crank_);
+  bridge_.add_device(kAdc, kWindow, &adc_);
+  bridge_.add_device(kCan, kWindow, &can_);
+  bridge_.add_device(kDma, 0x20u * config.dma_channels, &dma_);
+
+  for (unsigned i = 0; i < config.dma_channels; ++i) {
+    dma_.set_done_src(i, srcs_.dma_done[i]);
+  }
+
+  // --- cores ----------------------------------------------------------
+  cpu::CpuConfig tc_cfg;
+  tc_cfg.issue_width = config.tc_issue_width;
+  cpu::Cpu::Env tc_env;
+  tc_env.bus = &sri_;
+  tc_env.code_spr = &pspr_;
+  tc_env.data_spr = &dspr_;
+  tc_env.icache = &icache_;
+  tc_env.dcache = &dcache_;
+  tc_env.flash = &pflash_.array();
+  tc_env.flash_size = config.pflash.size;
+  tc_env.irq = &irq_router_.tc_view();
+  tc_ = std::make_unique<cpu::Cpu>(tc_cfg, tc_env);
+
+  if (config.has_pcp) {
+    pcp_pram_ = std::make_unique<mem::Scratchpad>(mem::kPcpPramBase,
+                                                  config.pcp_pram_bytes);
+    pcp_dram_ = std::make_unique<mem::Scratchpad>(mem::kPcpDramBase,
+                                                  config.pcp_dram_bytes);
+    pcp_dram_slave_ = std::make_unique<mem::ScratchpadSlave>(
+        "PCP.DRAM.sri", pcp_dram_.get(), config.spr_slave_latency);
+    const unsigned s_pcp_dram = sri_.add_slave(pcp_dram_slave_.get());
+    (void)sri_.map_region(mem::kPcpDramBase, config.pcp_dram_bytes, s_pcp_dram);
+
+    cpu::CpuConfig pcp_cfg;
+    pcp_cfg.is_pcp = true;
+    pcp_cfg.issue_width = 1;
+    pcp_cfg.fetch_block_words = 2;
+    pcp_cfg.fetch_master = bus::MasterId::kPcpData;  // PCP has one port
+    pcp_cfg.data_master = bus::MasterId::kPcpData;
+    cpu::Cpu::Env pcp_env;
+    pcp_env.bus = &sri_;
+    pcp_env.code_spr = pcp_pram_.get();
+    pcp_env.data_spr = pcp_dram_.get();
+    pcp_env.irq = &irq_router_.pcp_view();
+    pcp_ = std::make_unique<cpu::Cpu>(pcp_cfg, pcp_env);
+  }
+}
+
+Status Soc::load(const isa::Program& program) {
+  for (const isa::Section& sec : program.sections()) {
+    const Addr base = sec.base;
+    if (mem::is_pflash(base, config_.pflash.size)) {
+      pflash_.array().load(mem::pflash_offset(base), sec.bytes);
+    } else if (dspr_.contains(base)) {
+      dspr_.array().load(base - dspr_.base(), sec.bytes);
+    } else if (pspr_.contains(base)) {
+      pspr_.array().load(base - pspr_.base(), sec.bytes);
+    } else if (pcp_pram_ != nullptr && pcp_pram_->contains(base)) {
+      pcp_pram_->array().load(base - pcp_pram_->base(), sec.bytes);
+    } else if (pcp_dram_ != nullptr && pcp_dram_->contains(base)) {
+      pcp_dram_->array().load(base - pcp_dram_->base(), sec.bytes);
+    } else if (base >= mem::kLmuBase &&
+               base - mem::kLmuBase < config_.lmu_bytes) {
+      lmu_.array().load(base - mem::kLmuBase, sec.bytes);
+    } else if (base >= mem::kDFlashBase &&
+               base - mem::kDFlashBase < config_.dflash.size) {
+      dflash_.array().load(base - mem::kDFlashBase, sec.bytes);
+    } else {
+      return error(StatusCode::kOutOfRange,
+                   "section '" + sec.name + "' at unmapped address");
+    }
+  }
+  return Status::ok();
+}
+
+void Soc::reset(Addr tc_entry, Addr pcp_entry) {
+  cycle_ = 0;
+  frame_ = mcds::ObservationFrame{};
+  tc_->reset(tc_entry);
+  if (pcp_ != nullptr) {
+    // With no PCP program (entry 0) the PCP parks in WFI; with one, its
+    // init code runs (sets BIV, base registers) and parks itself.
+    pcp_->reset(pcp_entry, /*start_halted=*/pcp_entry == 0);
+  }
+  icache_.invalidate_all();
+  dcache_.invalidate_all();
+  pflash_.invalidate_buffers();
+}
+
+void Soc::step() {
+  ++cycle_;
+  const Cycle now = cycle_;
+  frame_ = mcds::ObservationFrame{};
+  frame_.cycle = now;
+
+  // Phase 1: peripherals (may post interrupts visible to cores this cycle).
+  stm_.step(now);
+  watchdog_.step(now);
+  crank_.step(now);
+  adc_.step(now);
+  can_.step(now);
+
+  // Phase 2: DMA (bus master) and cores issue their bus requests.
+  dma_.step(now);
+  tc_->step(now, frame_.tc);
+  if (pcp_ != nullptr) {
+    pcp_->step(now, frame_.pcp);
+  }
+
+  // Phase 3: memories sample time, fabric arbitrates and completes.
+  pflash_.tick(now);
+  sri_.step(now);
+
+  // Phase 4: publish the observation frame.
+  frame_.sri = sri_.observation();
+  frame_.flash = pflash_.strobes();
+  frame_.dma = dma_.observation();
+}
+
+u64 Soc::run(u64 max_cycles) {
+  u64 steps = 0;
+  while (steps < max_cycles && !tc_->halted()) {
+    step();
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace audo::soc

@@ -1,0 +1,127 @@
+// The product-chip part: composition of cores, memories, bus fabric and
+// peripherals into one cycle-steppable SoC (Figure 2/4 of the paper,
+// product-chip side). The Emulation Device (src/ed) wraps this class and
+// adds the EEC without touching it — mirroring how the real ED contains
+// the unchanged product chip.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bus/crossbar.hpp"
+#include "cache/cache.hpp"
+#include "common/status.hpp"
+#include "cpu/cpu.hpp"
+#include "isa/program.hpp"
+#include "mcds/observation.hpp"
+#include "mem/dflash.hpp"
+#include "mem/pflash.hpp"
+#include "mem/sram.hpp"
+#include "periph/dma.hpp"
+#include "periph/irq_router.hpp"
+#include "periph/peripherals.hpp"
+#include "periph/sfr_bridge.hpp"
+#include "soc/soc_config.hpp"
+
+namespace audo::soc {
+
+/// Service-request node ids wired at construction.
+struct SrcIds {
+  unsigned stm0 = 0;
+  unsigned stm1 = 0;
+  unsigned crank_tooth = 0;
+  unsigned crank_sync = 0;
+  unsigned adc_done = 0;
+  unsigned can_rx = 0;
+  unsigned can_tx = 0;
+  unsigned wdt_timeout = 0;
+  std::vector<unsigned> dma_done;
+};
+
+class Soc {
+ public:
+  explicit Soc(const SocConfig& config);
+
+  Soc(const Soc&) = delete;
+  Soc& operator=(const Soc&) = delete;
+
+  /// Load a program image: each section is placed by physical address
+  /// (flash, scratchpads, LMU, PCP RAMs, DFlash).
+  Status load(const isa::Program& program);
+
+  /// Reset cores. The TC starts at `tc_entry`; the PCP (if present)
+  /// starts parked in WFI at `pcp_entry` and runs channel programs on
+  /// interrupts.
+  void reset(Addr tc_entry, Addr pcp_entry = 0);
+
+  /// Advance one clock cycle and publish the observation frame.
+  void step();
+
+  /// Run until the TC halts or `max_cycles` elapse; returns cycles run.
+  u64 run(u64 max_cycles);
+
+  Cycle cycle() const { return cycle_; }
+  const mcds::ObservationFrame& frame() const { return frame_; }
+  const SocConfig& config() const { return config_; }
+  const SrcIds& srcs() const { return srcs_; }
+
+  cpu::Cpu& tc() { return *tc_; }
+  const cpu::Cpu& tc() const { return *tc_; }
+  cpu::Cpu* pcp() { return pcp_.get(); }
+
+  bus::Crossbar& sri() { return sri_; }
+  mem::PFlash& pflash() { return pflash_; }
+  mem::DFlashSlave& dflash() { return dflash_; }
+  mem::Scratchpad& dspr() { return dspr_; }
+  mem::Scratchpad& pspr() { return pspr_; }
+  mem::Scratchpad* pcp_pram() { return pcp_pram_.get(); }
+  mem::Scratchpad* pcp_dram() { return pcp_dram_.get(); }
+  mem::SramSlave& lmu() { return lmu_; }
+  cache::Cache& icache() { return icache_; }
+  cache::Cache& dcache() { return dcache_; }
+
+  periph::IrqRouter& irq_router() { return irq_router_; }
+  periph::DmaController& dma() { return dma_; }
+  periph::Stm& stm() { return stm_; }
+  periph::CrankWheel& crank() { return crank_; }
+  periph::Adc& adc() { return adc_; }
+  periph::CanLite& can() { return can_; }
+  periph::Watchdog& watchdog() { return watchdog_; }
+  periph::PeriphBridge& bridge() { return bridge_; }
+
+ private:
+  SocConfig config_;
+
+  bus::Crossbar sri_;
+  mem::PFlash pflash_;
+  mem::DFlashSlave dflash_;
+  mem::SramSlave lmu_;
+  mem::Scratchpad dspr_;
+  mem::Scratchpad pspr_;
+  mem::ScratchpadSlave dspr_slave_;
+  mem::ScratchpadSlave pspr_slave_;
+  std::unique_ptr<mem::Scratchpad> pcp_pram_;
+  std::unique_ptr<mem::Scratchpad> pcp_dram_;
+  std::unique_ptr<mem::ScratchpadSlave> pcp_dram_slave_;
+
+  cache::Cache icache_;
+  cache::Cache dcache_;
+
+  periph::IrqRouter irq_router_;
+  periph::PeriphBridge bridge_;
+  SrcIds srcs_;  // registered before the peripherals that post to them
+  periph::Stm stm_;
+  periph::Watchdog watchdog_;
+  periph::CrankWheel crank_;
+  periph::Adc adc_;
+  periph::CanLite can_;
+  periph::DmaController dma_;
+
+  std::unique_ptr<cpu::Cpu> tc_;
+  std::unique_ptr<cpu::Cpu> pcp_;
+
+  Cycle cycle_ = 0;
+  mcds::ObservationFrame frame_;
+};
+
+}  // namespace audo::soc

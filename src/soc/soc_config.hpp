@@ -1,0 +1,58 @@
+// Every architecture knob of the simulated SoC in one value type.
+//
+// The §4/§6 optimization methodology evaluates next-generation options by
+// replaying workloads over variants of this struct; src/optimize owns the
+// option catalogue and the area-cost model attached to these knobs.
+#pragma once
+
+#include <string>
+
+#include "bus/crossbar.hpp"
+#include "cache/cache.hpp"
+#include "common/types.hpp"
+#include "mem/dflash.hpp"
+#include "mem/pflash.hpp"
+
+namespace audo::soc {
+
+struct SocConfig {
+  std::string name = "TC1797-like";
+  u64 clock_hz = 180'000'000;
+
+  mem::PFlashConfig pflash;
+  mem::DFlashConfig dflash;
+
+  cache::CacheConfig icache{.enabled = true,
+                            .size_bytes = 16 * 1024,
+                            .ways = 2,
+                            .line_bytes = 32};
+  cache::CacheConfig dcache{.enabled = true,
+                            .size_bytes = 4 * 1024,
+                            .ways = 2,
+                            .line_bytes = 32};
+
+  u32 dspr_bytes = 128 * 1024;
+  u32 pspr_bytes = 40 * 1024;
+
+  u32 lmu_bytes = 128 * 1024;
+  unsigned lmu_latency = 2;
+
+  bool has_pcp = true;
+  u32 pcp_pram_bytes = 32 * 1024;
+  u32 pcp_dram_bytes = 16 * 1024;
+
+  unsigned tc_issue_width = 3;
+  unsigned dma_channels = 8;
+
+  bus::ArbitrationPolicy arbitration = bus::ArbitrationPolicy::kFixedPriority;
+
+  /// Scratchpad-as-bus-slave latency for non-owning masters.
+  unsigned spr_slave_latency = 2;
+
+  bool valid() const {
+    return icache.valid() && dcache.valid() && tc_issue_width >= 1 &&
+           tc_issue_width <= 3 && pflash.size > 0;
+  }
+};
+
+}  // namespace audo::soc

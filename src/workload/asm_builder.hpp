@@ -1,0 +1,49 @@
+// Tiny assembly-source builder shared by the workload generators.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace audo::workload {
+
+class Asm {
+ public:
+  Asm& raw(const std::string& text) {
+    out_ += text;
+    out_ += '\n';
+    return *this;
+  }
+  Asm& op(const std::string& text) { return raw("    " + text); }
+  Asm& label(const std::string& name) { return raw(name + ":"); }
+  Asm& section(const char* kind, u32 addr) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%s 0x%08X", kind, addr);
+    return raw(buf);
+  }
+  Asm& comment(const std::string& text) { return raw("; " + text); }
+
+  /// Load a 32-bit constant into a d-register (1 or 2 instructions).
+  Asm& li(const char* reg, u32 value) {
+    if (value <= 0x7FFF) {
+      return op(std::string("movd  ") + reg + ", " + std::to_string(value));
+    }
+    op(std::string("movh  ") + reg + ", " + std::to_string(value >> 16));
+    if ((value & 0xFFFF) != 0) {
+      op(std::string("ori   ") + reg + ", " + reg + ", " +
+         std::to_string(value & 0xFFFF));
+    }
+    return *this;
+  }
+
+  const std::string& text() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// "[aN+lo(sym)]"-style offset operand.
+inline std::string off(const std::string& sym) { return "lo(" + sym + ")"; }
+
+}  // namespace audo::workload

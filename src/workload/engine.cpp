@@ -1,0 +1,492 @@
+#include "workload/engine.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+#include "isa/assembler.hpp"
+#include "workload/asm_builder.hpp"
+#include "periph/sfr_bridge.hpp"
+
+namespace audo::workload {
+namespace {
+
+constexpr Addr kBiv = 0x8000'0000;
+constexpr Addr kMainBase = 0x8000'1000;
+constexpr Addr kFlashTables = 0x8004'0000;
+constexpr Addr kDsprData = 0xC000'0000;
+constexpr Addr kPcpBiv = 0xD000'0800;
+constexpr Addr kPcpMain = 0xD000'0000;
+constexpr Addr kPcpCode = 0xD000'1000;
+constexpr Addr kPcpData = 0xD400'0000;
+
+// SFR offsets used by the generated code (PBridge windows).
+constexpr u32 kStmCmp0 = periph::sfr::kStm + 0x08;
+constexpr u32 kStmCtrl = periph::sfr::kStm + 0x10;
+constexpr u32 kWdtService = periph::sfr::kWatchdog + 0x00;
+constexpr u32 kWdtPeriod = periph::sfr::kWatchdog + 0x04;
+constexpr u32 kCrankRpm = periph::sfr::kCrank + 0x00;
+constexpr u32 kAdcResult = periph::sfr::kAdc + 0x04;
+constexpr u32 kAdcPeriod = periph::sfr::kAdc + 0x08;
+constexpr u32 kCanTx = periph::sfr::kCan + 0x00;
+constexpr u32 kCanRxData = periph::sfr::kCan + 0x08;
+constexpr u32 kCanRxPeriod = periph::sfr::kCan + 0x10;
+
+void emit_tables(Asm& a, u32 dim, const char* ign, const char* fuel) {
+  auto emit = [&](const char* name, unsigned mul_r, unsigned mul_c) {
+    a.label(name);
+    std::string line;
+    for (u32 r = 0; r < dim; ++r) {
+      for (u32 c = 0; c < dim; ++c) {
+        const u32 v = (r * mul_r + c * mul_c) & 0xFF;
+        if (line.empty()) {
+          line = "    .word " + std::to_string(v);
+        } else {
+          line += ", " + std::to_string(v);
+        }
+        if ((c + 1) % 8 == 0 || c + 1 == dim) {
+          a.raw(line);
+          line.clear();
+        }
+      }
+    }
+  };
+  emit(ign, 7, 3);
+  emit(fuel, 5, 11);
+}
+
+}  // namespace
+
+Result<EngineWorkload> build_engine_workload(const EngineOptions& opt) {
+  assert(is_pow2(opt.table_dim) && opt.table_dim >= 4 &&
+         opt.table_dim <= 64 && "table_dim must be a power of two in 4..64");
+  assert((!opt.tables_in_dspr || opt.table_dim <= 32) &&
+         "DSPR tables need dim <= 32 (16-bit offsets)");
+  const u32 dim = opt.table_dim;
+  const u32 log2_dim = log2_exact(dim);
+  const u32 dim_mask = dim - 1;
+  const u32 table_bytes = dim * dim * 4;
+  const u32 journal_mask =
+      is_pow2(opt.journal_every) ? opt.journal_every - 1 : 15;
+
+  Asm a;
+  a.comment("Generated engine-control workload (see workload/engine.cpp)");
+
+  // ---- TC vector table stubs ----
+  auto vector = [&](u8 prio, const std::string& target) {
+    a.section(".text", kBiv + prio * 32u);
+    a.op("j " + target);
+  };
+  vector(opt.prio_stm, "isr_stm");
+  vector(opt.prio_dma_done, "isr_dma_done");
+  if (!opt.pcp_offload && !opt.use_dma_for_adc) {
+    vector(opt.prio_adc, "isr_adc");
+  } else if (!opt.pcp_offload) {
+    // DMA handles ADC; keep the vector harmless if ever taken.
+    vector(opt.prio_adc, "isr_dma_done");
+  }
+  if (!opt.pcp_offload) vector(opt.prio_can_rx, "isr_can");
+  vector(opt.prio_tooth, "isr_tooth");
+  vector(opt.prio_sync, "isr_sync");
+
+  // ---- TC main ----
+  a.section(".text", kMainBase);
+  a.label("main");
+  a.op("di");
+  a.op("movha a15, 0xC000");  // DSPR base (global, read-only convention)
+  a.op("movha a14, 0xF000");  // SFR base (global, read-only convention)
+  a.li("d0", kBiv);
+  a.op("mtcr  biv, d0");
+  // STM compare 0: the periodic task tick.
+  a.li("d0", opt.stm_period);
+  a.op("st.w  d0, [a14+" + std::to_string(kStmCmp0) + "]");
+  a.li("d0", 1);
+  a.op("st.w  d0, [a14+" + std::to_string(kStmCtrl) + "]");
+  // ADC auto conversions.
+  a.li("d0", opt.adc_period);
+  a.op("st.w  d0, [a14+" + std::to_string(kAdcPeriod) + "]");
+  // CAN RX traffic.
+  a.li("d0", opt.can_rx_period);
+  a.op("st.w  d0, [a14+" + std::to_string(kCanRxPeriod) + "]");
+  // Watchdog.
+  if (opt.wdt_period != 0) {
+    a.li("d0", opt.wdt_period);
+    a.op("st.w  d0, [a14+" + std::to_string(kWdtPeriod) + "]");
+  }
+  a.op("ei");
+
+  a.label("_bg_loop");
+  a.op("call  diag_checksum");
+  a.li("d0", periph::Watchdog::kServiceKey);
+  a.op("st.w  d0, [a14+" + std::to_string(kWdtService) + "]");
+  // Journal every 2^k iterations.
+  a.op("ld.w  d0, [a15+" + off("bg_iter") + "]");
+  a.op("addi  d0, d0, 1");
+  a.op("st.w  d0, [a15+" + off("bg_iter") + "]");
+  a.op("andi  d1, d0, " + std::to_string(journal_mask));
+  a.op("jnz   d1, _bg_no_journal");
+  a.op("call  eeprom_write");
+  a.label("_bg_no_journal");
+  if (opt.halt_after_bg != 0) {
+    a.op("ld.w  d0, [a15+" + off("bg_iter") + "]");
+    a.li("d1", opt.halt_after_bg);
+    a.op("jlt   d0, d1, _bg_loop");
+    a.op("halt");
+  } else if (opt.halt_after_revs != 0) {
+    a.op("ld.w  d0, [a15+" + off("rev_count") + "]");
+    a.li("d1", opt.halt_after_revs);
+    a.op("jlt   d0, d1, _bg_loop");
+    a.op("halt");
+  } else {
+    a.op("j     _bg_loop");
+  }
+
+  // ---- background subroutines ----
+  // Flash-integrity checksum over the calibration block. Optionally via
+  // the non-cached alias (a real diagnostic must read the array) and with
+  // a configurable stride (strides > a line defeat the read buffers).
+  a.label("diag_checksum");
+  a.li("d0", 0);
+  const Addr diag_base = (opt.diag_uncached ? 0xA004'0000u : kFlashTables);
+  a.li("d2", diag_base);
+  a.op("mov.ad a2, d2");
+  a.li("d1", opt.diag_words);
+  a.op("mov.ad a3, d1");
+  a.label("_diag_loop");
+  a.op("ld.w  d2, [a2+0]");
+  a.op("xor   d0, d0, d2");
+  a.op("shli  d3, d0, 1");
+  a.op("shri  d4, d0, 31");
+  a.op("or    d0, d3, d4");
+  a.op("lea   a2, [a2+" + std::to_string(opt.diag_stride_bytes) + "]");
+  a.op("loop  a3, _diag_loop");
+  a.op("st.w  d0, [a15+" + off("diag_sum") + "]");
+  a.op("ret");
+
+  a.label("eeprom_write");
+  a.op("ld.w  d0, [a15+" + off("journal_idx") + "]");
+  a.op("andi  d1, d0, 255");
+  a.op("shli  d1, d1, 2");
+  a.op("movh  d2, 0xAF00");
+  a.op("add   d2, d2, d1");
+  a.op("mov.ad a2, d2");
+  a.op("ld.w  d3, [a15+" + off("diag_sum") + "]");
+  a.op("st.w  d3, [a2+0]");
+  a.op("addi  d0, d0, 1");
+  a.op("st.w  d0, [a15+" + off("journal_idx") + "]");
+  a.op("ret");
+
+  // ---- ISRs (each saves/restores its registers to dedicated slots) ----
+  a.label("isr_tooth");
+  a.op("st.w  d8, [a15+" + off("sv_t_d8") + "]");
+  a.op("st.w  d9, [a15+" + off("sv_t_d9") + "]");
+  a.op("st.w  d10, [a15+" + off("sv_t_d10") + "]");
+  a.op("st.a  a8, [a15+" + off("sv_t_a8") + "]");
+  if (opt.measure_latency) {
+    // Entry latency = CCNT - crank TOOTH_TIME (both count core cycles).
+    a.op("mfcr  d8, ccnt_lo");
+    a.op("ld.w  d9, [a14+" + std::to_string(periph::sfr::kCrank + 0x10) + "]");
+    a.op("sub   d8, d8, d9");
+    a.op("ld.w  d9, [a15+" + off("lat_max") + "]");
+    a.op("max   d9, d9, d8");
+    a.op("st.w  d9, [a15+" + off("lat_max") + "]");
+    a.op("ld.w  d9, [a15+" + off("lat_sum") + "]");
+    a.op("add   d9, d9, d8");
+    a.op("st.w  d9, [a15+" + off("lat_sum") + "]");
+  }
+  // load bucket from the filtered sensor value
+  a.op("ld.w  d8, [a15+" + off("filt_adc") + "]");
+  a.op("shri  d8, d8, 5");
+  a.op("andi  d8, d8, " + std::to_string(dim_mask));
+  // rpm bucket straight from the crank SFR
+  a.op("ld.w  d9, [a14+" + std::to_string(kCrankRpm) + "]");
+  a.op("shri  d9, d9, 7");
+  a.op("andi  d9, d9, " + std::to_string(dim_mask));
+  a.op("shli  d9, d9, " + std::to_string(log2_dim));
+  a.op("add   d9, d9, d8");
+  a.op("shli  d9, d9, 2");
+  a.op("movh  d10, hi(ign_table)");
+  a.op("ori   d10, d10, lo(ign_table)");
+  a.op("add   d10, d10, d9");
+  a.op("mov.ad a8, d10");
+  if (opt.interpolate) {
+    // 2x2 neighbourhood of both maps (8 reads), as real map
+    // interpolation does — the flash data traffic §4 talks about.
+    const std::string row = std::to_string(dim * 4);
+    const std::string fuel = std::to_string(table_bytes);
+    a.op("ld.w  d10, [a8+0]");
+    a.op("ld.w  d9, [a8+4]");
+    a.op("add   d10, d10, d9");
+    a.op("ld.w  d9, [a8+" + row + "]");
+    a.op("add   d10, d10, d9");
+    a.op("ld.w  d9, [a8+" + std::to_string(dim * 4 + 4) + "]");
+    a.op("add   d10, d10, d9");
+    a.op("ld.w  d8, [a8+" + fuel + "]");
+    a.op("ld.w  d9, [a8+" + std::to_string(table_bytes + 4) + "]");
+    a.op("add   d8, d8, d9");
+    a.op("ld.w  d9, [a8+" + std::to_string(table_bytes + dim * 4) + "]");
+    a.op("add   d8, d8, d9");
+    a.op("ld.w  d9, [a8+" + std::to_string(table_bytes + dim * 4 + 4) + "]");
+    a.op("add   d8, d8, d9");
+  } else {
+    a.op("ld.w  d10, [a8+0]");  // ignition advance
+    a.op("ld.w  d8, [a8+" + std::to_string(table_bytes) + "]");  // fuel
+  }
+  a.li("d9", 3);
+  a.op("mul   d9, d10, d9");
+  a.op("add   d9, d9, d8");
+  a.op("st.w  d9, [a15+" + off("ign_out") + "]");
+  a.op("ld.w  d8, [a15+" + off("tooth_count") + "]");
+  a.op("addi  d8, d8, 1");
+  a.op("st.w  d8, [a15+" + off("tooth_count") + "]");
+  a.op("ld.w  d8, [a15+" + off("sv_t_d8") + "]");
+  a.op("ld.w  d9, [a15+" + off("sv_t_d9") + "]");
+  a.op("ld.w  d10, [a15+" + off("sv_t_d10") + "]");
+  a.op("ld.a  a8, [a15+" + off("sv_t_a8") + "]");
+  a.op("rfe");
+
+  a.label("isr_sync");
+  a.op("st.w  d8, [a15+" + off("sv_s_d8") + "]");
+  a.op("ld.w  d8, [a15+" + off("rev_count") + "]");
+  a.op("addi  d8, d8, 1");
+  a.op("st.w  d8, [a15+" + off("rev_count") + "]");
+  a.op("ld.w  d8, [a15+" + off("sv_s_d8") + "]");
+  a.op("rfe");
+
+  if (!opt.pcp_offload && !opt.use_dma_for_adc) {
+    a.label("isr_adc");
+    a.op("st.w  d8, [a15+" + off("sv_a_d8") + "]");
+    a.op("st.w  d9, [a15+" + off("sv_a_d9") + "]");
+    a.op("ld.w  d8, [a14+" + std::to_string(kAdcResult) + "]");
+    a.op("ld.w  d9, [a15+" + off("filt_adc") + "]");
+    a.op("sub   d8, d8, d9");
+    a.op("sari  d8, d8, 3");
+    a.op("add   d9, d9, d8");
+    a.op("st.w  d9, [a15+" + off("filt_adc") + "]");
+    a.op("ld.w  d8, [a15+" + off("sv_a_d8") + "]");
+    a.op("ld.w  d9, [a15+" + off("sv_a_d9") + "]");
+    a.op("rfe");
+  }
+
+  if (!opt.pcp_offload) {
+    a.label("isr_can");
+    a.op("st.w  d8, [a15+" + off("sv_c_d8") + "]");
+    a.op("st.w  d9, [a15+" + off("sv_c_d9") + "]");
+    a.op("st.w  d10, [a15+" + off("sv_c_d10") + "]");
+    a.op("st.a  a8, [a15+" + off("sv_c_a8") + "]");
+    a.op("ld.w  d8, [a14+" + std::to_string(kCanRxData) + "]");
+    a.op("ld.w  d9, [a15+" + off("can_head") + "]");
+    a.op("andi  d9, d9, 31");
+    a.op("shli  d9, d9, 2");
+    // Absolute ring address: the ring may live in the DSPR or the LMU.
+    a.op("movh  d10, hi(can_ring)");
+    a.op("ori   d10, d10, lo(can_ring)");
+    a.op("add   d10, d10, d9");
+    a.op("mov.ad a8, d10");
+    a.op("st.w  d8, [a8+0]");
+    a.op("ld.w  d9, [a15+" + off("can_head") + "]");
+    a.op("addi  d9, d9, 1");
+    a.op("st.w  d9, [a15+" + off("can_head") + "]");
+    a.op("ld.w  d8, [a15+" + off("sv_c_d8") + "]");
+    a.op("ld.w  d9, [a15+" + off("sv_c_d9") + "]");
+    a.op("ld.w  d10, [a15+" + off("sv_c_d10") + "]");
+    a.op("ld.a  a8, [a15+" + off("sv_c_a8") + "]");
+    a.op("rfe");
+  }
+
+  a.label("isr_stm");
+  a.op("st.w  d8, [a15+" + off("sv_p_d8") + "]");
+  a.op("st.w  d9, [a15+" + off("sv_p_d9") + "]");
+  a.op("ld.w  d8, [a15+" + off("filt_adc") + "]");
+  a.li("d9", 1800);  // setpoint
+  a.op("sub   d8, d9, d8");  // error
+  a.op("ld.w  d9, [a15+" + off("pid_integ") + "]");
+  a.op("add   d9, d9, d8");
+  a.op("st.w  d9, [a15+" + off("pid_integ") + "]");
+  a.op("shli  d8, d8, 2");  // Kp = 4
+  a.op("add   d8, d8, d9");
+  a.op("st.w  d8, [a15+" + off("pid_out") + "]");
+  a.op("st.w  d8, [a14+" + std::to_string(kCanTx) + "]");  // CAN status frame
+  a.op("ld.w  d8, [a15+" + off("sv_p_d8") + "]");
+  a.op("ld.w  d9, [a15+" + off("sv_p_d9") + "]");
+  a.op("rfe");
+
+  a.label("isr_dma_done");
+  a.op("st.w  d8, [a15+" + off("sv_d_d8") + "]");
+  a.op("ld.w  d8, [a15+" + off("dma_count") + "]");
+  a.op("addi  d8, d8, 1");
+  a.op("st.w  d8, [a15+" + off("dma_count") + "]");
+  a.op("ld.w  d8, [a15+" + off("sv_d_d8") + "]");
+  a.op("rfe");
+
+  // ---- PCP side ----
+  if (opt.pcp_offload) {
+    a.section(".text", kPcpMain);
+    a.label("pcp_main");
+    a.op("di");
+    a.op("movha a15, 0xD400");  // PCP DRAM base
+    a.op("movha a14, 0xF000");
+    a.li("d0", kPcpBiv);
+    a.op("mtcr  biv, d0");
+    a.op("ei");
+    a.label("pcp_idle");
+    a.op("wfi");
+    a.op("j     pcp_idle");
+
+    a.section(".text", kPcpBiv + opt.prio_adc * 32u);
+    a.op("j pcp_isr_adc");
+    a.section(".text", kPcpBiv + opt.prio_can_rx * 32u);
+    a.op("j pcp_isr_can");
+
+    a.section(".text", kPcpCode);
+    a.label("pcp_isr_adc");
+    a.op("st.w  d8, [a15+" + off("pcp_sv_a_d8") + "]");
+    a.op("st.w  d9, [a15+" + off("pcp_sv_a_d9") + "]");
+    a.op("st.a  a13, [a15+" + off("pcp_sv_a_a13") + "]");
+    a.op("ld.w  d8, [a14+" + std::to_string(kAdcResult) + "]");
+    a.op("ld.w  d9, [a15+" + off("pcp_filt") + "]");
+    a.op("sub   d8, d8, d9");
+    a.op("sari  d8, d8, 3");
+    a.op("add   d9, d9, d8");
+    a.op("st.w  d9, [a15+" + off("pcp_filt") + "]");
+    // Publish to the TC's DSPR over the bus: the shared variable of E8.
+    a.op("movha a13, 0xC000");
+    a.op("st.w  d9, [a13+" + off("filt_adc") + "]");
+    a.op("ld.w  d8, [a15+" + off("pcp_sv_a_d8") + "]");
+    a.op("ld.w  d9, [a15+" + off("pcp_sv_a_d9") + "]");
+    a.op("ld.a  a13, [a15+" + off("pcp_sv_a_a13") + "]");
+    a.op("rfe");
+
+    a.label("pcp_isr_can");
+    a.op("st.w  d8, [a15+" + off("pcp_sv_c_d8") + "]");
+    a.op("st.w  d9, [a15+" + off("pcp_sv_c_d9") + "]");
+    a.op("st.a  a8, [a15+" + off("pcp_sv_c_a8") + "]");
+    a.op("st.a  a9, [a15+" + off("pcp_sv_c_a9") + "]");
+    a.op("ld.w  d8, [a14+" + std::to_string(kCanRxData) + "]");
+    a.op("ld.w  d9, [a15+" + off("pcp_can_head") + "]");
+    a.op("andi  d9, d9, 31");
+    a.op("shli  d9, d9, 2");
+    a.op("lea   a8, [a15+" + off("pcp_can_ring") + "]");
+    a.op("mov.ad a9, d9");
+    a.op("adda  a8, a8, a9");
+    a.op("st.w  d8, [a8+0]");
+    a.op("ld.w  d9, [a15+" + off("pcp_can_head") + "]");
+    a.op("addi  d9, d9, 1");
+    a.op("st.w  d9, [a15+" + off("pcp_can_head") + "]");
+    a.op("ld.w  d8, [a15+" + off("pcp_sv_c_d8") + "]");
+    a.op("ld.w  d9, [a15+" + off("pcp_sv_c_d9") + "]");
+    a.op("ld.a  a8, [a15+" + off("pcp_sv_c_a8") + "]");
+    a.op("ld.a  a9, [a15+" + off("pcp_sv_c_a9") + "]");
+    a.op("rfe");
+  }
+
+  // ---- data: DSPR ----
+  a.section(".data", kDsprData);
+  for (const char* v :
+       {"filt_adc", "ign_out", "tooth_count", "rev_count", "pid_integ",
+        "pid_out", "diag_sum", "bg_iter", "journal_idx", "can_head",
+        "dma_count", "lat_max", "lat_sum", "sv_t_d8", "sv_t_d9", "sv_t_d10",
+        "sv_t_a8", "sv_s_d8",
+        "sv_a_d8", "sv_a_d9", "sv_c_d8", "sv_c_d9", "sv_c_d10", "sv_c_a8",
+        "sv_p_d8", "sv_p_d9", "sv_d_d8"}) {
+    a.label(v);
+    a.op(std::string(".word ") +
+         (std::string(v) == "filt_adc" ? "1500" : "0"));
+  }
+  if (!opt.can_ring_in_lmu) {
+    a.label("can_ring");
+    a.op(".space 128");
+  }
+  if (opt.tables_in_dspr) {
+    a.op(".align 32");
+    emit_tables(a, dim, "ign_table", "fuel_table");
+  }
+
+  // ---- data: flash tables ----
+  if (!opt.tables_in_dspr) {
+    a.section(".data", kFlashTables);
+    emit_tables(a, dim, "ign_table", "fuel_table");
+  }
+
+  // ---- data: LMU-resident CAN ring (option) ----
+  if (opt.can_ring_in_lmu) {
+    a.section(".data", 0x9000'0000);
+    a.label("can_ring");
+    a.op(".space 128");
+  }
+
+  // ---- data: PCP DRAM ----
+  if (opt.pcp_offload) {
+    a.section(".data", kPcpData);
+    for (const char* v :
+         {"pcp_filt", "pcp_can_head", "pcp_sv_a_d8", "pcp_sv_a_d9",
+          "pcp_sv_a_a13", "pcp_sv_c_d8", "pcp_sv_c_d9", "pcp_sv_c_a8",
+          "pcp_sv_c_a9"}) {
+      a.label(v);
+      a.op(std::string(".word ") +
+           (std::string(v) == "pcp_filt" ? "1500" : "0"));
+    }
+    a.label("pcp_can_ring");
+    a.op(".space 128");
+  }
+
+  auto program = isa::assemble(a.text());
+  if (!program.is_ok()) return program.status();
+
+  EngineWorkload workload;
+  workload.program = std::move(program).value();
+  workload.options = opt;
+  workload.source = a.text();
+  workload.tc_entry = workload.program.symbol_addr("main").value();
+  if (opt.pcp_offload) {
+    workload.pcp_entry = workload.program.symbol_addr("pcp_main").value();
+  }
+  return workload;
+}
+
+void configure_engine(soc::Soc& soc, const EngineOptions& opt) {
+  soc.crank().set_rpm(opt.rpm);
+  soc.crank().set_time_scale(opt.crank_time_scale);
+
+  periph::IrqRouter& router = soc.irq_router();
+  const soc::SrcIds& srcs = soc.srcs();
+  using periph::IrqTarget;
+
+  router.configure(srcs.stm0, opt.prio_stm, IrqTarget::kTc);
+  router.configure(srcs.crank_tooth, opt.prio_tooth, IrqTarget::kTc);
+  router.configure(srcs.crank_sync, opt.prio_sync, IrqTarget::kTc);
+  router.configure(srcs.can_tx, 0, IrqTarget::kTc, /*enabled=*/false);
+  router.configure(srcs.wdt_timeout, 0, IrqTarget::kTc, /*enabled=*/false);
+
+  if (opt.use_dma_for_adc) {
+    // ADC conversions trigger DMA channel 0 (router priority 1 = ch 0),
+    // which copies the result register into the TC's DSPR.
+    router.configure(srcs.adc_done, 1, IrqTarget::kDma);
+    periph::DmaController::ChannelConfig ch;
+    ch.src = mem::kPeriphBase + kAdcResult;
+    ch.dst = mem::kDsprBase + 0;  // filt_adc is the first DSPR word
+    ch.count = 0xFFFFFFFF;
+    ch.bytes = 4;
+    ch.src_step = 0;
+    ch.dst_step = 0;
+    ch.units_per_trigger = 1;
+    soc.dma().setup_channel(0, ch);
+    soc.dma().set_done_src(0, ~0u);
+  } else if (opt.pcp_offload) {
+    router.configure(srcs.adc_done, opt.prio_adc, IrqTarget::kPcp);
+  } else {
+    router.configure(srcs.adc_done, opt.prio_adc, IrqTarget::kTc);
+  }
+  router.configure(srcs.can_rx, opt.prio_can_rx,
+                   opt.pcp_offload ? IrqTarget::kPcp : IrqTarget::kTc);
+  router.configure(srcs.dma_done[0], opt.prio_dma_done, IrqTarget::kTc,
+                   /*enabled=*/false);
+}
+
+Status install_engine(soc::Soc& soc, const EngineWorkload& workload) {
+  if (Status s = soc.load(workload.program); !s.is_ok()) return s;
+  configure_engine(soc, workload.options);
+  soc.reset(workload.tc_entry, workload.pcp_entry);
+  return Status::ok();
+}
+
+}  // namespace audo::workload

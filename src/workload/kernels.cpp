@@ -1,0 +1,292 @@
+#include "workload/kernels.hpp"
+
+#include "common/prng.hpp"
+#include "isa/assembler.hpp"
+
+namespace audo::workload {
+namespace {
+
+constexpr u32 kMain = 0x8000'1000;
+constexpr u32 kFlashConst = 0x8004'0000;
+constexpr u32 kFlashConstUncached = 0xA004'0000;
+constexpr u32 kDspr = 0xC000'0000;
+constexpr u32 kLmu = 0x9000'0000;
+
+std::string li(const char* reg, u32 value) {
+  if (value <= 0x7FFF) {
+    return std::string("    movd  ") + reg + ", " + std::to_string(value) + "\n";
+  }
+  std::string out = std::string("    movh  ") + reg + ", " +
+                    std::to_string(value >> 16) + "\n";
+  if ((value & 0xFFFF) != 0) {
+    out += std::string("    ori   ") + reg + ", " + reg + ", " +
+           std::to_string(value & 0xFFFF) + "\n";
+  }
+  return out;
+}
+
+/// Emit `count` .word values from a deterministic generator.
+std::string words(u64 seed, u32 count, u32 mask = 0xFFFF) {
+  Prng prng(seed);
+  std::string out;
+  std::string line;
+  for (u32 i = 0; i < count; ++i) {
+    const u32 v = static_cast<u32>(prng.next_u64()) & mask;
+    if (line.empty()) {
+      line = "    .word " + std::to_string(v);
+    } else {
+      line += ", " + std::to_string(v);
+    }
+    if ((i + 1) % 8 == 0 || i + 1 == count) {
+      out += line + "\n";
+      line.clear();
+    }
+  }
+  return out;
+}
+
+/// LCG fill of a DSPR buffer: buf[0..count-1] = (lcg >> 16) & 0x7FFF.
+/// Uses d8/d9 for the constants, d0 for state, a2/a3 as pointer/counter.
+std::string lcg_fill(const std::string& buf, u32 count, u32 seed) {
+  std::string s;
+  s += li("d0", seed);
+  s += li("d8", 1664525);
+  s += li("d9", 1013904223);
+  s += li("d1", count);
+  s += "    mov.ad a3, d1\n";
+  s += "    lea   a2, [a15+lo(" + buf + ")]\n";
+  s += "_fill_" + buf + ":\n";
+  s += "    mul   d0, d0, d8\n";
+  s += "    add   d0, d0, d9\n";
+  s += "    shri  d1, d0, 16\n";
+  s += li("d2", 0x7FFF);
+  s += "    and   d1, d1, d2\n";
+  s += "    st.w  d1, [a2+0]\n";
+  s += "    lea   a2, [a2+4]\n";
+  s += "    loop  a3, _fill_" + buf + "\n";
+  return s;
+}
+
+std::string header() {
+  std::string s;
+  s += "    .text " + std::to_string(kMain) + "\n";
+  s += "main:\n";
+  s += "    movha a15, 0xC000\n";
+  return s;
+}
+
+std::string footer() {
+  return "    st.w  d5, [a15+lo(result)]\n    halt\n";
+}
+
+}  // namespace
+
+Result<isa::Program> build_fir(u32 taps, u32 samples) {
+  std::string s = header();
+  s += lcg_fill("xbuf", samples + taps, 7);
+  s += li("d5", 0);
+  s += li("d0", samples);
+  s += "    mov.ad a4, d0\n";
+  s += "    lea   a2, [a15+lo(xbuf)]\n";
+  s += "_outer:\n";
+  s += "    movd  d1, 0\n";
+  s += "    movh  d2, hi(coeffs)\n";
+  s += "    ori   d2, d2, lo(coeffs)\n";
+  s += "    mov.ad a5, d2\n";
+  s += li("d2", taps);
+  s += "    mov.ad a6, d2\n";
+  s += "    mov.a a7, a2\n";
+  s += "_inner:\n";
+  s += "    ld.w  d3, [a7+0]\n";
+  s += "    ld.w  d4, [a5+0]\n";
+  s += "    mac   d1, d3, d4\n";
+  s += "    lea   a7, [a7+4]\n";
+  s += "    lea   a5, [a5+4]\n";
+  s += "    loop  a6, _inner\n";
+  s += "    xor   d5, d5, d1\n";
+  s += "    lea   a2, [a2+4]\n";
+  s += "    loop  a4, _outer\n";
+  s += footer();
+  s += "    .data " + std::to_string(kDspr) + "\n";
+  s += "result:\n    .word 0\n";
+  s += "xbuf:\n    .space " + std::to_string(4 * (samples + taps)) + "\n";
+  s += "    .data " + std::to_string(kFlashConst) + "\n";
+  s += "coeffs:\n" + words(11, taps, 0xFF);
+  return isa::assemble(s);
+}
+
+Result<isa::Program> build_checksum(u32 words_n, bool uncached) {
+  const u32 base = uncached ? kFlashConstUncached : kFlashConst;
+  std::string s = header();
+  s += li("d5", 0);
+  s += li("d0", base);
+  s += "    mov.ad a2, d0\n";
+  s += li("d1", words_n);
+  s += "    mov.ad a3, d1\n";
+  s += "_cksum_loop:\n";
+  s += "    ld.w  d2, [a2+0]\n";
+  s += "    xor   d5, d5, d2\n";
+  s += "    shli  d3, d5, 1\n";
+  s += "    shri  d4, d5, 31\n";
+  s += "    or    d5, d3, d4\n";
+  s += "    lea   a2, [a2+4]\n";
+  s += "    loop  a3, _cksum_loop\n";
+  s += footer();
+  s += "    .data " + std::to_string(kDspr) + "\n";
+  s += "result:\n    .word 0\n";
+  s += "    .data " + std::to_string(kFlashConst) + "\n";
+  s += "block:\n" + words(23, words_n);
+  return isa::assemble(s);
+}
+
+Result<isa::Program> build_matmul(u32 dim) {
+  const u32 row_bytes = dim * 4;
+  std::string s = header();
+  s += lcg_fill("mat_a", dim * dim, 3);
+  s += lcg_fill("mat_b", dim * dim, 5);
+  s += li("d5", 0);
+  // i loop
+  s += "    lea   a2, [a15+lo(mat_a)]\n";  // a_row
+  s += "    lea   a4, [a15+lo(mat_c)]\n";  // c_ptr
+  s += li("d0", dim);
+  s += "    mov.ad a8, d0\n";
+  s += "_i_loop:\n";
+  s += "    lea   a3, [a15+lo(mat_b)]\n";  // b column base
+  s += li("d0", dim);
+  s += "    mov.ad a9, d0\n";
+  s += "_j_loop:\n";
+  s += "    movd  d1, 0\n";
+  s += "    mov.a a5, a2\n";   // a_ptr
+  s += "    mov.a a6, a3\n";   // b_ptr
+  s += li("d0", dim);
+  s += "    mov.ad a10, d0\n";
+  s += "_k_loop:\n";
+  s += "    ld.w  d2, [a5+0]\n";
+  s += "    ld.w  d3, [a6+0]\n";
+  s += "    mac   d1, d2, d3\n";
+  s += "    lea   a5, [a5+4]\n";
+  s += "    lea   a6, [a6+" + std::to_string(row_bytes) + "]\n";
+  s += "    loop  a10, _k_loop\n";
+  s += "    st.w  d1, [a4+0]\n";
+  s += "    xor   d5, d5, d1\n";
+  s += "    lea   a4, [a4+4]\n";
+  s += "    lea   a3, [a3+4]\n";  // next column
+  s += "    loop  a9, _j_loop\n";
+  s += "    lea   a2, [a2+" + std::to_string(row_bytes) + "]\n";
+  s += "    loop  a8, _i_loop\n";
+  s += footer();
+  s += "    .data " + std::to_string(kDspr) + "\n";
+  s += "result:\n    .word 0\n";
+  s += "mat_a:\n    .space " + std::to_string(dim * dim * 4) + "\n";
+  s += "mat_b:\n    .space " + std::to_string(dim * dim * 4) + "\n";
+  s += "mat_c:\n    .space " + std::to_string(dim * dim * 4) + "\n";
+  return isa::assemble(s);
+}
+
+Result<isa::Program> build_sort(u32 n) {
+  std::string s = header();
+  s += lcg_fill("arr", n, 13);
+  s += li("d0", n - 1);
+  s += "    mov.ad a8, d0\n";
+  s += "_pass_loop:\n";
+  s += li("d0", n - 1);
+  s += "    mov.ad a9, d0\n";
+  s += "    lea   a2, [a15+lo(arr)]\n";
+  s += "_cmp_loop:\n";
+  s += "    ld.w  d1, [a2+0]\n";
+  s += "    ld.w  d2, [a2+4]\n";
+  s += "    jge   d2, d1, _no_swap\n";
+  s += "    st.w  d2, [a2+0]\n";
+  s += "    st.w  d1, [a2+4]\n";
+  s += "_no_swap:\n";
+  s += "    lea   a2, [a2+4]\n";
+  s += "    loop  a9, _cmp_loop\n";
+  s += "    loop  a8, _pass_loop\n";
+  // weighted sum over the sorted array as the result signature
+  s += li("d5", 0);
+  s += li("d6", 1);
+  s += li("d0", n);
+  s += "    mov.ad a3, d0\n";
+  s += "    lea   a2, [a15+lo(arr)]\n";
+  s += "_sum_loop:\n";
+  s += "    ld.w  d1, [a2+0]\n";
+  s += "    mac   d5, d1, d6\n";
+  s += "    addi  d6, d6, 1\n";
+  s += "    lea   a2, [a2+4]\n";
+  s += "    loop  a3, _sum_loop\n";
+  s += footer();
+  s += "    .data " + std::to_string(kDspr) + "\n";
+  s += "result:\n    .word 0\n";
+  s += "arr:\n    .space " + std::to_string(n * 4) + "\n";
+  return isa::assemble(s);
+}
+
+Result<isa::Program> build_lookup_stress(u32 words_n, u32 iterations,
+                                         bool uncached) {
+  std::string s = header();
+  s += li("d5", 0);
+  s += li("d0", 0x1234);   // LCG state
+  s += li("d8", 1664525);
+  s += li("d9", 1013904223);
+  s += li("d6", uncached ? kFlashConstUncached : kFlashConst);
+  s += li("d7", (words_n - 1) * 4);  // byte-index mask (word aligned)
+  s += li("d1", iterations);
+  s += "    mov.ad a3, d1\n";
+  s += "_lk_loop:\n";
+  s += "    mul   d0, d0, d8\n";
+  s += "    add   d0, d0, d9\n";
+  s += "    shri  d1, d0, 8\n";
+  s += "    and   d1, d1, d7\n";  // mask keeps word alignment
+  s += "    add   d2, d6, d1\n";
+  s += "    mov.ad a2, d2\n";
+  s += "    ld.w  d3, [a2+0]\n";
+  s += "    xor   d5, d5, d3\n";
+  s += "    loop  a3, _lk_loop\n";
+  s += footer();
+  s += "    .data " + std::to_string(kDspr) + "\n";
+  s += "result:\n    .word 0\n";
+  s += "    .data " + std::to_string(kFlashConst) + "\n";
+  s += "table:\n" + words(31, words_n);
+  return isa::assemble(s);
+}
+
+Result<isa::Program> build_memcpy(u32 words_n, u32 passes) {
+  std::string s = header();
+  s += li("d5", 0);
+  s += li("d0", passes);
+  s += "    mov.ad a8, d0\n";
+  s += "_pass:\n";
+  s += li("d0", kLmu);
+  s += "    mov.ad a2, d0\n";
+  s += "    lea   a4, [a15+lo(buf)]\n";
+  s += li("d1", words_n);
+  s += "    mov.ad a3, d1\n";
+  s += "_cpy_loop:\n";
+  s += "    ld.w  d2, [a2+0]\n";
+  s += "    st.w  d2, [a4+0]\n";
+  s += "    add   d5, d5, d2\n";
+  s += "    lea   a2, [a2+4]\n";
+  s += "    lea   a4, [a4+4]\n";
+  s += "    loop  a3, _cpy_loop\n";
+  s += "    loop  a8, _pass\n";
+  s += footer();
+  s += "    .data " + std::to_string(kDspr) + "\n";
+  s += "result:\n    .word 0\n";
+  s += "buf:\n    .space " + std::to_string(words_n * 4) + "\n";
+  return isa::assemble(s);
+}
+
+const std::vector<KernelSpec>& standard_suite() {
+  static const std::vector<KernelSpec> kSuite = {
+      {"fir", [] { return build_fir(); }},
+      {"checksum", [] { return build_checksum(); }},
+      {"checksum_uncached", [] { return build_checksum(2048, true); }},
+      {"matmul", [] { return build_matmul(); }},
+      {"sort", [] { return build_sort(); }},
+      {"lookup", [] { return build_lookup_stress(); }},
+      {"memcpy", [] { return build_memcpy(); }},
+  };
+  return kSuite;
+}
+
+}  // namespace audo::workload

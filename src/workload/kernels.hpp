@@ -1,0 +1,50 @@
+// Self-contained halting kernels: the workload suite for architecture-
+// option evaluation (E6) and for micro-validation of the core model.
+//
+// Each builder returns an assembled Program whose `main` runs the kernel
+// and HALTs; expected results are stored at well-known DSPR symbols so
+// tests can check functional correctness, not just timing.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace audo::workload {
+
+/// FIR filter: `samples` outputs of a `taps`-tap filter. Samples live in
+/// DSPR, coefficients in flash (cached region) — a typical signal chain.
+/// Result checksum at DSPR symbol "result".
+Result<isa::Program> build_fir(u32 taps = 16, u32 samples = 256);
+
+/// Rotate-xor checksum over `words` words of flash via the *cached* data
+/// path. Result at "result".
+Result<isa::Program> build_checksum(u32 words = 2048, bool uncached = false);
+
+/// Dense matrix multiply C = A*B of dim x dim 32-bit matrices in DSPR.
+/// Result (C checksum) at "result".
+Result<isa::Program> build_matmul(u32 dim = 12);
+
+/// Bubble sort of `n` pseudo-random words in DSPR (branchy, LS-heavy).
+/// Result (sorted-sum) at "result".
+Result<isa::Program> build_sort(u32 n = 96);
+
+/// Pointer-chase through a `words`-word table in flash with an LCG index
+/// (cache-hostile lookup pattern — the look-up-table access profile §5
+/// talks about). Result at "result". With `uncached` the table is read
+/// through the non-cached alias (read buffers only).
+Result<isa::Program> build_lookup_stress(u32 words = 4096, u32 iterations = 4096,
+                                         bool uncached = false);
+
+/// Block copy LMU -> DSPR, `words` words per pass, `passes` passes.
+Result<isa::Program> build_memcpy(u32 words = 512, u32 passes = 8);
+
+/// Names + builders of the standard evaluation suite.
+struct KernelSpec {
+  const char* name;
+  Result<isa::Program> (*build)();
+};
+const std::vector<KernelSpec>& standard_suite();
+
+}  // namespace audo::workload

@@ -1,0 +1,344 @@
+#include "workload/transmission.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+#include "isa/assembler.hpp"
+#include "periph/sfr_bridge.hpp"
+#include "workload/asm_builder.hpp"
+
+namespace audo::workload {
+namespace {
+
+constexpr Addr kBiv = 0x8000'0000;
+constexpr Addr kMainBase = 0x8000'1000;
+constexpr Addr kFlashMaps = 0x8005'0000;
+constexpr Addr kDsprData = 0xC000'0000;
+
+constexpr u32 kStmCmp0 = periph::sfr::kStm + 0x08;
+constexpr u32 kStmCtrl = periph::sfr::kStm + 0x10;
+constexpr u32 kWdtService = periph::sfr::kWatchdog + 0x00;
+constexpr u32 kWdtPeriod = periph::sfr::kWatchdog + 0x04;
+constexpr u32 kCrankRpm = periph::sfr::kCrank + 0x00;
+constexpr u32 kAdcResult = periph::sfr::kAdc + 0x04;
+constexpr u32 kAdcPeriod = periph::sfr::kAdc + 0x08;
+constexpr u32 kCanRxData = periph::sfr::kCan + 0x08;
+constexpr u32 kCanRxPeriod = periph::sfr::kCan + 0x10;
+
+void emit_map(Asm& a, const char* name, u32 dim, unsigned mul_r,
+              unsigned mul_c, unsigned bias) {
+  a.label(name);
+  std::string line;
+  for (u32 r = 0; r < dim; ++r) {
+    for (u32 c = 0; c < dim; ++c) {
+      const u32 v = (bias + r * mul_r + c * mul_c) & 0xFF;
+      if (line.empty()) {
+        line = "    .word " + std::to_string(v);
+      } else {
+        line += ", " + std::to_string(v);
+      }
+      if ((c + 1) % 8 == 0 || c + 1 == dim) {
+        a.raw(line);
+        line.clear();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<TransmissionWorkload> build_transmission_workload(
+    const TransmissionOptions& opt) {
+  assert(is_pow2(opt.map_dim) && opt.map_dim >= 4 && opt.map_dim <= 64);
+  const u32 dim = opt.map_dim;
+  const u32 log2_dim = log2_exact(dim);
+  const u32 dim_mask = dim - 1;
+  const u32 map_bytes = dim * dim * 4;
+
+  Asm a;
+  a.comment("Generated transmission-control workload (workload/transmission.cpp)");
+
+  auto vector = [&](u8 prio, const std::string& target) {
+    a.section(".text", kBiv + prio * 32u);
+    a.op("j " + target);
+  };
+  vector(opt.prio_can_rx, "isr_can");
+  vector(opt.prio_adc, "isr_adc");
+  vector(opt.prio_stm, "isr_task");
+  vector(opt.prio_pulse, "isr_pulse");
+
+  // ---- main / init ----
+  a.section(".text", kMainBase);
+  a.label("main");
+  a.op("di");
+  a.op("movha a15, 0xC000");
+  a.op("movha a14, 0xF000");
+  a.li("d0", kBiv);
+  a.op("mtcr  biv, d0");
+  a.li("d0", opt.stm_period);
+  a.op("st.w  d0, [a14+" + std::to_string(kStmCmp0) + "]");
+  a.li("d0", 1);
+  a.op("st.w  d0, [a14+" + std::to_string(kStmCtrl) + "]");
+  a.li("d0", opt.adc_period);
+  a.op("st.w  d0, [a14+" + std::to_string(kAdcPeriod) + "]");
+  a.li("d0", opt.can_rx_period);
+  a.op("st.w  d0, [a14+" + std::to_string(kCanRxPeriod) + "]");
+  if (opt.wdt_period != 0) {
+    a.li("d0", opt.wdt_period);
+    a.op("st.w  d0, [a14+" + std::to_string(kWdtPeriod) + "]");
+  }
+  a.op("ei");
+
+  a.label("_bg");
+  a.op("call  map_crc");
+  a.li("d0", periph::Watchdog::kServiceKey);
+  a.op("st.w  d0, [a14+" + std::to_string(kWdtService) + "]");
+  // Adaptation journalling every 32 periodic tasks.
+  a.op("ld.w  d0, [a15+" + off("task_count") + "]");
+  a.op("andi  d1, d0, 31");
+  a.op("jnz   d1, _bg_no_adapt");
+  a.op("ld.w  d1, [a15+" + off("adapt_done") + "]");
+  a.op("jeq   d1, d0, _bg_no_adapt");
+  a.op("st.w  d0, [a15+" + off("adapt_done") + "]");
+  a.op("call  adapt_write");
+  a.label("_bg_no_adapt");
+  if (opt.halt_after_tasks != 0) {
+    a.op("ld.w  d0, [a15+" + off("task_count") + "]");
+    a.li("d1", opt.halt_after_tasks);
+    a.op("jlt   d0, d1, _bg");
+    a.op("halt");
+  } else {
+    a.op("j     _bg");
+  }
+
+  // ---- background subroutines ----
+  a.label("map_crc");
+  a.li("d0", 0);
+  a.op("movh  d2, hi(shift_map)");
+  a.op("ori   d2, d2, lo(shift_map)");
+  a.op("mov.ad a2, d2");
+  a.li("d1", 64);
+  a.op("mov.ad a3, d1");
+  a.label("_crc_loop");
+  a.op("ld.w  d2, [a2+0]");
+  a.op("xor   d0, d0, d2");
+  a.op("shli  d3, d0, 3");
+  a.op("shri  d4, d0, 29");
+  a.op("or    d0, d3, d4");
+  a.op("lea   a2, [a2+4]");
+  a.op("loop  a3, _crc_loop");
+  a.op("st.w  d0, [a15+" + off("crc_sum") + "]");
+  a.op("ret");
+
+  a.label("adapt_write");
+  a.op("ld.w  d0, [a15+" + off("adapt_idx") + "]");
+  a.op("andi  d1, d0, 127");
+  a.op("shli  d1, d1, 2");
+  a.op("movh  d2, 0xAF00");
+  a.op("ori   d2, d2, 0x1000");  // second journal region in DFlash
+  a.op("add   d2, d2, d1");
+  a.op("mov.ad a2, d2");
+  a.op("ld.w  d3, [a15+" + off("sol_out") + "]");
+  a.op("st.w  d3, [a2+0]");
+  a.op("addi  d0, d0, 1");
+  a.op("st.w  d0, [a15+" + off("adapt_idx") + "]");
+  a.op("ret");
+
+  // ---- ISRs ----
+  // Turbine pulse: ultra-light counter (the crank wheel is the sensor).
+  a.label("isr_pulse");
+  a.op("st.w  d8, [a15+" + off("sv_p_d8") + "]");
+  a.op("ld.w  d8, [a15+" + off("pulse_count") + "]");
+  a.op("addi  d8, d8, 1");
+  a.op("st.w  d8, [a15+" + off("pulse_count") + "]");
+  a.op("ld.w  d8, [a15+" + off("sv_p_d8") + "]");
+  a.op("rfe");
+
+  // Wheel-speed frame into a 16-entry ring.
+  a.label("isr_can");
+  a.op("st.w  d8, [a15+" + off("sv_c_d8") + "]");
+  a.op("st.w  d9, [a15+" + off("sv_c_d9") + "]");
+  a.op("st.w  d10, [a15+" + off("sv_c_d10") + "]");
+  a.op("st.a  a8, [a15+" + off("sv_c_a8") + "]");
+  a.op("ld.w  d8, [a14+" + std::to_string(kCanRxData) + "]");
+  a.op("andi  d8, d8, 0x3FF");  // plausibility-limit the wheel speed
+  a.op("ld.w  d9, [a15+" + off("wheel_head") + "]");
+  a.op("andi  d10, d9, 15");
+  a.op("shli  d10, d10, 2");
+  a.op("movh  d9, hi(wheel_ring)");
+  a.op("ori   d9, d9, lo(wheel_ring)");
+  a.op("add   d9, d9, d10");
+  a.op("mov.ad a8, d9");
+  a.op("st.w  d8, [a8+0]");
+  a.op("ld.w  d9, [a15+" + off("wheel_head") + "]");
+  a.op("addi  d9, d9, 1");
+  a.op("st.w  d9, [a15+" + off("wheel_head") + "]");
+  a.op("ld.w  d8, [a15+" + off("sv_c_d8") + "]");
+  a.op("ld.w  d9, [a15+" + off("sv_c_d9") + "]");
+  a.op("ld.w  d10, [a15+" + off("sv_c_d10") + "]");
+  a.op("ld.a  a8, [a15+" + off("sv_c_a8") + "]");
+  a.op("rfe");
+
+  // Line-pressure sensor low-pass.
+  a.label("isr_adc");
+  a.op("st.w  d8, [a15+" + off("sv_a_d8") + "]");
+  a.op("st.w  d9, [a15+" + off("sv_a_d9") + "]");
+  a.op("ld.w  d8, [a14+" + std::to_string(kAdcResult) + "]");
+  a.op("ld.w  d9, [a15+" + off("press_filt") + "]");
+  a.op("sub   d8, d8, d9");
+  a.op("sari  d8, d8, 2");
+  a.op("add   d9, d9, d8");
+  a.op("st.w  d9, [a15+" + off("press_filt") + "]");
+  a.op("ld.w  d8, [a15+" + off("sv_a_d8") + "]");
+  a.op("ld.w  d9, [a15+" + off("sv_a_d9") + "]");
+  a.op("rfe");
+
+  // The heavy periodic task.
+  a.label("isr_task");
+  for (const char* r : {"d8", "d9", "d10", "d11", "d12"}) {
+    a.op(std::string("st.w  ") + r + ", [a15+" + off(std::string("sv_t_") + r) + "]");
+  }
+  a.op("st.a  a8, [a15+" + off("sv_t_a8") + "]");
+  a.op("st.a  a9, [a15+" + off("sv_t_a9") + "]");
+  // 1. turbine speed = pulses since last task (snapshot and clear).
+  a.op("ld.w  d8, [a15+" + off("pulse_count") + "]");
+  a.op("movd  d9, 0");
+  a.op("st.w  d9, [a15+" + off("pulse_count") + "]");
+  a.op("st.w  d8, [a15+" + off("turbine") + "]");
+  // 2. wheel average over the 16-entry ring.
+  a.op("movd  d9, 0");
+  a.op("movh  d10, hi(wheel_ring)");
+  a.op("ori   d10, d10, lo(wheel_ring)");
+  a.op("mov.ad a8, d10");
+  a.li("d10", 16);
+  a.op("mov.ad a9, d10");
+  a.label("_wheel_sum");
+  a.op("ld.w  d10, [a8+0]");
+  a.op("add   d9, d9, d10");
+  a.op("lea   a8, [a8+4]");
+  a.op("loop  a9, _wheel_sum");
+  a.op("shri  d9, d9, 4");
+  a.op("st.w  d9, [a15+" + off("wheel_avg") + "]");
+  // 3. gear decision from the shift map, with hysteresis.
+  a.op("shri  d10, d8, 2");  // turbine bucket
+  a.op("andi  d10, d10, " + std::to_string(dim_mask));
+  a.op("shri  d11, d9, 4");  // wheel bucket
+  a.op("andi  d11, d11, " + std::to_string(dim_mask));
+  a.op("shli  d10, d10, " + std::to_string(log2_dim));
+  a.op("add   d10, d10, d11");
+  a.op("shli  d10, d10, 2");
+  a.op("movh  d11, hi(shift_map)");
+  a.op("ori   d11, d11, lo(shift_map)");
+  a.op("add   d11, d11, d10");
+  a.op("mov.ad a8, d11");
+  a.op("ld.w  d11, [a8+0]");            // target gear
+  a.op("ld.w  d12, [a8+" + std::to_string(map_bytes) + "]");  // pressure map
+  a.op("andi  d11, d11, 7");
+  a.op("jnz   d11, _gear_valid");
+  a.op("movd  d11, 1");  // the map never commands neutral
+  a.label("_gear_valid");
+  a.op("ld.w  d10, [a15+" + off("gear") + "]");
+  a.op("jeq   d10, d11, _no_shift");
+  a.op("ld.w  d10, [a15+" + off("shift_state") + "]");
+  a.op("addi  d10, d10, 1");
+  a.op("st.w  d10, [a15+" + off("shift_state") + "]");
+  a.op("movd  d9, 3");
+  a.op("jlt   d10, d9, _shift_done");
+  a.op("st.w  d11, [a15+" + off("gear") + "]");
+  a.op("movd  d10, 0");
+  a.op("st.w  d10, [a15+" + off("shift_state") + "]");
+  a.op("ld.w  d10, [a15+" + off("shift_count") + "]");
+  a.op("addi  d10, d10, 1");
+  a.op("st.w  d10, [a15+" + off("shift_count") + "]");
+  a.op("j     _shift_done");
+  a.label("_no_shift");
+  a.op("movd  d10, 0");
+  a.op("st.w  d10, [a15+" + off("shift_state") + "]");
+  a.label("_shift_done");
+  // 4. slip = engine_rpm * 100 / (turbine + 1): division-heavy.
+  a.op("ld.w  d9, [a14+" + std::to_string(kCrankRpm) + "]");
+  a.li("d10", 100);
+  a.op("mul   d9, d9, d10");
+  a.op("ld.w  d10, [a15+" + off("turbine") + "]");
+  a.op("addi  d10, d10, 1");
+  a.op("div   d9, d9, d10");
+  a.op("st.w  d9, [a15+" + off("slip") + "]");
+  // 5. line-pressure PI: target from the pressure map cell (d12).
+  a.op("ld.w  d9, [a15+" + off("press_filt") + "]");
+  a.op("shli  d12, d12, 3");
+  a.op("sub   d9, d12, d9");  // error
+  a.op("ld.w  d10, [a15+" + off("pi_integ") + "]");
+  a.op("add   d10, d10, d9");
+  a.op("st.w  d10, [a15+" + off("pi_integ") + "]");
+  a.op("shli  d9, d9, 2");
+  a.op("add   d9, d9, d10");
+  a.op("st.w  d9, [a15+" + off("sol_out") + "]");
+  // 6. bookkeeping.
+  a.op("ld.w  d9, [a15+" + off("task_count") + "]");
+  a.op("addi  d9, d9, 1");
+  a.op("st.w  d9, [a15+" + off("task_count") + "]");
+  for (const char* r : {"d8", "d9", "d10", "d11", "d12"}) {
+    a.op(std::string("ld.w  ") + r + ", [a15+" + off(std::string("sv_t_") + r) + "]");
+  }
+  a.op("ld.a  a8, [a15+" + off("sv_t_a8") + "]");
+  a.op("ld.a  a9, [a15+" + off("sv_t_a9") + "]");
+  a.op("rfe");
+
+  // ---- data: DSPR ----
+  a.section(".data", kDsprData);
+  for (const char* v :
+       {"gear", "shift_state", "shift_count", "pulse_count", "turbine",
+        "wheel_head", "wheel_avg", "press_filt", "pi_integ", "sol_out",
+        "slip", "task_count", "adapt_idx", "adapt_done", "crc_sum",
+        "sv_p_d8", "sv_c_d8", "sv_c_d9", "sv_c_d10", "sv_c_a8", "sv_a_d8",
+        "sv_a_d9", "sv_t_d8", "sv_t_d9", "sv_t_d10", "sv_t_d11", "sv_t_d12",
+        "sv_t_a8", "sv_t_a9"}) {
+    a.label(v);
+    const bool is_gear = std::string(v) == "gear";
+    const bool is_adapt_done = std::string(v) == "adapt_done";
+    a.op(std::string(".word ") + (is_gear ? "1" : is_adapt_done ? "99" : "0"));
+  }
+  a.label("wheel_ring");
+  a.op(".space 64");
+
+  // ---- data: flash maps ----
+  a.section(".data", kFlashMaps);
+  emit_map(a, "shift_map", dim, 3, 5, 1);
+  emit_map(a, "pressure_map", dim, 11, 7, 40);
+
+  auto program = isa::assemble(a.text());
+  if (!program.is_ok()) return program.status();
+
+  TransmissionWorkload workload;
+  workload.program = std::move(program).value();
+  workload.options = opt;
+  workload.source = a.text();
+  workload.tc_entry = workload.program.symbol_addr("main").value();
+  return workload;
+}
+
+void configure_transmission(soc::Soc& soc, const TransmissionOptions& opt) {
+  soc.crank().set_rpm(opt.rpm);
+  soc.crank().set_time_scale(opt.time_scale);
+
+  periph::IrqRouter& router = soc.irq_router();
+  const soc::SrcIds& srcs = soc.srcs();
+  using periph::IrqTarget;
+  router.configure(srcs.stm0, opt.prio_stm, IrqTarget::kTc);
+  router.configure(srcs.crank_tooth, opt.prio_pulse, IrqTarget::kTc);
+  router.configure(srcs.crank_sync, 0, IrqTarget::kTc, /*enabled=*/false);
+  router.configure(srcs.adc_done, opt.prio_adc, IrqTarget::kTc);
+  router.configure(srcs.can_rx, opt.prio_can_rx, IrqTarget::kTc);
+  router.configure(srcs.can_tx, 0, IrqTarget::kTc, /*enabled=*/false);
+  router.configure(srcs.wdt_timeout, 0, IrqTarget::kTc, /*enabled=*/false);
+}
+
+Status install_transmission(soc::Soc& soc,
+                            const TransmissionWorkload& workload) {
+  if (Status s = soc.load(workload.program); !s.is_ok()) return s;
+  configure_transmission(soc, workload.options);
+  soc.reset(workload.tc_entry);
+  return Status::ok();
+}
+
+}  // namespace audo::workload

@@ -1,0 +1,226 @@
+// Crossbar tests: decoding, port filters, arbitration policies,
+// contention accounting and transaction timing.
+#include <gtest/gtest.h>
+
+#include "bus/crossbar.hpp"
+
+namespace audo::bus {
+namespace {
+
+/// Scriptable slave with fixed latency.
+class FakeSlave final : public BusSlave {
+ public:
+  explicit FakeSlave(unsigned latency, std::string name = "fake")
+      : latency_(latency), name_(std::move(name)) {}
+
+  unsigned start_access(const BusRequest&) override {
+    ++starts_;
+    return latency_;
+  }
+  u32 complete_access(const BusRequest& req) override {
+    ++completions_;
+    if (req.kind == AccessKind::kWrite) {
+      last_write_ = req.wdata;
+      return 0;
+    }
+    return 0xC0FFEE00 + completions_;
+  }
+  std::string_view name() const override { return name_; }
+
+  unsigned starts_ = 0;
+  unsigned completions_ = 0;
+  u32 last_write_ = 0;
+
+ private:
+  unsigned latency_;
+  std::string name_;
+};
+
+BusRequest read_req(MasterId master, Addr addr, bool fetch = false) {
+  BusRequest req;
+  req.master = master;
+  req.addr = addr;
+  req.fetch = fetch;
+  return req;
+}
+
+TEST(Crossbar, DecodeAndRegionOverlap) {
+  Crossbar bus;
+  FakeSlave s0(1), s1(1);
+  const unsigned i0 = bus.add_slave(&s0);
+  const unsigned i1 = bus.add_slave(&s1);
+  ASSERT_TRUE(bus.map_region(0x1000, 0x100, i0).is_ok());
+  ASSERT_TRUE(bus.map_region(0x2000, 0x100, i1).is_ok());
+  EXPECT_FALSE(bus.map_region(0x1080, 0x100, i1).is_ok());  // overlap
+  EXPECT_FALSE(bus.map_region(0x3000, 0x100, 99).is_ok());  // bad slave
+  EXPECT_FALSE(bus.map_region(0x3000, 0, i0).is_ok());      // empty
+
+  EXPECT_EQ(bus.decode(0x1000).value(), i0);
+  EXPECT_EQ(bus.decode(0x10FF).value(), i0);
+  EXPECT_EQ(bus.decode(0x2000).value(), i1);
+  EXPECT_FALSE(bus.decode(0x1100).is_ok());
+}
+
+TEST(Crossbar, FetchDataPortFilters) {
+  Crossbar bus;
+  FakeSlave code(1, "code"), data(1, "data");
+  const unsigned ic = bus.add_slave(&code);
+  const unsigned id = bus.add_slave(&data);
+  // Same addresses, disjoint filters: allowed.
+  ASSERT_TRUE(bus.map_region(0x8000, 0x100, ic, PortFilter::kFetchOnly).is_ok());
+  ASSERT_TRUE(bus.map_region(0x8000, 0x100, id, PortFilter::kDataOnly).is_ok());
+  // A kAny overlap is rejected.
+  FakeSlave other(1);
+  const unsigned io = bus.add_slave(&other);
+  EXPECT_FALSE(bus.map_region(0x8000, 0x100, io).is_ok());
+
+  EXPECT_EQ(bus.decode(0x8000, /*fetch=*/true).value(), ic);
+  EXPECT_EQ(bus.decode(0x8000, /*fetch=*/false).value(), id);
+}
+
+TEST(Crossbar, SingleTransactionTiming) {
+  Crossbar bus;
+  FakeSlave slave(3);
+  const unsigned s = bus.add_slave(&slave);
+  ASSERT_TRUE(bus.map_region(0x0, 0x1000, s).is_ok());
+
+  MasterPort port;
+  ASSERT_TRUE(bus.issue(port, read_req(MasterId::kTcData, 0x10), 0));
+  EXPECT_TRUE(port.busy());
+  // Grant happens in the first step; latency 3 -> done after 3 more steps.
+  Cycle now = 0;
+  int steps = 0;
+  while (!port.done()) {
+    bus.step(++now);
+    ++steps;
+    ASSERT_LT(steps, 10);
+  }
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(port.take_rdata(), 0xC0FFEE01u);
+  EXPECT_TRUE(port.idle());
+  EXPECT_EQ(bus.slave_stats(s).grants, 1u);
+  EXPECT_EQ(bus.slave_stats(s).reads, 1u);
+}
+
+TEST(Crossbar, IssueToUnmappedAddressFails) {
+  Crossbar bus;
+  FakeSlave slave(1);
+  bus.map_region(0x0, 0x100, bus.add_slave(&slave)).is_ok();
+  MasterPort port;
+  EXPECT_FALSE(bus.issue(port, read_req(MasterId::kTcData, 0x5000), 0));
+  EXPECT_TRUE(port.idle());
+}
+
+TEST(Crossbar, FixedPriorityWinsContention) {
+  Crossbar bus(ArbitrationPolicy::kFixedPriority);
+  FakeSlave slave(2);
+  const unsigned s = bus.add_slave(&slave);
+  ASSERT_TRUE(bus.map_region(0x0, 0x1000, s).is_ok());
+
+  MasterPort dma_port, cpu_port;
+  // DMA enumerates before TcData -> higher default priority.
+  ASSERT_TRUE(bus.issue(cpu_port, read_req(MasterId::kTcData, 0x4), 0));
+  ASSERT_TRUE(bus.issue(dma_port, read_req(MasterId::kDma, 0x8), 0));
+
+  bus.step(1);
+  EXPECT_TRUE(bus.observation().contention);
+  EXPECT_EQ(bus.observation().granted_master, MasterId::kDma);
+
+  // DMA (latency 2) completes at step 2; the CPU is granted the freed
+  // slave in the same step and completes at step 3.
+  bus.step(2);
+  EXPECT_TRUE(dma_port.done());
+  EXPECT_FALSE(cpu_port.done());
+  bus.step(3);
+  EXPECT_TRUE(cpu_port.done());
+  EXPECT_GT(bus.slave_stats(s).wait_cycles, 0u);
+  EXPECT_GT(bus.slave_stats(s).contention_cycles, 0u);
+}
+
+TEST(Crossbar, CustomPriorityOrder) {
+  Crossbar bus(ArbitrationPolicy::kFixedPriority);
+  bus.set_priority_order({MasterId::kTcFetch, MasterId::kTcData,
+                          MasterId::kPcpData, MasterId::kCerberus,
+                          MasterId::kDma});  // DMA demoted to last
+  FakeSlave slave(1);
+  const unsigned s = bus.add_slave(&slave);
+  ASSERT_TRUE(bus.map_region(0x0, 0x1000, s).is_ok());
+
+  MasterPort dma_port, cpu_port;
+  ASSERT_TRUE(bus.issue(dma_port, read_req(MasterId::kDma, 0x8), 0));
+  ASSERT_TRUE(bus.issue(cpu_port, read_req(MasterId::kTcData, 0x4), 0));
+  bus.step(1);
+  EXPECT_EQ(bus.observation().granted_master, MasterId::kTcData);
+}
+
+TEST(Crossbar, RoundRobinAlternates) {
+  Crossbar bus(ArbitrationPolicy::kRoundRobin);
+  FakeSlave slave(1);
+  const unsigned s = bus.add_slave(&slave);
+  ASSERT_TRUE(bus.map_region(0x0, 0x1000, s).is_ok());
+
+  // Issue pairs repeatedly; both masters should get grants.
+  unsigned dma_grants = 0, cpu_grants = 0;
+  MasterPort dma_port, cpu_port;
+  Cycle now = 0;
+  for (int round = 0; round < 8; ++round) {
+    if (dma_port.idle()) {
+      ASSERT_TRUE(bus.issue(dma_port, read_req(MasterId::kDma, 0x8), now));
+    }
+    if (cpu_port.idle()) {
+      ASSERT_TRUE(bus.issue(cpu_port, read_req(MasterId::kTcData, 0x4), now));
+    }
+    bus.step(++now);
+    if (dma_port.done()) {
+      dma_port.take_rdata();
+      ++dma_grants;
+    }
+    if (cpu_port.done()) {
+      cpu_port.take_rdata();
+      ++cpu_grants;
+    }
+  }
+  EXPECT_GT(dma_grants, 1u);
+  EXPECT_GT(cpu_grants, 1u);
+  // Fair: neither starves; counts within 1 of each other.
+  EXPECT_LE(dma_grants > cpu_grants ? dma_grants - cpu_grants
+                                    : cpu_grants - dma_grants, 1u);
+}
+
+TEST(Crossbar, WriteCarriesData) {
+  Crossbar bus;
+  FakeSlave slave(1);
+  const unsigned s = bus.add_slave(&slave);
+  ASSERT_TRUE(bus.map_region(0x0, 0x1000, s).is_ok());
+  MasterPort port;
+  BusRequest req;
+  req.master = MasterId::kTcData;
+  req.addr = 0x20;
+  req.kind = AccessKind::kWrite;
+  req.wdata = 0xABCD1234;
+  ASSERT_TRUE(bus.issue(port, req, 0));
+  bus.step(1);
+  ASSERT_TRUE(port.done());
+  port.take_rdata();
+  EXPECT_EQ(slave.last_write_, 0xABCD1234u);
+  EXPECT_EQ(bus.slave_stats(s).writes, 1u);
+}
+
+TEST(Crossbar, ParallelSlavesServeConcurrently) {
+  Crossbar bus;
+  FakeSlave s0(4, "s0"), s1(4, "s1");
+  const unsigned i0 = bus.add_slave(&s0);
+  const unsigned i1 = bus.add_slave(&s1);
+  ASSERT_TRUE(bus.map_region(0x0, 0x100, i0).is_ok());
+  ASSERT_TRUE(bus.map_region(0x100, 0x100, i1).is_ok());
+  MasterPort p0, p1;
+  ASSERT_TRUE(bus.issue(p0, read_req(MasterId::kTcData, 0x0), 0));
+  ASSERT_TRUE(bus.issue(p1, read_req(MasterId::kDma, 0x100), 0));
+  // Different slaves: no contention, both complete after the same 4 steps.
+  for (Cycle now = 1; now <= 4; ++now) bus.step(now);
+  EXPECT_TRUE(p0.done());
+  EXPECT_TRUE(p1.done());
+}
+
+}  // namespace
+}  // namespace audo::bus

@@ -1,0 +1,114 @@
+// EMEM trace-sink tests: fill/ring/stream modes, byte-accurate occupancy,
+// drain semantics and the calibration overlay.
+#include <gtest/gtest.h>
+
+#include "emem/emem.hpp"
+
+namespace audo::emem {
+namespace {
+
+mcds::EncodedMessage unit(usize bytes, u8 fill = 0xAA) {
+  mcds::EncodedMessage m;
+  m.bytes.assign(bytes, fill);
+  return m;
+}
+
+EmemConfig tiny(TraceMode mode, u32 trace_bytes = 64) {
+  EmemConfig cfg;
+  cfg.size_bytes = trace_bytes + 32;
+  cfg.overlay_bytes = 32;
+  cfg.mode = mode;
+  return cfg;
+}
+
+TEST(Emem, FillModeStopsWhenFull) {
+  Emem emem(tiny(TraceMode::kFill, 64));
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(emem.push(unit(10), i));
+  }
+  EXPECT_EQ(emem.occupancy_bytes(), 60u);
+  EXPECT_FALSE(emem.push(unit(10), 7));  // would exceed 64
+  EXPECT_EQ(emem.dropped_messages(), 1u);
+  EXPECT_TRUE(emem.push(unit(4), 8));  // exact fit
+  EXPECT_EQ(emem.occupancy_bytes(), 64u);
+}
+
+TEST(Emem, RingModeOverwritesOldest) {
+  Emem emem(tiny(TraceMode::kRing, 32));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(emem.push(unit(10, static_cast<u8>(i)), i));
+  }
+  // 4 x 10 bytes into 32: the first message was overwritten.
+  EXPECT_EQ(emem.overwritten_messages(), 1u);
+  EXPECT_LE(emem.occupancy_bytes(), 32u);
+  emem.download_all();
+  ASSERT_EQ(emem.host_units().size(), 3u);
+  EXPECT_EQ(emem.host_units()[0].bytes[0], 1);  // message 0 gone
+}
+
+TEST(Emem, StreamModeDrainsInOrder) {
+  Emem emem(tiny(TraceMode::kStream, 64));
+  emem.push(unit(8, 1), 0);
+  emem.push(unit(8, 2), 1);
+  EXPECT_EQ(emem.occupancy_bytes(), 16u);
+  // Drain 10 bytes: message 1 fully, 2 bytes of message 2.
+  EXPECT_EQ(emem.drain(10), 10u);
+  EXPECT_EQ(emem.occupancy_bytes(), 6u);
+  ASSERT_EQ(emem.host_units().size(), 1u);
+  EXPECT_EQ(emem.host_units()[0].bytes[0], 1);
+  // Finish.
+  EXPECT_EQ(emem.drain(100), 6u);
+  ASSERT_EQ(emem.host_units().size(), 2u);
+  EXPECT_EQ(emem.occupancy_bytes(), 0u);
+}
+
+TEST(Emem, StreamModeOverflowsWhenProductionOutpacesDrain) {
+  Emem emem(tiny(TraceMode::kStream, 20));
+  bool dropped = false;
+  for (int i = 0; i < 10; ++i) {
+    if (!emem.push(unit(8), i)) dropped = true;
+    emem.drain(2);  // tool slower than production
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_GT(emem.dropped_messages(), 0u);
+}
+
+TEST(Emem, OversizeMessageRejected) {
+  Emem emem(tiny(TraceMode::kRing, 16));
+  EXPECT_FALSE(emem.push(unit(17), 0));
+  EXPECT_EQ(emem.dropped_messages(), 1u);
+}
+
+TEST(Emem, StatsAccumulate) {
+  Emem emem(tiny(TraceMode::kFill, 64));
+  emem.push(unit(5), 0);
+  emem.push(unit(7), 1);
+  EXPECT_EQ(emem.total_pushed_messages(), 2u);
+  EXPECT_EQ(emem.total_pushed_bytes(), 12u);
+  emem.clear();
+  EXPECT_EQ(emem.occupancy_bytes(), 0u);
+  // Lifetime stats survive clear().
+  EXPECT_EQ(emem.total_pushed_messages(), 2u);
+}
+
+TEST(Emem, OverlayIsIndependentStorage) {
+  Emem emem(tiny(TraceMode::kFill, 64));
+  emem.overlay().write32(0, 0xCAFEF00D);
+  emem.push(unit(10), 0);
+  EXPECT_EQ(emem.overlay().read32(0), 0xCAFEF00Du);
+  EXPECT_EQ(emem.overlay().size(), 32u);
+}
+
+TEST(Emem, DownloadAfterPartialDrainKeepsByteAccounting) {
+  Emem emem(tiny(TraceMode::kStream, 64));
+  emem.push(unit(10, 1), 0);
+  emem.push(unit(10, 2), 1);
+  emem.drain(4);  // partial front message
+  EXPECT_EQ(emem.occupancy_bytes(), 16u);
+  emem.download_all();
+  EXPECT_EQ(emem.occupancy_bytes(), 0u);
+  EXPECT_EQ(emem.host_units().size(), 2u);
+}
+
+}  // namespace
+}  // namespace audo::emem

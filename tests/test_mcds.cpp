@@ -1,0 +1,431 @@
+// MCDS logic tests: event mux, comparators, Boolean equations, the
+// trigger FSM, the counter bank (rates, thresholds, cascading) and the
+// top-level Mcds message generation.
+#include <gtest/gtest.h>
+
+#include "mcds/counters.hpp"
+#include "mcds/events.hpp"
+#include "mcds/mcds.hpp"
+#include "mcds/trigger.hpp"
+
+namespace audo::mcds {
+namespace {
+
+ObservationFrame frame_at(Cycle cycle) {
+  ObservationFrame f;
+  f.cycle = cycle;
+  f.tc.present = true;
+  return f;
+}
+
+TEST(Events, ValuesReflectFrame) {
+  ObservationFrame f = frame_at(10);
+  f.tc.retired = 3;
+  f.tc.icache_miss = true;
+  f.sri.contention = true;
+  f.sri.waiting_masters = 2;
+  EXPECT_EQ(event_value(f, EventId::kCycles), 1u);
+  EXPECT_EQ(event_value(f, EventId::kTcRetired), 3u);
+  EXPECT_EQ(event_value(f, EventId::kTcICacheMiss), 1u);
+  EXPECT_EQ(event_value(f, EventId::kTcICacheHit), 0u);
+  EXPECT_EQ(event_value(f, EventId::kBusContention), 1u);
+  EXPECT_EQ(event_value(f, EventId::kBusWaitingMasters), 2u);
+}
+
+TEST(Events, StalledExcludesHaltAndRetirement) {
+  ObservationFrame f = frame_at(1);
+  f.tc.retired = 0;
+  f.tc.stall = StallCause::kIFetch;
+  EXPECT_EQ(event_value(f, EventId::kTcStalled), 1u);
+  f.tc.stall = StallCause::kHalted;
+  EXPECT_EQ(event_value(f, EventId::kTcStalled), 0u);
+  f.tc.stall = StallCause::kNone;
+  f.tc.retired = 1;
+  EXPECT_EQ(event_value(f, EventId::kTcStalled), 0u);
+}
+
+TEST(Events, EveryEventHasAName) {
+  for (unsigned i = 1; i < kNumEvents; ++i) {
+    EXPECT_NE(event_name(static_cast<EventId>(i)), "?");
+  }
+}
+
+TEST(Comparators, AddressRangeAndWriteFilter) {
+  std::vector<Comparator> cmps = {
+      {CoreSel::kTc, CompareField::kDataAddr, 0x1000, 0x1FFF, -1},
+      {CoreSel::kTc, CompareField::kDataAddr, 0x1000, 0x1FFF, 1},  // writes
+      {CoreSel::kTc, CompareField::kRetirePc, 0x8000, 0x8003, -1},
+  };
+  std::vector<bool> hits;
+
+  ObservationFrame f = frame_at(1);
+  f.tc.data_access = true;
+  f.tc.data_write = false;
+  f.tc.data_addr = 0x1800;
+  evaluate_comparators(cmps, f, hits);
+  EXPECT_TRUE(hits[0]);
+  EXPECT_FALSE(hits[1]);  // read, write-filtered out
+  EXPECT_FALSE(hits[2]);  // no retirement
+
+  f.tc.data_write = true;
+  f.tc.retired = 1;
+  f.tc.retire_pc = 0x8000;
+  evaluate_comparators(cmps, f, hits);
+  EXPECT_TRUE(hits[0]);
+  EXPECT_TRUE(hits[1]);
+  EXPECT_TRUE(hits[2]);
+
+  f.tc.data_addr = 0x2000;  // out of range
+  evaluate_comparators(cmps, f, hits);
+  EXPECT_FALSE(hits[0]);
+}
+
+TEST(Equations, SumOfProductsWithNegation) {
+  // (eventA AND NOT cmp0) OR cmp1
+  Equation eq;
+  eq.products = {
+      {Term{Term::Kind::kEvent, 0, EventId::kTcIrqEntry, false},
+       Term{Term::Kind::kComparator, 0, EventId::kNone, true}},
+      {Term{Term::Kind::kComparator, 1, EventId::kNone, false}},
+  };
+  ObservationFrame f = frame_at(1);
+  std::vector<bool> hits = {false, false};
+  TriggerContext ctx{&f, &hits, nullptr, 0};
+
+  EXPECT_FALSE(evaluate(eq, ctx));
+  f.tc.irq_entry = true;
+  EXPECT_TRUE(evaluate(eq, ctx));   // A and not cmp0
+  hits[0] = true;
+  EXPECT_FALSE(evaluate(eq, ctx));  // cmp0 kills first product
+  hits[1] = true;
+  EXPECT_TRUE(evaluate(eq, ctx));   // second product
+}
+
+TEST(StateMachine, TransitionsOnGuards) {
+  StateMachineConfig cfg;
+  cfg.initial = 0;
+  cfg.transitions = {
+      {0, 1, Equation::event(EventId::kTcIrqEntry)},
+      {1, 2, Equation::event(EventId::kTcDataAccess)},
+      {2, 0, Equation::always()},
+  };
+  StateMachine fsm(cfg);
+  ObservationFrame f = frame_at(1);
+  TriggerContext ctx{&f, nullptr, nullptr, 0};
+
+  fsm.step(ctx);
+  EXPECT_EQ(fsm.state(), 0);  // no irq yet
+  f.tc.irq_entry = true;
+  fsm.step(ctx);
+  EXPECT_EQ(fsm.state(), 1);
+  f.tc.irq_entry = false;
+  fsm.step(ctx);
+  EXPECT_EQ(fsm.state(), 1);
+  f.tc.data_access = true;
+  fsm.step(ctx);
+  EXPECT_EQ(fsm.state(), 2);
+  fsm.step(ctx);
+  EXPECT_EQ(fsm.state(), 0);  // unconditional
+  fsm.reset();
+  EXPECT_EQ(fsm.state(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Counter bank.
+
+TEST(CounterBank, RateSamplingOnInstructionBasis) {
+  CounterBank bank;
+  CounterGroupConfig g;
+  g.name = "cache";
+  g.basis = EventId::kTcRetired;
+  g.resolution = 10;
+  g.counters = {RateCounterConfig{EventId::kTcICacheMiss, {}, {}}};
+  bank.add_group(g);
+
+  // 7 cycles with 2 instrs each (14 instrs) and a miss every cycle.
+  u32 samples_seen = 0;
+  for (Cycle c = 1; c <= 7; ++c) {
+    ObservationFrame f = frame_at(c);
+    f.tc.retired = 2;
+    f.tc.icache_miss = true;
+    bank.step(f);
+    samples_seen += static_cast<u32>(bank.samples().size());
+    if (!bank.samples().empty()) {
+      EXPECT_EQ(bank.samples()[0].basis, 10u);
+      EXPECT_EQ(bank.samples()[0].counts[0], 5u);  // 5 misses per 10 instrs
+    }
+  }
+  EXPECT_EQ(samples_seen, 1u);  // 14 instrs -> one complete window
+}
+
+TEST(CounterBank, BasisRemainderCarries) {
+  CounterBank bank;
+  CounterGroupConfig g;
+  g.basis = EventId::kTcRetired;
+  g.resolution = 4;
+  g.counters = {RateCounterConfig{EventId::kCycles, {}, {}}};
+  bank.add_group(g);
+  // 3 retired per cycle: windows complete at cumulative 4,8,12 instrs.
+  u32 total_samples = 0;
+  for (Cycle c = 1; c <= 4; ++c) {  // 12 instructions
+    ObservationFrame f = frame_at(c);
+    f.tc.retired = 3;
+    bank.step(f);
+    total_samples += static_cast<u32>(bank.samples().size());
+  }
+  EXPECT_EQ(total_samples, 3u);
+}
+
+TEST(CounterBank, ThresholdFlagFollowsSamples) {
+  CounterBank bank;
+  CounterGroupConfig g;
+  g.basis = EventId::kCycles;
+  g.resolution = 10;
+  g.counters = {RateCounterConfig{
+      EventId::kTcRetired, Threshold{Threshold::Dir::kBelow, 5}, {}}};
+  const unsigned gi = bank.add_group(g);
+  const unsigned flag = bank.flag_index(gi, 0);
+  ASSERT_NE(flag, ~0u);
+
+  // High IPC: 1/cycle -> count 10 >= 5 -> flag false.
+  for (Cycle c = 1; c <= 10; ++c) {
+    ObservationFrame f = frame_at(c);
+    f.tc.retired = 1;
+    bank.step(f);
+  }
+  EXPECT_FALSE(bank.flags()[flag]);
+  // Zero IPC -> count 0 < 5 -> flag true after the next sample.
+  for (Cycle c = 11; c <= 20; ++c) bank.step(frame_at(c));
+  EXPECT_TRUE(bank.flags()[flag]);
+}
+
+TEST(CounterBank, DisarmedGroupDoesNotSample) {
+  CounterBank bank;
+  CounterGroupConfig g;
+  g.basis = EventId::kCycles;
+  g.resolution = 5;
+  g.armed_at_start = false;
+  g.counters = {RateCounterConfig{EventId::kTcRetired, {}, {}}};
+  const unsigned gi = bank.add_group(g);
+  for (Cycle c = 1; c <= 20; ++c) {
+    bank.step(frame_at(c));
+    EXPECT_TRUE(bank.samples().empty());
+  }
+  bank.arm(gi, true);
+  u32 samples = 0;
+  for (Cycle c = 21; c <= 30; ++c) {
+    bank.step(frame_at(c));
+    samples += static_cast<u32>(bank.samples().size());
+  }
+  EXPECT_EQ(samples, 2u);
+}
+
+TEST(CounterBank, ForceSampleReportsPartialBasis) {
+  CounterBank bank;
+  CounterGroupConfig g;
+  g.basis = EventId::kCycles;
+  g.resolution = 100;
+  g.counters = {RateCounterConfig{EventId::kTcRetired, {}, {}}};
+  const unsigned gi = bank.add_group(g);
+  for (Cycle c = 1; c <= 7; ++c) {
+    ObservationFrame f = frame_at(c);
+    f.tc.retired = 2;
+    bank.step(f);
+  }
+  bank.force_sample(gi, 7);
+  ASSERT_EQ(bank.samples().size(), 1u);
+  EXPECT_EQ(bank.samples()[0].basis, 7u);
+  EXPECT_EQ(bank.samples()[0].counts[0], 14u);
+}
+
+// ---------------------------------------------------------------------
+// Top-level Mcds.
+
+TEST(Mcds, RateMessagesReachTheSink) {
+  McdsConfig cfg;
+  CounterGroupConfig g;
+  g.name = "ipc";
+  g.basis = EventId::kCycles;
+  g.resolution = 8;
+  g.counters = {RateCounterConfig{EventId::kTcRetired, {}, {}}};
+  cfg.counter_groups = {g};
+  Mcds mcds(cfg);
+  VectorSink sink;
+  mcds.set_sink(&sink);
+
+  for (Cycle c = 1; c <= 32; ++c) {
+    ObservationFrame f = frame_at(c);
+    f.tc.retired = 2;
+    mcds.observe(f);
+  }
+  EXPECT_EQ(mcds.messages_of(MsgKind::kRate), 4u);
+  auto decoded = TraceDecoder::decode(sink.units());
+  ASSERT_TRUE(decoded.is_ok());
+  unsigned rates = 0;
+  for (const TraceMessage& m : decoded.value()) {
+    if (m.kind == MsgKind::kRate) {
+      ++rates;
+      EXPECT_EQ(m.basis, 8u);
+      ASSERT_EQ(m.counts.size(), 1u);
+      EXPECT_EQ(m.counts[0], 16u);
+    }
+  }
+  EXPECT_EQ(rates, 4u);
+}
+
+TEST(Mcds, TriggerActionsControlTrace) {
+  // TraceOn when a data write to 0x2000 happens; TraceOff on address
+  // 0x3000. Program trace gated accordingly.
+  McdsConfig cfg;
+  cfg.program_trace = true;
+  cfg.trace_enabled_at_start = false;
+  cfg.comparators = {
+      Comparator{CoreSel::kTc, CompareField::kDataAddr, 0x2000, 0x2003, -1},
+      Comparator{CoreSel::kTc, CompareField::kDataAddr, 0x3000, 0x3003, -1},
+  };
+  cfg.actions = {
+      ActionBinding{Equation::comparator(0), TriggerAction::kTraceOn, 0},
+      ActionBinding{Equation::comparator(1), TriggerAction::kTraceOff, 0},
+  };
+  Mcds mcds(cfg);
+  VectorSink sink;
+  mcds.set_sink(&sink);
+
+  auto data_frame = [&](Cycle c, Addr addr) {
+    ObservationFrame f = frame_at(c);
+    f.tc.retired = 1;
+    f.tc.retire_pc = 0x80000000;
+    f.tc.data_access = true;
+    f.tc.data_addr = addr;
+    f.tc.discontinuity = true;
+    f.tc.discontinuity_target = 0x80000100;
+    return f;
+  };
+
+  mcds.observe(data_frame(1, 0x1000));
+  EXPECT_FALSE(mcds.trace_enabled());
+  EXPECT_EQ(sink.units().size(), 0u);
+  mcds.observe(data_frame(2, 0x2000));
+  EXPECT_TRUE(mcds.trace_enabled());
+  mcds.observe(data_frame(3, 0x1000));
+  EXPECT_GT(sink.units().size(), 0u);
+  mcds.observe(data_frame(4, 0x3000));
+  EXPECT_FALSE(mcds.trace_enabled());
+}
+
+TEST(Mcds, WatchpointAndTriggerOut) {
+  McdsConfig cfg;
+  cfg.program_trace = true;
+  cfg.comparators = {
+      Comparator{CoreSel::kTc, CompareField::kRetirePc, 0x9000, 0x9003, -1}};
+  cfg.actions = {
+      ActionBinding{Equation::comparator(0), TriggerAction::kEmitWatchpoint, 7},
+      ActionBinding{Equation::comparator(0), TriggerAction::kTriggerOut, 0},
+  };
+  Mcds mcds(cfg);
+  VectorSink sink;
+  mcds.set_sink(&sink);
+
+  ObservationFrame f = frame_at(5);
+  f.tc.retired = 1;
+  f.tc.retire_pc = 0x9000;
+  mcds.observe(f);
+  EXPECT_EQ(mcds.trigger_out_pulses(), 1u);
+  EXPECT_EQ(mcds.last_trigger_out(), 5u);
+  auto decoded = TraceDecoder::decode(sink.units());
+  ASSERT_TRUE(decoded.is_ok());
+  bool saw_wp = false;
+  for (const TraceMessage& m : decoded.value()) {
+    if (m.kind == MsgKind::kWatchpoint) {
+      saw_wp = true;
+      EXPECT_EQ(m.id, 7);
+      EXPECT_EQ(m.cycle, 5u);
+    }
+  }
+  EXPECT_TRUE(saw_wp);
+}
+
+TEST(Mcds, CascadedArmDisarmViaCounterFlag) {
+  // Guard group: IPC per 10 cycles, threshold below 5 arms group 1.
+  McdsConfig cfg;
+  CounterGroupConfig guard;
+  guard.name = "guard";
+  guard.basis = EventId::kCycles;
+  guard.resolution = 10;
+  guard.counters = {RateCounterConfig{
+      EventId::kTcRetired, Threshold{Threshold::Dir::kBelow, 5}, {}}};
+  CounterGroupConfig detail;
+  detail.name = "detail";
+  detail.basis = EventId::kCycles;
+  detail.resolution = 2;
+  detail.armed_at_start = false;
+  detail.counters = {RateCounterConfig{EventId::kTcRetired, {}, {}}};
+  cfg.counter_groups = {guard, detail};
+  cfg.actions = {
+      ActionBinding{Equation::counter_flag(0), TriggerAction::kArmGroup, 1},
+      ActionBinding{Equation::counter_flag(0, true), TriggerAction::kDisarmGroup, 1},
+  };
+  Mcds mcds(cfg);
+  VectorSink sink;
+  mcds.set_sink(&sink);
+
+  // Phase 1: high IPC -> detail stays disarmed.
+  for (Cycle c = 1; c <= 30; ++c) {
+    ObservationFrame f = frame_at(c);
+    f.tc.retired = 1;
+    mcds.observe(f);
+  }
+  EXPECT_FALSE(mcds.counters().armed(1));
+  const u64 rates_high = mcds.messages_of(MsgKind::kRate);
+  // Phase 2: stall -> guard flag arms the detail group.
+  for (Cycle c = 31; c <= 60; ++c) {
+    ObservationFrame f = frame_at(c);
+    f.tc.retired = 0;
+    f.tc.stall = StallCause::kIFetch;
+    mcds.observe(f);
+  }
+  EXPECT_TRUE(mcds.counters().armed(1));
+  EXPECT_GT(mcds.messages_of(MsgKind::kRate), rates_high + 5);
+  // Phase 3: recovery -> disarmed again.
+  for (Cycle c = 61; c <= 90; ++c) {
+    ObservationFrame f = frame_at(c);
+    f.tc.retired = 2;
+    mcds.observe(f);
+  }
+  EXPECT_FALSE(mcds.counters().armed(1));
+}
+
+TEST(Mcds, StopTraceFreezesSink) {
+  McdsConfig cfg;
+  cfg.program_trace = true;
+  cfg.comparators = {
+      Comparator{CoreSel::kTc, CompareField::kRetirePc, 0x9000, 0x9003, -1}};
+  cfg.actions = {
+      ActionBinding{Equation::comparator(0), TriggerAction::kStopTrace, 0}};
+  Mcds mcds(cfg);
+  VectorSink sink;
+  mcds.set_sink(&sink);
+
+  ObservationFrame f = frame_at(1);
+  f.tc.retired = 1;
+  f.tc.retire_pc = 0x8000;
+  f.tc.discontinuity = true;
+  f.tc.discontinuity_target = 0x8100;
+  mcds.observe(f);
+  const usize before = sink.units().size();
+  EXPECT_GT(before, 0u);
+
+  f.cycle = 2;
+  f.tc.retire_pc = 0x9000;  // trigger
+  mcds.observe(f);
+  EXPECT_TRUE(mcds.trace_frozen());
+  f.cycle = 3;
+  f.tc.retire_pc = 0x8000;
+  mcds.observe(f);
+  mcds.observe(f);
+  // Nothing after the freeze (allow the freeze-cycle message itself).
+  EXPECT_LE(sink.units().size(), before + 1);
+}
+
+}  // namespace
+}  // namespace audo::mcds

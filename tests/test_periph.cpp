@@ -1,0 +1,291 @@
+// Peripheral tests: interrupt router semantics, STM, watchdog, crank
+// wheel, ADC, CAN-lite and the DMA controller.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mem/memory_map.hpp"
+#include "periph/dma.hpp"
+#include "periph/irq_router.hpp"
+#include "periph/peripherals.hpp"
+
+namespace audo::periph {
+namespace {
+
+TEST(IrqRouter, PriorityAndTargetSelection) {
+  IrqRouter router;
+  const unsigned low = router.add_source("low");
+  const unsigned high = router.add_source("high");
+  const unsigned pcp_src = router.add_source("pcp");
+  router.configure(low, 5, IrqTarget::kTc);
+  router.configure(high, 9, IrqTarget::kTc);
+  router.configure(pcp_src, 7, IrqTarget::kPcp);
+
+  EXPECT_FALSE(router.tc_view().pending().has_value());
+  router.post(low);
+  router.post(high);
+  router.post(pcp_src);
+  EXPECT_EQ(router.tc_view().pending(), 9);
+  EXPECT_EQ(router.pcp_view().pending(), 7);
+
+  router.tc_view().acknowledge(9);
+  EXPECT_EQ(router.tc_view().pending(), 5);
+  router.tc_view().acknowledge(5);
+  EXPECT_FALSE(router.tc_view().pending().has_value());
+  EXPECT_EQ(router.node(high).serviced, 1u);
+}
+
+TEST(IrqRouter, LostPostsAreCounted) {
+  IrqRouter router;
+  const unsigned src = router.add_source("x");
+  router.configure(src, 3, IrqTarget::kTc);
+  router.post(src);
+  router.post(src);  // still pending -> lost
+  router.post(src);
+  EXPECT_EQ(router.node(src).posted, 3u);
+  EXPECT_EQ(router.node(src).lost, 2u);
+}
+
+TEST(IrqRouter, DisabledNodeNeverDelivers) {
+  IrqRouter router;
+  const unsigned src = router.add_source("x");
+  router.configure(src, 3, IrqTarget::kTc, /*enabled=*/false);
+  router.post(src);
+  EXPECT_FALSE(router.tc_view().pending().has_value());
+}
+
+TEST(Stm, ComparePeriodsFire) {
+  IrqRouter router;
+  const unsigned c0 = router.add_source("c0");
+  const unsigned c1 = router.add_source("c1");
+  router.configure(c0, 1, IrqTarget::kTc);
+  router.configure(c1, 2, IrqTarget::kTc);
+  Stm stm(&router, c0, c1);
+  stm.write_sfr(0x08, 10);  // CMP0
+  stm.write_sfr(0x10, 1);   // enable cmp0 only
+  for (Cycle now = 1; now <= 35; ++now) stm.step(now);
+  EXPECT_EQ(router.node(c0).posted, 3u);
+  EXPECT_EQ(router.node(c1).posted, 0u);
+  EXPECT_EQ(stm.read_sfr(0x00), 35u);
+}
+
+TEST(Watchdog, TimesOutWithoutServiceAndHoldsWithIt) {
+  IrqRouter router;
+  const unsigned src = router.add_source("wdt");
+  router.configure(src, 1, IrqTarget::kTc);
+  Watchdog wdt(&router, src);
+  wdt.write_sfr(0x04, 100);  // period
+  for (Cycle now = 1; now <= 90; ++now) {
+    wdt.step(now);
+    if (now % 50 == 0) wdt.write_sfr(0x00, Watchdog::kServiceKey);
+  }
+  EXPECT_EQ(wdt.timeouts(), 0u);
+  // Stop servicing.
+  for (Cycle now = 91; now <= 400; ++now) wdt.step(now);
+  EXPECT_GE(wdt.timeouts(), 2u);
+  EXPECT_GE(router.node(src).posted, 2u);
+}
+
+TEST(Watchdog, WrongKeyDoesNotService) {
+  IrqRouter router;
+  const unsigned src = router.add_source("wdt");
+  router.configure(src, 1, IrqTarget::kTc);
+  Watchdog wdt(&router, src);
+  wdt.write_sfr(0x04, 50);
+  for (Cycle now = 1; now <= 49; ++now) {
+    wdt.step(now);
+    wdt.write_sfr(0x00, 0x1234);  // wrong key every cycle
+  }
+  wdt.step(50);
+  EXPECT_EQ(wdt.timeouts(), 1u);
+}
+
+TEST(CrankWheel, ToothAndSyncPattern) {
+  IrqRouter router;
+  const unsigned tooth = router.add_source("tooth");
+  const unsigned sync = router.add_source("sync");
+  router.configure(tooth, 1, IrqTarget::kTc);
+  router.configure(sync, 2, IrqTarget::kTc);
+  CrankWheel::Config cfg;
+  cfg.clock_hz = 60'000;  // tiny clock for testing
+  cfg.teeth = 60;
+  cfg.missing = 2;
+  cfg.initial_rpm = 60;  // 1 rev/s -> 60 teeth/s -> 1000 cycles/tooth
+  CrankWheel crank(cfg, &router, tooth, sync);
+
+  // Two full revolutions.
+  for (Cycle now = 1; now <= 2 * 60 * 1000; ++now) crank.step(now);
+  EXPECT_EQ(crank.revolutions(), 2u);
+  EXPECT_EQ(router.node(sync).posted, 2u);
+  // 58 physical teeth per rev (2 missing).
+  EXPECT_EQ(router.node(tooth).posted, 2u * 58u);
+}
+
+TEST(CrankWheel, RpmChangesPeriod) {
+  IrqRouter router;
+  const unsigned tooth = router.add_source("tooth");
+  const unsigned sync = router.add_source("sync");
+  router.configure(tooth, 1, IrqTarget::kTc);
+  CrankWheel::Config cfg;
+  cfg.clock_hz = 1'000'000;
+  cfg.initial_rpm = 1000;
+  CrankWheel crank(cfg, &router, tooth, sync);
+  for (Cycle now = 1; now <= 100'000; ++now) crank.step(now);
+  const u64 slow = router.node(tooth).posted;
+  crank.write_sfr(0x00, 4000);  // 4x faster via SFR
+  for (Cycle now = 100'001; now <= 200'000; ++now) crank.step(now);
+  const u64 fast = router.node(tooth).posted - slow;
+  EXPECT_GT(fast, slow * 3);
+  EXPECT_EQ(crank.read_sfr(0x00), 4000u);
+}
+
+TEST(Adc, AutoTriggerAndResultWaveform) {
+  IrqRouter router;
+  const unsigned done = router.add_source("adc");
+  router.configure(done, 1, IrqTarget::kTc);
+  Adc adc(Adc::Config{.conversion_cycles = 10, .period = 100}, &router, done);
+  for (Cycle now = 1; now <= 1000; ++now) adc.step(now);
+  EXPECT_GE(adc.conversions(), 9u);
+  EXPECT_GT(adc.last_result(), 1000u);  // waveform floor
+  EXPECT_LT(adc.last_result(), 3000u);
+}
+
+TEST(Adc, SoftwareTrigger) {
+  IrqRouter router;
+  const unsigned done = router.add_source("adc");
+  router.configure(done, 1, IrqTarget::kTc);
+  Adc adc(Adc::Config{.conversion_cycles = 10, .period = 0}, &router, done);
+  for (Cycle now = 1; now <= 50; ++now) adc.step(now);
+  EXPECT_EQ(adc.conversions(), 0u);
+  adc.write_sfr(0x00, 1);
+  for (Cycle now = 51; now <= 70; ++now) adc.step(now);
+  EXPECT_EQ(adc.conversions(), 1u);
+}
+
+TEST(CanLite, RxPeriodicAndOverrun) {
+  IrqRouter router;
+  const unsigned rx = router.add_source("rx");
+  const unsigned tx = router.add_source("tx");
+  router.configure(rx, 1, IrqTarget::kTc);
+  CanLite can(CanLite::Config{.tx_cycles = 20, .rx_period = 50}, &router, rx, tx);
+  for (Cycle now = 1; now <= 500; ++now) can.step(now);
+  EXPECT_GE(can.rx_frames(), 9u);
+  // Nobody read RX_DATA -> overruns.
+  EXPECT_GE(can.rx_overruns(), 8u);
+  // Reading clears pending.
+  EXPECT_EQ(can.read_sfr(0x0C), 1u);
+  can.read_sfr(0x08);
+  EXPECT_EQ(can.read_sfr(0x0C), 0u);
+}
+
+TEST(CanLite, TxDelayAndIrq) {
+  IrqRouter router;
+  const unsigned rx = router.add_source("rx");
+  const unsigned tx = router.add_source("tx");
+  router.configure(tx, 1, IrqTarget::kTc);
+  CanLite can(CanLite::Config{.tx_cycles = 30, .rx_period = 0}, &router, rx, tx);
+  can.step(1);
+  can.write_sfr(0x00, 0xAB);  // trigger TX
+  EXPECT_EQ(can.read_sfr(0x04), 1u);  // busy
+  for (Cycle now = 2; now <= 40; ++now) can.step(now);
+  EXPECT_EQ(can.tx_frames(), 1u);
+  EXPECT_EQ(can.read_sfr(0x04), 0u);
+  EXPECT_EQ(router.node(tx).posted, 1u);
+}
+
+// ---------------------------------------------------------------------
+// DMA, on a real SoC (needs the bus).
+
+TEST(Dma, MemoryToMemoryBlockTransfer) {
+  soc::Soc soc(test::small_config());
+  // Source data in LMU.
+  for (u32 i = 0; i < 8; ++i) {
+    soc.lmu().array().write32(i * 4, 0x1000 + i);
+  }
+  DmaController::ChannelConfig cfg;
+  cfg.src = mem::kLmuBase;
+  cfg.dst = mem::kDsprBase + 0x100;
+  cfg.count = 8;
+  cfg.units_per_trigger = 0;  // free running
+  soc.dma().setup_channel(0, cfg);
+  soc.reset(0x80000000);  // TC halts immediately on garbage; DMA still runs
+  for (int i = 0; i < 200; ++i) soc.step();
+  for (u32 i = 0; i < 8; ++i) {
+    EXPECT_EQ(soc.dspr().read(mem::kDsprBase + 0x100 + i * 4, 4), 0x1000 + i);
+  }
+  EXPECT_EQ(soc.dma().stats(0).units, 8u);
+  EXPECT_EQ(soc.dma().stats(0).blocks, 1u);
+  EXPECT_TRUE(soc.dma().channel_idle(0));
+}
+
+TEST(Dma, TriggeredPerUnitTransfer) {
+  soc::Soc soc(test::small_config());
+  DmaController::ChannelConfig cfg;
+  cfg.src = mem::kLmuBase;
+  cfg.dst = mem::kDsprBase;
+  cfg.count = 4;
+  cfg.units_per_trigger = 1;
+  soc.dma().setup_channel(0, cfg);
+  soc.reset(0x80000000);
+  for (int i = 0; i < 50; ++i) soc.step();
+  EXPECT_EQ(soc.dma().stats(0).units, 0u);  // no trigger yet
+  soc.dma().trigger(0);
+  for (int i = 0; i < 50; ++i) soc.step();
+  EXPECT_EQ(soc.dma().stats(0).units, 1u);
+  soc.dma().trigger(0);
+  soc.dma().trigger(0);
+  for (int i = 0; i < 100; ++i) soc.step();
+  EXPECT_EQ(soc.dma().stats(0).units, 3u);
+}
+
+TEST(Dma, RouterTriggersChannelAndDoneIrqPosts) {
+  soc::Soc soc(test::small_config());
+  // Route the ADC done event to DMA channel 0 (priority 1).
+  soc.irq_router().configure(soc.srcs().adc_done, 1, IrqTarget::kDma);
+  soc.adc().write_sfr(0x08, 100);  // auto conversions every 100 cycles
+  DmaController::ChannelConfig cfg;
+  cfg.src = mem::kPeriphBase + sfr::kAdc + 0x04;  // ADC RESULT
+  cfg.dst = mem::kDsprBase + 0x40;
+  cfg.count = 3;
+  cfg.units_per_trigger = 1;
+  cfg.src_step = 0;
+  cfg.dst_step = 4;
+  soc.dma().setup_channel(0, cfg);
+  soc.dma().set_done_src(0, soc.srcs().dma_done[0]);
+  soc.reset(0x80000000);
+  for (int i = 0; i < 1000; ++i) soc.step();
+  EXPECT_EQ(soc.dma().stats(0).units, 3u);
+  EXPECT_EQ(soc.irq_router().node(soc.srcs().dma_done[0]).posted, 1u);
+  // The copied values are real ADC samples.
+  EXPECT_GT(soc.dspr().read(mem::kDsprBase + 0x40, 4), 1000u);
+}
+
+TEST(Dma, ContinuousReload) {
+  soc::Soc soc(test::small_config());
+  DmaController::ChannelConfig cfg;
+  cfg.src = mem::kLmuBase;
+  cfg.dst = mem::kDsprBase;
+  cfg.count = 2;
+  cfg.continuous = true;
+  cfg.units_per_trigger = 0;
+  soc.dma().setup_channel(0, cfg);
+  soc.reset(0x80000000);
+  for (int i = 0; i < 300; ++i) soc.step();
+  EXPECT_GE(soc.dma().stats(0).blocks, 5u);
+}
+
+TEST(Dma, SfrInterfaceConfiguresChannel) {
+  soc::Soc soc(test::small_config());
+  DmaController& dma = soc.dma();
+  dma.write_sfr(0x20 * 1 + 0x00, mem::kLmuBase);       // ch1 SRC
+  dma.write_sfr(0x20 * 1 + 0x04, mem::kDsprBase + 8);  // ch1 DST
+  dma.write_sfr(0x20 * 1 + 0x08, 2);                   // COUNT
+  dma.write_sfr(0x20 * 1 + 0x0C, 1 | (2u << 8));       // enable, 4-byte
+  soc.lmu().array().write32(0, 0xCAFED00D);
+  soc.reset(0x80000000);
+  for (int i = 0; i < 100; ++i) soc.step();
+  EXPECT_EQ(soc.dspr().read(mem::kDsprBase + 8, 4), 0xCAFED00Du);
+  EXPECT_EQ(dma.read_sfr(0x20 * 1 + 0x08), 0u);  // remaining
+}
+
+}  // namespace
+}  // namespace audo::periph

@@ -1,0 +1,233 @@
+// Robustness and invariant tests: disassembler coverage, crossbar
+// conservation under random traffic, interrupt storms vs architectural
+// integrity, and EMEM accounting invariants.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "emem/emem.hpp"
+#include "helpers.hpp"
+#include "mem/memory_map.hpp"
+
+namespace audo {
+namespace {
+
+// ---------------------------------------------------------------------
+// Every opcode formats without crashing and round-trips its mnemonic.
+class DisasmCoverage : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DisasmCoverage, FormatContainsMnemonic) {
+  const auto op = static_cast<isa::Opcode>(GetParam());
+  const isa::OpInfo& info = isa::op_info(op);
+  isa::Instr in;
+  in.opcode = op;
+  in.rd = 3;
+  in.ra = 7;
+  in.rb = 11;
+  in.imm = -12;
+  const std::string text = isa::format_instr(in);
+  EXPECT_FALSE(text.empty());
+  // The mnemonic must lead the formatted text.
+  EXPECT_EQ(text.rfind(info.mnemonic, 0), 0u) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, DisasmCoverage,
+                         ::testing::Range(0u, isa::kNumOpcodes));
+
+// ---------------------------------------------------------------------
+// Crossbar conservation: under randomized multi-master traffic, every
+// issued transaction completes exactly once, and grants == completions.
+class CountingSlave final : public bus::BusSlave {
+ public:
+  CountingSlave(unsigned latency, std::string name)
+      : latency_(latency), name_(std::move(name)) {}
+  unsigned start_access(const bus::BusRequest&) override {
+    ++starts_;
+    return latency_;
+  }
+  u32 complete_access(const bus::BusRequest& req) override {
+    ++completions_;
+    return req.addr ^ 0xA5A5A5A5;
+  }
+  std::string_view name() const override { return name_; }
+  u64 starts_ = 0;
+  u64 completions_ = 0;
+
+ private:
+  unsigned latency_;
+  std::string name_;
+};
+
+class BusRandomTraffic
+    : public ::testing::TestWithParam<bus::ArbitrationPolicy> {};
+
+TEST_P(BusRandomTraffic, NothingLostNothingDuplicated) {
+  bus::Crossbar fabric(GetParam());
+  CountingSlave s0(1, "s0"), s1(3, "s1"), s2(7, "s2");
+  const unsigned i0 = fabric.add_slave(&s0);
+  const unsigned i1 = fabric.add_slave(&s1);
+  const unsigned i2 = fabric.add_slave(&s2);
+  ASSERT_TRUE(fabric.map_region(0x0000, 0x1000, i0).is_ok());
+  ASSERT_TRUE(fabric.map_region(0x1000, 0x1000, i1).is_ok());
+  ASSERT_TRUE(fabric.map_region(0x2000, 0x1000, i2).is_ok());
+
+  Prng prng(static_cast<u64>(GetParam()) + 77);
+  constexpr unsigned kMasters = 4;
+  bus::MasterPort ports[kMasters];
+  const bus::MasterId ids[kMasters] = {
+      bus::MasterId::kDma, bus::MasterId::kTcData, bus::MasterId::kTcFetch,
+      bus::MasterId::kPcpData};
+  u64 issued = 0, completed = 0, checked = 0;
+  Addr outstanding_addr[kMasters] = {};
+
+  for (Cycle now = 1; now <= 20'000; ++now) {
+    for (unsigned m = 0; m < kMasters; ++m) {
+      if (ports[m].done()) {
+        const u32 rdata = ports[m].take_rdata();
+        EXPECT_EQ(rdata, outstanding_addr[m] ^ 0xA5A5A5A5);
+        ++completed;
+        ++checked;
+      }
+      if (ports[m].idle() && prng.chance(0.4)) {
+        bus::BusRequest req;
+        req.master = ids[m];
+        req.addr = static_cast<Addr>(prng.next_below(3) * 0x1000 +
+                                     (prng.next_below(0x400) * 4));
+        ASSERT_TRUE(fabric.issue(ports[m], req, now));
+        outstanding_addr[m] = req.addr;
+        ++issued;
+      }
+    }
+    fabric.step(now);
+  }
+  // Drain.
+  for (Cycle now = 20'001; now <= 20'100; ++now) {
+    for (unsigned m = 0; m < kMasters; ++m) {
+      if (ports[m].done()) {
+        ports[m].take_rdata();
+        ++completed;
+      }
+    }
+    fabric.step(now);
+  }
+  EXPECT_EQ(issued, completed);
+  EXPECT_EQ(s0.starts_, s0.completions_);
+  EXPECT_EQ(s1.starts_, s1.completions_);
+  EXPECT_EQ(s2.starts_, s2.completions_);
+  EXPECT_EQ(s0.completions_ + s1.completions_ + s2.completions_, issued);
+  EXPECT_GT(checked, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, BusRandomTraffic,
+                         ::testing::Values(
+                             bus::ArbitrationPolicy::kFixedPriority,
+                             bus::ArbitrationPolicy::kRoundRobin));
+
+// ---------------------------------------------------------------------
+// Interrupt storm: a background checksum must compute the same result
+// under any interrupt load (the ISR save/restore contract), only slower.
+TEST(IrqStorm, BackgroundResultUnaffectedByInterruptLoad) {
+  const char* kSource = R"(
+    .text 0x80000140     ; prio 10 vector
+    j isr
+    .text 0x80001000
+main:
+    di
+    movha a15, 0xC000
+    movha a14, 0xF000
+    movh  d0, 0x8000
+    mtcr  biv, d0
+    movd  d0, STORM
+    st.w  d0, [a14+8]    ; STM CMP0 period
+    jz    d0, _no_storm
+    movd  d0, 1
+    st.w  d0, [a14+16]   ; enable
+_no_storm:
+    ei
+    ; checksum 4096 pseudo-random values
+    movd  d5, 0
+    movd  d0, 0x1234
+    movh  d8, 25
+    ori   d8, d8, 26125
+    movh  d9, 15470
+    ori   d9, d9, 62303
+    movd  d1, 4096
+    mov.ad a3, d1
+_sum:
+    mul   d0, d0, d8
+    add   d0, d0, d9
+    xor   d5, d5, d0
+    shli  d2, d5, 1
+    shri  d3, d5, 31
+    or    d5, d2, d3
+    loop  a3, _sum
+    st.w  d5, [a15+0]
+    halt
+isr:
+    st.w  d8, [a15+8]
+    st.w  d9, [a15+12]
+    ld.w  d8, [a15+4]
+    addi  d8, d8, 1
+    st.w  d8, [a15+4]
+    ; scribble on the registers the background also uses (must be
+    ; restored by this ISR's epilogue for its own, not the bg's, regs)
+    movd  d9, -1
+    xor   d8, d8, d9
+    ld.w  d8, [a15+8]
+    ld.w  d9, [a15+12]
+    rfe
+)";
+  auto run_with_storm = [&](u32 period) {
+    std::string src = kSource;
+    const std::string needle = "STORM";
+    while (src.find(needle) != std::string::npos) {
+      src.replace(src.find(needle), needle.size(), std::to_string(period));
+    }
+    auto program = isa::assemble(src);
+    EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+    soc::Soc soc(test::small_config());
+    EXPECT_TRUE(soc.load(program.value()).is_ok());
+    soc.irq_router().configure(soc.srcs().stm0, 10, periph::IrqTarget::kTc);
+    soc.reset(program.value().entry());
+    soc.run(10'000'000);
+    EXPECT_TRUE(soc.tc().halted());
+    return std::pair{soc.dspr().read(0xC0000000, 4), soc.cycle()};
+  };
+
+  const auto [quiet_sum, quiet_cycles] = run_with_storm(0);
+  for (u32 period : {47u, 131u, 997u}) {
+    const auto [sum, cycles] = run_with_storm(period);
+    EXPECT_EQ(sum, quiet_sum) << "storm period " << period;
+    EXPECT_GT(cycles, quiet_cycles) << "storm period " << period;
+  }
+}
+
+// ---------------------------------------------------------------------
+// EMEM accounting invariant under random push/drain interleavings.
+TEST(EmemInvariants, OccupancyMatchesContentUnderRandomOps) {
+  emem::EmemConfig cfg;
+  cfg.size_bytes = 4096;
+  cfg.overlay_bytes = 0;
+  cfg.mode = emem::TraceMode::kStream;
+  emem::Emem sink(cfg);
+  Prng prng(321);
+  u64 drained_bytes = 0, dropped = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (prng.chance(0.6)) {
+      mcds::EncodedMessage m;
+      m.bytes.assign(1 + prng.next_below(40), 0xEE);
+      if (!sink.push(std::move(m), i)) {
+        ++dropped;
+      }
+    } else {
+      drained_bytes += sink.drain(prng.next_below(64));
+    }
+    ASSERT_LE(sink.occupancy_bytes(), cfg.trace_bytes());
+    ASSERT_EQ(sink.occupancy_bytes(),
+              sink.total_pushed_bytes() - drained_bytes);
+  }
+  EXPECT_EQ(sink.dropped_messages(), dropped);
+  EXPECT_GT(drained_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace audo

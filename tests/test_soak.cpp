@@ -1,0 +1,124 @@
+// Soak tests: everything on at once, long runs, cross-checked end state.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "profiling/function_profile.hpp"
+#include "profiling/session.hpp"
+#include "workload/engine.hpp"
+#include "workload/kernels.hpp"
+#include "workload/transmission.hpp"
+
+namespace audo {
+namespace {
+
+TEST(Soak, EngineEverythingOnForTwoMillionCycles) {
+  workload::EngineOptions opt;
+  opt.rpm = 4500;
+  opt.crank_time_scale = 80;
+  opt.pcp_offload = true;
+  opt.wdt_period = 200'000;
+  opt.table_dim = 64;
+  opt.diag_uncached = true;
+  opt.diag_stride_bytes = 36;
+  auto w = workload::build_engine_workload(opt);
+  ASSERT_TRUE(w.is_ok());
+
+  profiling::SessionOptions opts;
+  opts.resolution = 1000;
+  opts.program_trace = true;
+  opts.irq_trace = true;
+  opts.ed.stream_drain = true;  // DAP streaming the whole time
+  opts.ed.dap_bits_per_second = 80'000'000;
+  profiling::ProfilingSession session(soc::SocConfig{}, opts);
+  ASSERT_TRUE(session.load(w.value().program).is_ok());
+  workload::configure_engine(session.device().soc(), w.value().options);
+  session.reset(w.value().tc_entry, w.value().pcp_entry);
+  const auto result = session.run(2'000'000);
+
+  auto& soc = session.device().soc();
+  // The application is healthy...
+  EXPECT_FALSE(soc.tc().halted());
+  EXPECT_EQ(soc.watchdog().timeouts(), 0u);
+  EXPECT_EQ(soc.tc().bus_errors(), 0u);
+  EXPECT_EQ(soc.pflash().array().violations(), 0u);
+  EXPECT_GT(soc.pcp()->retired(), 1'000u);
+  // ...the measurement is alive and parseable...
+  EXPECT_GT(result.trace_messages, 10'000u);
+  EXPECT_FALSE(result.messages.empty());
+  const auto* ipc = result.find_series("ipc/tc.retired");
+  ASSERT_NE(ipc, nullptr);
+  EXPECT_GT(ipc->points.size(), 1'000u);
+  EXPECT_NEAR(ipc->mean_rate(), result.ipc, 0.05);
+  // ...and the DAP streamed at essentially its full physical rate the
+  // whole time (production exceeds the interface here — the E4 story).
+  const double dap_capacity_bytes =
+      session.device().dap_bytes_per_cycle() * static_cast<double>(result.cycles);
+  EXPECT_GT(static_cast<double>(session.device().dap_bytes_drained()),
+            0.9 * dap_capacity_bytes);
+
+  // Function profile over the same stream names the real hot spots.
+  profiling::SystemProfiler profiler{isa::SymbolMap(w.value().program)};
+  profiler.consume(result.messages);
+  const auto profile = profiler.function_profile();
+  ASSERT_FALSE(profile.empty());
+  EXPECT_TRUE(profile[0].name == "diag_checksum" ||
+              profile[0].name == "isr_tooth")
+      << "unexpected hot spot: " << profile[0].name;
+}
+
+TEST(Soak, TransmissionLongRunStateStaysPlausible) {
+  workload::TransmissionOptions opt;
+  opt.time_scale = 120;
+  opt.wdt_period = 300'000;
+  auto w = workload::build_transmission_workload(opt);
+  ASSERT_TRUE(w.is_ok());
+  soc::Soc soc{soc::SocConfig{}};
+  ASSERT_TRUE(workload::install_transmission(soc, w.value()).is_ok());
+
+  auto rd = [&](const char* name) {
+    return soc.dspr().read(w.value().program.symbol_addr(name).value(), 4);
+  };
+  u32 last_tasks = 0;
+  for (int slice = 0; slice < 20; ++slice) {
+    soc.run(150'000);
+    ASSERT_FALSE(soc.tc().halted());
+    const u32 tasks = rd("task_count");
+    EXPECT_GT(tasks, last_tasks) << "periodic task stopped at slice " << slice;
+    last_tasks = tasks;
+    const u32 gear = rd("gear");
+    EXPECT_GE(gear, 1u);
+    EXPECT_LE(gear, 7u);
+    // Vary the turbine speed like a drive cycle.
+    soc.crank().set_rpm(1500 + (slice % 5) * 900);
+  }
+  EXPECT_EQ(soc.watchdog().timeouts(), 0u);
+  EXPECT_GT(rd("shift_count"), 2u);
+  EXPECT_GT(soc.dflash().writes(), 3u);
+}
+
+TEST(Soak, MliMonitorCanStreamTheWholeTraceOut) {
+  // Monitor-based full drain: pop bytes through the MLI window until the
+  // stream is dry; the byte count must match what the EMEM recorded.
+  auto program = workload::build_sort(32);
+  ASSERT_TRUE(program.is_ok());
+  mcds::McdsConfig cfg;
+  cfg.program_trace = true;
+  ed::EmulationDevice ed(test::small_config(), cfg, ed::EdConfig{});
+  ASSERT_TRUE(ed.load(program.value()).is_ok());
+  ed.reset(program.value().entry());
+  ed.run(10'000'000);
+  ASSERT_TRUE(ed.soc().tc().halted());
+
+  const u64 recorded = ed.emem().total_pushed_bytes();
+  u64 popped = 0;
+  while (ed.mli().read_sfr(0x14) != 0xFFFFFFFF) {
+    ++popped;
+    ASSERT_LT(popped, recorded + 10);
+  }
+  EXPECT_EQ(popped, recorded);
+  EXPECT_EQ(ed.mli().bytes_popped(), recorded);
+  EXPECT_EQ(ed.mli().read_sfr(0x04), 0u);  // EMEM now empty
+}
+
+}  // namespace
+}  // namespace audo

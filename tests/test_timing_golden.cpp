@@ -1,0 +1,203 @@
+// Golden timing tests: exact cycle counts for small hand-analysed
+// programs, locking the pipeline/memory timing model against regressions.
+// These values are a contract — if a deliberate model change shifts them,
+// update the goldens alongside the change and re-baseline EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace audo {
+namespace {
+
+using test::pspr_text;
+using test::run_program;
+using test::small_config;
+
+u64 cycles_of(const std::string& source) {
+  auto r = run_program(source);
+  EXPECT_TRUE(r.halted());
+  return r.cycles;
+}
+
+TEST(TimingGolden, EmptyProgram) {
+  // Fetch from PSPR (1 cycle), deliver, issue HALT.
+  EXPECT_EQ(cycles_of(pspr_text("    halt\n")), 2u);
+}
+
+TEST(TimingGolden, IndependentAluPairsDualIssue) {
+  // 8 independent IP ops can only single-issue per cycle on the IP pipe;
+  // adding LS ops in between enables 2-wide groups.
+  const u64 serial = cycles_of(pspr_text(R"(
+    movd d1, 1
+    movd d2, 2
+    movd d3, 3
+    movd d4, 4
+    movd d5, 5
+    movd d6, 6
+    movd d7, 7
+    movd d8, 8
+    halt
+)"));
+  const u64 paired = cycles_of(pspr_text(R"(
+    movd d1, 1
+    movha a2, 0xC000
+    movd d3, 3
+    lea  a4, [a2+4]
+    movd d5, 5
+    lea  a6, [a2+8]
+    movd d7, 7
+    lea  a8, [a2+12]
+    halt
+)"));
+  EXPECT_EQ(serial, 10u);
+  EXPECT_EQ(paired, 6u);
+  EXPECT_LT(paired, serial);
+}
+
+TEST(TimingGolden, DependentChainIsOnePerCycle) {
+  EXPECT_EQ(cycles_of(pspr_text(R"(
+    movd d0, 1
+    add  d0, d0, d0
+    add  d0, d0, d0
+    add  d0, d0, d0
+    halt
+)")), 6u);
+}
+
+TEST(TimingGolden, DivLatencyIsVisible) {
+  // DIV result latency is 8: the dependent consumer waits.
+  const u64 with_use = cycles_of(pspr_text(R"(
+    movd d1, 100
+    movd d2, 5
+    div  d3, d1, d2
+    add  d4, d3, d3
+    halt
+)"));
+  const u64 without_use = cycles_of(pspr_text(R"(
+    movd d1, 100
+    movd d2, 5
+    div  d3, d1, d2
+    add  d4, d1, d1
+    halt
+)"));
+  EXPECT_EQ(without_use + 7, with_use);
+}
+
+TEST(TimingGolden, TightLoopSteadyState) {
+  // 100-iteration addi+loop body from the PSPR: 3 cycles per iteration
+  // in steady state (issue addi, issue loop+redirect, refetch).
+  const u64 n100 = cycles_of(pspr_text(R"(
+    movd d0, 0
+    movd d1, 100
+    mov.ad a2, d1
+_t: addi d0, d0, 1
+    loop a2, _t
+    halt
+)"));
+  const u64 n200 = cycles_of(pspr_text(R"(
+    movd d0, 0
+    movd d1, 200
+    mov.ad a2, d1
+_t: addi d0, d0, 1
+    loop a2, _t
+    halt
+)"));
+  EXPECT_EQ(n200 - n100, 300u);  // 3 cycles per extra iteration
+}
+
+TEST(TimingGolden, DsprLoadUsePenalty) {
+  // Load + immediate use: two bubbles (result latency 2) vs load +
+  // independent op.
+  const u64 dependent = cycles_of(pspr_text(R"(
+    movha a2, 0xC000
+    ld.w d1, [a2+0]
+    add  d2, d1, d1
+    halt
+)"));
+  const u64 independent = cycles_of(pspr_text(R"(
+    movha a2, 0xC000
+    ld.w d1, [a2+0]
+    add  d2, d3, d3
+    halt
+)"));
+  EXPECT_EQ(dependent, independent + 2);
+}
+
+TEST(TimingGolden, FlashFirstFetchPaysWaitStates) {
+  // The very first instruction from cached flash costs the I-cache miss
+  // (bus grant + wait states); PSPR does not.
+  auto flash = run_program(test::flash_text("    halt\n"));
+  auto pspr = run_program(test::pspr_text("    halt\n"));
+  ASSERT_TRUE(flash.halted());
+  ASSERT_TRUE(pspr.halted());
+  const unsigned ws = small_config().pflash.wait_states;
+  EXPECT_EQ(flash.cycles, pspr.cycles + ws);  // the grant cycle serves the first wait state
+}
+
+TEST(TimingGolden, LmuRoundTrip) {
+  // LMU store+load round trip timing vs DSPR (bus grant + 2-cycle SRAM).
+  const u64 lmu = cycles_of(pspr_text(R"(
+    movha a2, 0x9000
+    movd d0, 7
+    st.w d0, [a2+0]
+    ld.w d1, [a2+0]
+    add  d2, d1, d1
+    halt
+)"));
+  const u64 dspr = cycles_of(pspr_text(R"(
+    movha a2, 0xC000
+    movd d0, 7
+    st.w d0, [a2+0]
+    ld.w d1, [a2+0]
+    add  d2, d1, d1
+    halt
+)"));
+  EXPECT_EQ(dspr, 7u);
+  EXPECT_EQ(lmu, 9u);
+}
+
+TEST(TimingGolden, InterruptEntryCost) {
+  // Cycle distance from a pending STM compare to the first handler
+  // instruction: acceptance (1) + vector fetch from flash + jump +
+  // handler fetch. Locked as a golden value.
+  auto program = isa::assemble(R"(
+    .text 0x80000140
+    j isr
+    .text 0x80001000
+main:
+    di
+    movha a15, 0xC000
+    movha a14, 0xF000
+    movh  d0, 0x8000
+    mtcr  biv, d0
+    movd  d0, 100
+    st.w  d0, [a14+8]
+    movd  d0, 1
+    st.w  d0, [a14+16]
+    ei
+_w: j _w
+isr:
+    mfcr  d8, ccnt_lo
+    st.w  d8, [a15+0]
+    halt
+)");
+  ASSERT_TRUE(program.is_ok());
+  soc::Soc soc(small_config());
+  ASSERT_TRUE(soc.load(program.value()).is_ok());
+  soc.irq_router().configure(soc.srcs().stm0, 10, periph::IrqTarget::kTc);
+  soc.reset(program.value().entry());
+  Cycle entry_cycle = 0;
+  while (!soc.tc().halted() && soc.cycle() < 10'000) {
+    soc.step();
+    if (soc.frame().tc.irq_entry) entry_cycle = soc.cycle();
+  }
+  ASSERT_TRUE(soc.tc().halted());
+  const u32 handler_first = soc.dspr().read(0xC0000000, 4);
+  ASSERT_GT(entry_cycle, 0u);
+  // Dispatch-to-first-handler-instruction: vector fetch (flash, cold
+  // I-cache) + jump + handler fetch — locked as a golden value.
+  EXPECT_EQ(handler_first - entry_cycle, 9u);
+}
+
+}  // namespace
+}  // namespace audo

@@ -1,0 +1,145 @@
+// Transmission-control workload tests: boot, task progress, gear logic,
+// turbine pulse counting, adaptation journalling and determinism.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "workload/transmission.hpp"
+
+namespace audo::workload {
+namespace {
+
+TransmissionOptions fast_options() {
+  TransmissionOptions opt;
+  opt.time_scale = 100;
+  return opt;
+}
+
+Addr var(const TransmissionWorkload& w, const char* name) {
+  auto addr = w.program.symbol_addr(name);
+  EXPECT_TRUE(addr.is_ok()) << name;
+  return addr.value_or(0);
+}
+
+TEST(Transmission, BuildsAndRuns) {
+  auto w = build_transmission_workload(fast_options());
+  ASSERT_TRUE(w.is_ok()) << w.status().to_string();
+  soc::Soc soc(test::small_config());
+  ASSERT_TRUE(install_transmission(soc, w.value()).is_ok());
+  soc.run(500'000);
+  EXPECT_FALSE(soc.tc().halted());
+  EXPECT_GT(soc.dspr().read(var(w.value(), "task_count"), 4), 20u);
+  EXPECT_GT(soc.dspr().read(var(w.value(), "turbine"), 4), 0u);
+  EXPECT_GT(soc.dspr().read(var(w.value(), "wheel_avg"), 4), 0u);
+  EXPECT_GT(soc.dspr().read(var(w.value(), "slip"), 4), 0u);
+  EXPECT_NE(soc.dspr().read(var(w.value(), "crc_sum"), 4), 0u);
+  EXPECT_EQ(soc.tc().bus_errors(), 0u);
+}
+
+TEST(Transmission, GearShiftsWithHysteresis) {
+  auto w = build_transmission_workload(fast_options());
+  ASSERT_TRUE(w.is_ok());
+  soc::Soc soc(test::small_config());
+  ASSERT_TRUE(install_transmission(soc, w.value()).is_ok());
+  soc.run(600'000);
+  const u32 gear = soc.dspr().read(var(w.value(), "gear"), 4);
+  EXPECT_GE(gear, 1u);
+  EXPECT_LE(gear, 7u);
+  EXPECT_GT(soc.dspr().read(var(w.value(), "shift_count"), 4), 0u);
+}
+
+TEST(Transmission, TurbinePulsesTrackTheCrank) {
+  auto w = build_transmission_workload(fast_options());
+  ASSERT_TRUE(w.is_ok());
+  soc::Soc soc(test::small_config());
+  ASSERT_TRUE(install_transmission(soc, w.value()).is_ok());
+  soc.run(400'000);
+  // All tooth interrupts were serviced as pulses (none lost).
+  const auto& node = soc.irq_router().node(soc.srcs().crank_tooth);
+  EXPECT_GT(node.serviced, 100u);
+  EXPECT_EQ(node.lost, 0u);
+}
+
+TEST(Transmission, AdaptationJournalReachesDataFlash) {
+  auto w = build_transmission_workload(fast_options());
+  ASSERT_TRUE(w.is_ok());
+  soc::Soc soc(test::small_config());
+  ASSERT_TRUE(install_transmission(soc, w.value()).is_ok());
+  soc.run(800'000);
+  EXPECT_GT(soc.dspr().read(var(w.value(), "adapt_idx"), 4), 1u);
+  EXPECT_GT(soc.dflash().writes(), 1u);
+}
+
+TEST(Transmission, HaltAfterTasksIsComputeBound) {
+  auto run_with_ws = [](unsigned ws) {
+    TransmissionOptions opt;
+    opt.time_scale = 100;
+    opt.halt_after_tasks = 40;
+    auto w = build_transmission_workload(opt);
+    EXPECT_TRUE(w.is_ok());
+    auto cfg = test::small_config();
+    cfg.pflash.wait_states = ws;
+    cfg.dcache.enabled = false;
+    soc::Soc soc(cfg);
+    EXPECT_TRUE(install_transmission(soc, w.value()).is_ok());
+    soc.run(20'000'000);
+    EXPECT_TRUE(soc.tc().halted());
+    return soc.cycle();
+  };
+  const u64 fast = run_with_ws(2);
+  const u64 slow = run_with_ws(8);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Transmission, Deterministic) {
+  auto w = build_transmission_workload(fast_options());
+  ASSERT_TRUE(w.is_ok());
+  auto run_once = [&] {
+    soc::Soc soc(test::small_config());
+    EXPECT_TRUE(install_transmission(soc, w.value()).is_ok());
+    soc.run(300'000);
+    return std::tuple{soc.tc().retired(),
+                      soc.dspr().read(var(w.value(), "sol_out"), 4),
+                      soc.dspr().read(var(w.value(), "task_count"), 4)};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Transmission, DifferentProfileThanTheEngine) {
+  // The point of a second customer: a different event mix on the same
+  // silicon. The TCU's periodic task dominates; tooth work is trivial.
+  auto w = build_transmission_workload(fast_options());
+  ASSERT_TRUE(w.is_ok());
+  soc::Soc soc(test::small_config());
+  ASSERT_TRUE(install_transmission(soc, w.value()).is_ok());
+  u64 in_task = 0, in_pulse = 0, in_handler = 0;
+  int depth = 0;
+  u8 current = 0;
+  while (soc.cycle() < 400'000) {
+    soc.step();
+    const auto& tc = soc.frame().tc;
+    if (tc.irq_entry) {
+      ++depth;
+      current = tc.irq_prio;
+    }
+    if (tc.irq_exit && depth > 0) --depth;
+    if (depth > 0) {
+      ++in_handler;
+      if (current == 25) ++in_task;
+      if (current == 35) ++in_pulse;
+    }
+  }
+  const u32 tasks = soc.dspr().read(var(w.value(), "task_count"), 4);
+  const u64 pulses = soc.irq_router().node(soc.srcs().crank_tooth).serviced;
+  ASSERT_GT(tasks, 10u);
+  ASSERT_GT(pulses, 100u);
+  // Per-invocation cost: the periodic task is an order of magnitude
+  // heavier than the trivial pulse counter — the inverse of the engine
+  // application's tooth-dominated profile.
+  const double task_cost = static_cast<double>(in_task) / tasks;
+  const double pulse_cost = static_cast<double>(in_pulse) / pulses;
+  EXPECT_GT(task_cost, pulse_cost * 5.0);
+  EXPECT_GT(in_handler, 0u);
+}
+
+}  // namespace
+}  // namespace audo::workload

@@ -1,0 +1,188 @@
+// audo-profile: command-line driver for the Enhanced System Profiling
+// methodology. Assembles a TRC program, runs it on a simulated Emulation
+// Device, and reports the measured parameter series — plus optional
+// function profiles, execution listings and CSV exports.
+//
+//   audo-profile program.s [options]
+//     --cycles N          simulation budget (default 2000000)
+//     --resolution N      basis ticks per rate sample (default 1000)
+//     --flow              program-flow trace (implied by --functions/--listing)
+//     --data              data trace
+//     --irq               interrupt trace
+//     --cycle-accurate    per-cycle tick messages (expensive)
+//     --functions         print the function-level profile
+//     --listing N         print the first N reconstructed instructions
+//     --series-csv FILE   write the rate series as CSV
+//     --events-csv FILE   write the decoded messages as CSV
+//     --no-icache / --no-dcache
+//     --flash-ws N        flash wait states (default 5)
+//     --emem-kib N        trace memory size (default 384 usable)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "profiling/export.hpp"
+#include "profiling/function_profile.hpp"
+#include "profiling/listing.hpp"
+#include "profiling/session.hpp"
+
+using namespace audo;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: audo-profile program.s [--cycles N] [--resolution N]\n"
+               "       [--flow] [--data] [--irq] [--cycle-accurate]\n"
+               "       [--functions] [--listing N] [--series-csv FILE]\n"
+               "       [--events-csv FILE] [--no-icache] [--no-dcache]\n"
+               "       [--flash-ws N] [--emem-kib N]\n");
+}
+
+bool write_file(const char* path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const char* source_path = nullptr;
+  u64 cycles = 2'000'000;
+  u32 resolution = 1000;
+  bool functions = false;
+  usize listing_lines = 0;
+  const char* series_csv = nullptr;
+  const char* events_csv = nullptr;
+
+  soc::SocConfig chip;
+  profiling::SessionOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--cycles") == 0) {
+      cycles = std::strtoull(next_value(), nullptr, 0);
+    } else if (std::strcmp(arg, "--resolution") == 0) {
+      resolution = static_cast<u32>(std::strtoul(next_value(), nullptr, 0));
+    } else if (std::strcmp(arg, "--flow") == 0) {
+      options.program_trace = true;
+    } else if (std::strcmp(arg, "--data") == 0) {
+      options.data_trace = true;
+    } else if (std::strcmp(arg, "--irq") == 0) {
+      options.irq_trace = true;
+    } else if (std::strcmp(arg, "--cycle-accurate") == 0) {
+      options.cycle_accurate = true;
+    } else if (std::strcmp(arg, "--functions") == 0) {
+      functions = true;
+      options.program_trace = true;
+    } else if (std::strcmp(arg, "--listing") == 0) {
+      listing_lines = std::strtoull(next_value(), nullptr, 0);
+      options.program_trace = true;
+    } else if (std::strcmp(arg, "--series-csv") == 0) {
+      series_csv = next_value();
+    } else if (std::strcmp(arg, "--events-csv") == 0) {
+      events_csv = next_value();
+    } else if (std::strcmp(arg, "--no-icache") == 0) {
+      chip.icache.enabled = false;
+    } else if (std::strcmp(arg, "--no-dcache") == 0) {
+      chip.dcache.enabled = false;
+    } else if (std::strcmp(arg, "--flash-ws") == 0) {
+      chip.pflash.wait_states =
+          static_cast<unsigned>(std::strtoul(next_value(), nullptr, 0));
+    } else if (std::strcmp(arg, "--emem-kib") == 0) {
+      options.ed.emem.size_bytes =
+          static_cast<u32>(std::strtoul(next_value(), nullptr, 0)) * 1024;
+      options.ed.emem.overlay_bytes = 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      usage();
+      return 2;
+    } else {
+      source_path = arg;
+    }
+  }
+  if (source_path == nullptr) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream in(source_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", source_path);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto program = isa::assemble(buffer.str());
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", source_path,
+                 program.status().to_string().c_str());
+    return 1;
+  }
+
+  options.resolution = resolution;
+  profiling::ProfilingSession session(chip, options);
+  if (Status s = session.load(program.value()); !s.is_ok()) {
+    std::fprintf(stderr, "load: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  session.reset(program.value().entry());
+  const profiling::SessionResult result = session.run(cycles);
+
+  std::printf("%s: %llu cycles, %llu instructions, IPC %.3f%s\n", source_path,
+              static_cast<unsigned long long>(result.cycles),
+              static_cast<unsigned long long>(result.tc_retired), result.ipc,
+              session.device().soc().tc().halted() ? " (halted)" : "");
+  std::printf("trace: %llu messages, %llu bytes (%.1f bytes/kcycle), "
+              "%llu dropped\n\n",
+              static_cast<unsigned long long>(result.trace_messages),
+              static_cast<unsigned long long>(result.trace_bytes),
+              result.bytes_per_kcycle,
+              static_cast<unsigned long long>(result.dropped_messages));
+  std::printf("%s", profiling::format_series_summary(result.series).c_str());
+
+  if (functions) {
+    profiling::SystemProfiler profiler{isa::SymbolMap(program.value())};
+    profiler.consume(result.messages);
+    std::printf("\n== function profile ==\n%s",
+                profiler.format_function_profile().c_str());
+    if (options.data_trace) {
+      std::printf("\n== data objects ==\n%s",
+                  profiler.format_data_profile().c_str());
+    }
+  }
+  if (listing_lines > 0) {
+    profiling::ListingOptions lo;
+    lo.max_lines = listing_lines;
+    std::printf("\n== execution listing ==\n%s",
+                profiling::execution_listing(program.value(), result.messages,
+                                             lo)
+                    .c_str());
+  }
+  if (series_csv != nullptr &&
+      !write_file(series_csv, profiling::series_to_csv(result.series))) {
+    std::fprintf(stderr, "cannot write %s\n", series_csv);
+    return 1;
+  }
+  if (events_csv != nullptr &&
+      !write_file(events_csv, profiling::messages_to_csv(result.messages))) {
+    std::fprintf(stderr, "cannot write %s\n", events_csv);
+    return 1;
+  }
+  return 0;
+}
