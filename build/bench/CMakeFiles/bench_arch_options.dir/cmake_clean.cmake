@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arch_options.dir/bench_arch_options.cpp.o"
+  "CMakeFiles/bench_arch_options.dir/bench_arch_options.cpp.o.d"
+  "bench_arch_options"
+  "bench_arch_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arch_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

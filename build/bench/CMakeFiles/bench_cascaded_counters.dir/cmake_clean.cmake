@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cascaded_counters.dir/bench_cascaded_counters.cpp.o"
+  "CMakeFiles/bench_cascaded_counters.dir/bench_cascaded_counters.cpp.o.d"
+  "bench_cascaded_counters"
+  "bench_cascaded_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cascaded_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ed_equivalence.dir/bench_ed_equivalence.cpp.o"
+  "CMakeFiles/bench_ed_equivalence.dir/bench_ed_equivalence.cpp.o.d"
+  "bench_ed_equivalence"
+  "bench_ed_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ed_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f_model.dir/bench_f_model.cpp.o"
+  "CMakeFiles/bench_f_model.dir/bench_f_model.cpp.o.d"
+  "bench_f_model"
+  "bench_f_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

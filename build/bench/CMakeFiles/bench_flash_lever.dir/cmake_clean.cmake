@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flash_lever.dir/bench_flash_lever.cpp.o"
+  "CMakeFiles/bench_flash_lever.dir/bench_flash_lever.cpp.o.d"
+  "bench_flash_lever"
+  "bench_flash_lever.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flash_lever.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_flash_lever.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mcds_features.dir/bench_mcds_features.cpp.o"
+  "CMakeFiles/bench_mcds_features.dir/bench_mcds_features.cpp.o.d"
+  "bench_mcds_features"
+  "bench_mcds_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mcds_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

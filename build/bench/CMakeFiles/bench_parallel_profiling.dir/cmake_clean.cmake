@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_profiling.dir/bench_parallel_profiling.cpp.o"
+  "CMakeFiles/bench_parallel_profiling.dir/bench_parallel_profiling.cpp.o.d"
+  "bench_parallel_profiling"
+  "bench_parallel_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rate_basis.dir/bench_rate_basis.cpp.o"
+  "CMakeFiles/bench_rate_basis.dir/bench_rate_basis.cpp.o.d"
+  "bench_rate_basis"
+  "bench_rate_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rate_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

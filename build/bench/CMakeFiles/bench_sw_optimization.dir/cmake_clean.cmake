@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sw_optimization.dir/bench_sw_optimization.cpp.o"
+  "CMakeFiles/bench_sw_optimization.dir/bench_sw_optimization.cpp.o.d"
+  "bench_sw_optimization"
+  "bench_sw_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sw_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

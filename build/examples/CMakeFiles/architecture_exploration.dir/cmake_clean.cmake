@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_exploration.dir/architecture_exploration.cpp.o"
+  "CMakeFiles/architecture_exploration.dir/architecture_exploration.cpp.o.d"
+  "architecture_exploration"
+  "architecture_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

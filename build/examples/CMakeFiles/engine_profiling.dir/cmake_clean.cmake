@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_profiling.dir/engine_profiling.cpp.o"
+  "CMakeFiles/engine_profiling.dir/engine_profiling.cpp.o.d"
+  "engine_profiling"
+  "engine_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_sw_partitioning.dir/hw_sw_partitioning.cpp.o"
+  "CMakeFiles/hw_sw_partitioning.dir/hw_sw_partitioning.cpp.o.d"
+  "hw_sw_partitioning"
+  "hw_sw_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_sw_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trigger_watchdog.dir/trigger_watchdog.cpp.o"
+  "CMakeFiles/trigger_watchdog.dir/trigger_watchdog.cpp.o.d"
+  "trigger_watchdog"
+  "trigger_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trigger_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("mem")
+subdirs("bus")
+subdirs("cache")
+subdirs("cpu")
+subdirs("periph")
+subdirs("soc")
+subdirs("mcds")
+subdirs("emem")
+subdirs("ed")
+subdirs("profiling")
+subdirs("optimize")
+subdirs("workload")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_bus.dir/crossbar.cpp.o"
+  "CMakeFiles/audo_bus.dir/crossbar.cpp.o.d"
+  "libaudo_bus.a"
+  "libaudo_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_cache.dir/cache.cpp.o"
+  "CMakeFiles/audo_cache.dir/cache.cpp.o.d"
+  "libaudo_cache.a"
+  "libaudo_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

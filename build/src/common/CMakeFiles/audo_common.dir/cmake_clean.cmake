@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_common.dir/status.cpp.o"
+  "CMakeFiles/audo_common.dir/status.cpp.o.d"
+  "libaudo_common.a"
+  "libaudo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_cpu.dir/cpu.cpp.o"
+  "CMakeFiles/audo_cpu.dir/cpu.cpp.o.d"
+  "libaudo_cpu.a"
+  "libaudo_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

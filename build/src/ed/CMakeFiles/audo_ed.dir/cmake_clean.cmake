@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_ed.dir/emulation_device.cpp.o"
+  "CMakeFiles/audo_ed.dir/emulation_device.cpp.o.d"
+  "CMakeFiles/audo_ed.dir/mli_bridge.cpp.o"
+  "CMakeFiles/audo_ed.dir/mli_bridge.cpp.o.d"
+  "libaudo_ed.a"
+  "libaudo_ed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_ed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for audo_ed.
+# This may be replaced when dependencies are built.

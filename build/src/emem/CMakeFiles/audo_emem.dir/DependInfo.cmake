@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emem/emem.cpp" "src/emem/CMakeFiles/audo_emem.dir/emem.cpp.o" "gcc" "src/emem/CMakeFiles/audo_emem.dir/emem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/audo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcds/CMakeFiles/audo_mcds.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/audo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/audo_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

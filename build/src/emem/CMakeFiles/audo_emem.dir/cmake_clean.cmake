@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_emem.dir/emem.cpp.o"
+  "CMakeFiles/audo_emem.dir/emem.cpp.o.d"
+  "libaudo_emem.a"
+  "libaudo_emem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_emem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

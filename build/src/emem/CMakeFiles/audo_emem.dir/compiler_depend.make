@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for audo_emem.
+# This may be replaced when dependencies are built.

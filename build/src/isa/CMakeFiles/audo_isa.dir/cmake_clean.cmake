@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_isa.dir/assembler.cpp.o"
+  "CMakeFiles/audo_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/audo_isa.dir/isa.cpp.o"
+  "CMakeFiles/audo_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/audo_isa.dir/program.cpp.o"
+  "CMakeFiles/audo_isa.dir/program.cpp.o.d"
+  "libaudo_isa.a"
+  "libaudo_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

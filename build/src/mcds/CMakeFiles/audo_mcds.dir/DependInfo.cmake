@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcds/counters.cpp" "src/mcds/CMakeFiles/audo_mcds.dir/counters.cpp.o" "gcc" "src/mcds/CMakeFiles/audo_mcds.dir/counters.cpp.o.d"
+  "/root/repo/src/mcds/events.cpp" "src/mcds/CMakeFiles/audo_mcds.dir/events.cpp.o" "gcc" "src/mcds/CMakeFiles/audo_mcds.dir/events.cpp.o.d"
+  "/root/repo/src/mcds/mcds.cpp" "src/mcds/CMakeFiles/audo_mcds.dir/mcds.cpp.o" "gcc" "src/mcds/CMakeFiles/audo_mcds.dir/mcds.cpp.o.d"
+  "/root/repo/src/mcds/trace.cpp" "src/mcds/CMakeFiles/audo_mcds.dir/trace.cpp.o" "gcc" "src/mcds/CMakeFiles/audo_mcds.dir/trace.cpp.o.d"
+  "/root/repo/src/mcds/trigger.cpp" "src/mcds/CMakeFiles/audo_mcds.dir/trigger.cpp.o" "gcc" "src/mcds/CMakeFiles/audo_mcds.dir/trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/audo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/audo_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/audo_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

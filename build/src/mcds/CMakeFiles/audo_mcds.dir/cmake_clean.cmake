@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_mcds.dir/counters.cpp.o"
+  "CMakeFiles/audo_mcds.dir/counters.cpp.o.d"
+  "CMakeFiles/audo_mcds.dir/events.cpp.o"
+  "CMakeFiles/audo_mcds.dir/events.cpp.o.d"
+  "CMakeFiles/audo_mcds.dir/mcds.cpp.o"
+  "CMakeFiles/audo_mcds.dir/mcds.cpp.o.d"
+  "CMakeFiles/audo_mcds.dir/trace.cpp.o"
+  "CMakeFiles/audo_mcds.dir/trace.cpp.o.d"
+  "CMakeFiles/audo_mcds.dir/trigger.cpp.o"
+  "CMakeFiles/audo_mcds.dir/trigger.cpp.o.d"
+  "libaudo_mcds.a"
+  "libaudo_mcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_mcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_mem.dir/pflash.cpp.o"
+  "CMakeFiles/audo_mem.dir/pflash.cpp.o.d"
+  "libaudo_mem.a"
+  "libaudo_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

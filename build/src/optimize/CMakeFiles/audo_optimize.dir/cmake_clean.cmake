@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_optimize.dir/cost_model.cpp.o"
+  "CMakeFiles/audo_optimize.dir/cost_model.cpp.o.d"
+  "CMakeFiles/audo_optimize.dir/evaluator.cpp.o"
+  "CMakeFiles/audo_optimize.dir/evaluator.cpp.o.d"
+  "CMakeFiles/audo_optimize.dir/options.cpp.o"
+  "CMakeFiles/audo_optimize.dir/options.cpp.o.d"
+  "libaudo_optimize.a"
+  "libaudo_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

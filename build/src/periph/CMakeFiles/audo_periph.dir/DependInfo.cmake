@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/periph/dma.cpp" "src/periph/CMakeFiles/audo_periph.dir/dma.cpp.o" "gcc" "src/periph/CMakeFiles/audo_periph.dir/dma.cpp.o.d"
+  "/root/repo/src/periph/irq_router.cpp" "src/periph/CMakeFiles/audo_periph.dir/irq_router.cpp.o" "gcc" "src/periph/CMakeFiles/audo_periph.dir/irq_router.cpp.o.d"
+  "/root/repo/src/periph/peripherals.cpp" "src/periph/CMakeFiles/audo_periph.dir/peripherals.cpp.o" "gcc" "src/periph/CMakeFiles/audo_periph.dir/peripherals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/audo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/audo_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/audo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcds/CMakeFiles/audo_mcds.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/audo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/audo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/audo_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_periph.dir/dma.cpp.o"
+  "CMakeFiles/audo_periph.dir/dma.cpp.o.d"
+  "CMakeFiles/audo_periph.dir/irq_router.cpp.o"
+  "CMakeFiles/audo_periph.dir/irq_router.cpp.o.d"
+  "CMakeFiles/audo_periph.dir/peripherals.cpp.o"
+  "CMakeFiles/audo_periph.dir/peripherals.cpp.o.d"
+  "libaudo_periph.a"
+  "libaudo_periph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_periph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/export.cpp" "src/profiling/CMakeFiles/audo_profiling.dir/export.cpp.o" "gcc" "src/profiling/CMakeFiles/audo_profiling.dir/export.cpp.o.d"
+  "/root/repo/src/profiling/function_profile.cpp" "src/profiling/CMakeFiles/audo_profiling.dir/function_profile.cpp.o" "gcc" "src/profiling/CMakeFiles/audo_profiling.dir/function_profile.cpp.o.d"
+  "/root/repo/src/profiling/listing.cpp" "src/profiling/CMakeFiles/audo_profiling.dir/listing.cpp.o" "gcc" "src/profiling/CMakeFiles/audo_profiling.dir/listing.cpp.o.d"
+  "/root/repo/src/profiling/session.cpp" "src/profiling/CMakeFiles/audo_profiling.dir/session.cpp.o" "gcc" "src/profiling/CMakeFiles/audo_profiling.dir/session.cpp.o.d"
+  "/root/repo/src/profiling/spec.cpp" "src/profiling/CMakeFiles/audo_profiling.dir/spec.cpp.o" "gcc" "src/profiling/CMakeFiles/audo_profiling.dir/spec.cpp.o.d"
+  "/root/repo/src/profiling/timeseries.cpp" "src/profiling/CMakeFiles/audo_profiling.dir/timeseries.cpp.o" "gcc" "src/profiling/CMakeFiles/audo_profiling.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcds/CMakeFiles/audo_mcds.dir/DependInfo.cmake"
+  "/root/repo/build/src/ed/CMakeFiles/audo_ed.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/audo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/audo_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/periph/CMakeFiles/audo_periph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/audo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/audo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/emem/CMakeFiles/audo_emem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/audo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/audo_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/audo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

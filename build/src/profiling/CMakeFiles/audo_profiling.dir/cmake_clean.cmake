@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_profiling.dir/export.cpp.o"
+  "CMakeFiles/audo_profiling.dir/export.cpp.o.d"
+  "CMakeFiles/audo_profiling.dir/function_profile.cpp.o"
+  "CMakeFiles/audo_profiling.dir/function_profile.cpp.o.d"
+  "CMakeFiles/audo_profiling.dir/listing.cpp.o"
+  "CMakeFiles/audo_profiling.dir/listing.cpp.o.d"
+  "CMakeFiles/audo_profiling.dir/session.cpp.o"
+  "CMakeFiles/audo_profiling.dir/session.cpp.o.d"
+  "CMakeFiles/audo_profiling.dir/spec.cpp.o"
+  "CMakeFiles/audo_profiling.dir/spec.cpp.o.d"
+  "CMakeFiles/audo_profiling.dir/timeseries.cpp.o"
+  "CMakeFiles/audo_profiling.dir/timeseries.cpp.o.d"
+  "libaudo_profiling.a"
+  "libaudo_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

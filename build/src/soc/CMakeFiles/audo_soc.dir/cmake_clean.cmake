@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_soc.dir/soc.cpp.o"
+  "CMakeFiles/audo_soc.dir/soc.cpp.o.d"
+  "libaudo_soc.a"
+  "libaudo_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/engine.cpp" "src/workload/CMakeFiles/audo_workload.dir/engine.cpp.o" "gcc" "src/workload/CMakeFiles/audo_workload.dir/engine.cpp.o.d"
+  "/root/repo/src/workload/kernels.cpp" "src/workload/CMakeFiles/audo_workload.dir/kernels.cpp.o" "gcc" "src/workload/CMakeFiles/audo_workload.dir/kernels.cpp.o.d"
+  "/root/repo/src/workload/transmission.cpp" "src/workload/CMakeFiles/audo_workload.dir/transmission.cpp.o" "gcc" "src/workload/CMakeFiles/audo_workload.dir/transmission.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/audo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/audo_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/periph/CMakeFiles/audo_periph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/audo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/audo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcds/CMakeFiles/audo_mcds.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/audo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/audo_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/audo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

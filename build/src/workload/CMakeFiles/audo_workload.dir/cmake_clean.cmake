@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo_workload.dir/engine.cpp.o"
+  "CMakeFiles/audo_workload.dir/engine.cpp.o.d"
+  "CMakeFiles/audo_workload.dir/kernels.cpp.o"
+  "CMakeFiles/audo_workload.dir/kernels.cpp.o.d"
+  "CMakeFiles/audo_workload.dir/transmission.cpp.o"
+  "CMakeFiles/audo_workload.dir/transmission.cpp.o.d"
+  "libaudo_workload.a"
+  "libaudo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

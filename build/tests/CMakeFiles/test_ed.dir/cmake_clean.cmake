@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ed.dir/test_ed.cpp.o"
+  "CMakeFiles/test_ed.dir/test_ed.cpp.o.d"
+  "test_ed"
+  "test_ed.pdb"
+  "test_ed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

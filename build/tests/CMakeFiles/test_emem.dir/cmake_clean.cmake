@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emem.dir/test_emem.cpp.o"
+  "CMakeFiles/test_emem.dir/test_emem.cpp.o.d"
+  "test_emem"
+  "test_emem.pdb"
+  "test_emem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcds.dir/test_mcds.cpp.o"
+  "CMakeFiles/test_mcds.dir/test_mcds.cpp.o.d"
+  "test_mcds"
+  "test_mcds.pdb"
+  "test_mcds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_optimize.cpp" "tests/CMakeFiles/test_optimize.dir/test_optimize.cpp.o" "gcc" "tests/CMakeFiles/test_optimize.dir/test_optimize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/audo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/audo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/audo_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/audo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/audo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/audo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/periph/CMakeFiles/audo_periph.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/audo_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcds/CMakeFiles/audo_mcds.dir/DependInfo.cmake"
+  "/root/repo/build/src/emem/CMakeFiles/audo_emem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ed/CMakeFiles/audo_ed.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/audo_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/audo_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/audo_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

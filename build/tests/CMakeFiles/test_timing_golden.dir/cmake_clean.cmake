@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_golden.dir/test_timing_golden.cpp.o"
+  "CMakeFiles/test_timing_golden.dir/test_timing_golden.cpp.o.d"
+  "test_timing_golden"
+  "test_timing_golden.pdb"
+  "test_timing_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

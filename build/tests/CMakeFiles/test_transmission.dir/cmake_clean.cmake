@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transmission.dir/test_transmission.cpp.o"
+  "CMakeFiles/test_transmission.dir/test_transmission.cpp.o.d"
+  "test_transmission"
+  "test_transmission.pdb"
+  "test_transmission[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_periph[1]_include.cmake")
+include("/root/repo/build/tests/test_mcds[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_emem[1]_include.cmake")
+include("/root/repo/build/tests/test_soc[1]_include.cmake")
+include("/root/repo/build/tests/test_ed[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_profiling[1]_include.cmake")
+include("/root/repo/build/tests/test_optimize[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_transmission[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_soak[1]_include.cmake")
+include("/root/repo/build/tests/test_timing_golden[1]_include.cmake")

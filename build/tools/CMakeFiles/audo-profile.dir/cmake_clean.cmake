@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audo-profile.dir/audo_profile.cpp.o"
+  "CMakeFiles/audo-profile.dir/audo_profile.cpp.o.d"
+  "audo-profile"
+  "audo-profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audo-profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
