@@ -17,7 +17,10 @@ using namespace audo::bench;
 
 
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_ablation", args);
+
   header("Ablations", "what each modelled mechanism contributes");
 
   auto w = default_engine();
@@ -60,10 +63,14 @@ int main() {
   // Approximate a shared single port by serializing everything through
   // wait states doubled on the data side (the array is busy with code).
   // Direct measurement: count port-conflict cycles with the real model.
+  // Host telemetry rides on this run (the longest single-SoC run here).
   {
     soc::Soc soc{soc::SocConfig{}};
     (void)workload::install_engine(soc, w);
-    soc.run(60'000'000);
+    telemetry.attach(soc);
+    telemetry.start();
+    soc.run(args.cycles != 0 ? args.cycles : 60'000'000);
+    telemetry.finish();  // soc dies with this scope
     const auto& fs = soc.pflash().stats();
     std::printf("A2 code/data port arbitration: %llu array fetches, %llu "
                 "conflict wait cycles (%.2f%% of runtime) absorbed by the "

@@ -15,7 +15,10 @@
 using namespace audo;
 using namespace audo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_arch_options", args);
+
   header("E6: quantitative option assessment by performance/cost ratio",
          "objective ranking of next-generation SoC options");
 
@@ -117,6 +120,20 @@ int main() {
                 static_cast<unsigned long long>(b.cycles),
                 static_cast<unsigned long long>(v.cycles),
                 v.cycles ? static_cast<double>(b.cycles) / v.cycles : 0.0);
+  }
+
+  // The evaluator runs many short configs internally; for --report /
+  // --perfetto, observe one representative baseline engine run instead.
+  if (telemetry.enabled()) {
+    auto engine = default_engine();
+    soc::Soc soc{evaluator.baseline()};
+    (void)workload::install_engine(soc, engine);
+    telemetry.attach(soc);
+    telemetry.start();
+    soc.run(args.cycles != 0 ? args.cycles : 500'000);
+    telemetry.add_extra("top_option_gain_per_cost",
+                        results.front().gain_per_cost);
+    telemetry.finish();
   }
   return 0;
 }

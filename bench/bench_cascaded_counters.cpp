@@ -24,7 +24,8 @@ struct Outcome {
   usize detail_in_window = 0;  // samples with IPC < 0.6
 };
 
-Outcome measure(const isa::Program& program, bool cascade, u32 resolution) {
+Outcome measure(const isa::Program& program, bool cascade, u32 resolution,
+                BenchTelemetry* tel = nullptr) {
   profiling::SessionOptions opts;
   opts.standard_rates = false;
   if (cascade) {
@@ -44,7 +45,12 @@ Outcome measure(const isa::Program& program, bool cascade, u32 resolution) {
   profiling::ProfilingSession session(soc::SocConfig{}, opts);
   (void)session.load(program);
   session.reset(program.entry());
+  if (tel != nullptr) {
+    tel->attach(session.device());
+    tel->start();
+  }
   const auto result = session.run(10'000'000);
+  if (tel != nullptr) tel->finish();  // session dies with this scope
 
   Outcome out;
   out.trace_bytes = result.trace_bytes;
@@ -59,7 +65,10 @@ Outcome measure(const isa::Program& program, bool cascade, u32 resolution) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_cascaded_counters", args);
+
   header("E3: cascaded multi-resolution counters",
          "high-resolution measurement armed only while the low-resolution "
          "guard rate is below a threshold");
@@ -101,7 +110,8 @@ blob:
 
   const Outcome high = measure(program.value(), false, 50);
   const Outcome low = measure(program.value(), false, 2000);
-  const Outcome casc = measure(program.value(), true, 50);
+  // Telemetry observes the cascaded (paper's) strategy.
+  const Outcome casc = measure(program.value(), true, 50, &telemetry);
 
   std::printf("\n%-28s %12s %16s %18s\n", "strategy", "trace bytes",
               "detail samples", "samples in dips");

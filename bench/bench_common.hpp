@@ -1,15 +1,189 @@
-// Shared helpers for the experiment benches (E1..E10 in DESIGN.md).
+// Shared helpers for the experiment benches (E1..E10 in DESIGN.md):
+// the common CLI (--cycles/--seed/--report/--perfetto), the engine
+// workload builders, and the host-telemetry harness every bench can
+// attach to its measured run.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "ed/emulation_device.hpp"
 #include "profiling/session.hpp"
+#include "soc/tracer.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
 #include "workload/engine.hpp"
 #include "workload/kernels.hpp"
 
 namespace audo::bench {
+
+// ---- shared CLI -----------------------------------------------------
+
+struct BenchArgs {
+  u64 cycles = 0;  // 0 = keep the bench's built-in default
+  u64 seed = 0;
+  std::string report_path;    // --report <path>: RunReport JSON
+  std::string perfetto_path;  // --perfetto <path>: Chrome trace JSON
+
+  bool telemetry_requested() const {
+    return !report_path.empty() || !perfetto_path.empty();
+  }
+};
+
+inline void print_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--cycles N] [--seed N] [--report PATH] "
+               "[--perfetto PATH]\n"
+               "  --cycles N       override the bench's simulated-cycle "
+               "budget\n"
+               "  --seed N         workload seed (recorded in the report)\n"
+               "  --report PATH    write a structured RunReport JSON\n"
+               "  --perfetto PATH  write a Chrome/Perfetto trace JSON\n",
+               argv0);
+}
+
+/// Parse the shared flags; exits on --help or an unknown/malformed flag.
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  auto value_of = [&](int& i, std::string_view flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%.*s needs a value\n",
+                   static_cast<int>(flag.size()), flag.data());
+      print_usage(argv[0]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--cycles") {
+      args.cycles = std::strtoull(value_of(i, a), nullptr, 0);
+    } else if (a == "--seed") {
+      args.seed = std::strtoull(value_of(i, a), nullptr, 0);
+    } else if (a == "--report") {
+      args.report_path = value_of(i, a);
+    } else if (a == "--perfetto") {
+      args.perfetto_path = value_of(i, a);
+    } else if (a == "--help" || a == "-h") {
+      print_usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      print_usage(argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+// ---- telemetry harness ----------------------------------------------
+
+/// Owns the registry + tracer + host profiler for one measured run and
+/// writes the --report/--perfetto artifacts at the end. When neither
+/// flag was given, attach()/start()/finish() are no-ops and the run is
+/// bit-identical to an unattached one.
+class BenchTelemetry {
+ public:
+  BenchTelemetry(std::string bench_name, BenchArgs args)
+      : bench_(std::move(bench_name)), args_(std::move(args)) {}
+
+  bool enabled() const { return args_.telemetry_requested(); }
+  const BenchArgs& args() const { return args_; }
+
+  /// Attach to the SoC that will do the measured run (register every
+  /// component's metrics; install tracer and phase probe). Call before
+  /// the run; the SoC must outlive this object.
+  void attach(soc::Soc& soc) {
+    if (!enabled()) return;
+    soc_ = &soc;
+    soc.register_metrics(registry_);
+    if (!args_.perfetto_path.empty()) {
+      soc.set_tracer(&tracer_);
+    }
+    soc.set_phase_probe(&profiler_.probe());
+  }
+
+  /// ED flavour: product chip plus the EEC side ("mcds", "emem", "dap").
+  void attach(ed::EmulationDevice& ed) {
+    if (!enabled()) return;
+    soc_ = &ed.soc();
+    ed.register_metrics(registry_);
+    if (!args_.perfetto_path.empty()) {
+      ed.set_tracer(&tracer_);
+    }
+    ed.set_phase_probe(&profiler_.probe());
+  }
+
+  /// Bracket the measured run (host wall-clock window).
+  void start() {
+    if (soc_ != nullptr) profiler_.start(soc_->cycle());
+  }
+  void stop() {
+    if (soc_ != nullptr && !profiler_.stopped()) profiler_.stop(soc_->cycle());
+  }
+
+  /// Bench-specific headline numbers for the report's `extras` section.
+  void add_extra(std::string name, double value) {
+    if (enabled()) report_.add_extra(std::move(name), value);
+  }
+
+  /// Stop (if still running), then write the requested artifacts.
+  void finish() {
+    if (soc_ == nullptr) return;
+    stop();
+    const Cycle end = soc_->cycle();
+    if (!args_.perfetto_path.empty()) {
+      tracer_.finish(end);
+      if (Status s = tracer_.write_chrome_json(args_.perfetto_path,
+                                               soc_->config().clock_hz);
+          s.is_ok()) {
+        std::printf("perfetto trace: %s (%zu events, %zu tracks)\n",
+                    args_.perfetto_path.c_str(), tracer_.timeline().event_count(),
+                    tracer_.timeline().track_count());
+      } else {
+        std::fprintf(stderr, "perfetto write failed: %s\n",
+                     s.to_string().c_str());
+      }
+    }
+    if (!args_.report_path.empty()) {
+      report_.bench = bench_;
+      report_.config_name = soc_->config().name;
+      report_.config_fingerprint = soc_->config().fingerprint();
+      report_.seed = args_.seed;
+      report_.cycles = end;
+      report_.instructions = soc_->tc().retired();
+      report_.sim_ipc = end > 0 ? static_cast<double>(report_.instructions) /
+                                      static_cast<double>(end)
+                                : 0.0;
+      report_.metrics = registry_.collect(end);
+      report_.set_host(profiler_);
+      if (Status s = report_.write(args_.report_path); s.is_ok()) {
+        std::printf("run report: %s (%zu metrics, %zu components, "
+                    "%.0f sim cycles/s)\n",
+                    args_.report_path.c_str(), report_.metrics.samples.size(),
+                    report_.metrics.component_count(),
+                    report_.sim_cycles_per_second);
+      } else {
+        std::fprintf(stderr, "report write failed: %s\n",
+                     s.to_string().c_str());
+      }
+    }
+    soc_ = nullptr;  // idempotent: a second finish() is a no-op
+  }
+
+ private:
+  std::string bench_;
+  BenchArgs args_;
+  soc::Soc* soc_ = nullptr;
+  telemetry::MetricsRegistry registry_;
+  soc::SocTracer tracer_;
+  telemetry::HostProfiler profiler_;
+  telemetry::RunReport report_;
+};
 
 inline void header(const char* experiment, const char* claim) {
   std::printf("==============================================================\n");

@@ -14,7 +14,10 @@
 using namespace audo;
 using namespace audo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_ed_equivalence", args);
+
   header("E10: Emulation Device == product chip + EEC",
          "the product-chip part is unchanged; observing it is free");
 
@@ -27,6 +30,7 @@ int main() {
   std::printf("\n%-20s %14s %14s %9s %12s\n", "workload", "chip cycles",
               "ED cycles", "equal?", "trace msgs");
   bool all_equal = true;
+  bool telemetry_pending = telemetry.enabled();
   for (const auto& spec : workload::standard_suite()) {
     auto program = spec.build();
     if (!program.is_ok()) continue;
@@ -42,7 +46,18 @@ int main() {
     ed::EmulationDevice ed(soc::SocConfig{}, trace_all, ed_cfg);
     (void)ed.load(program.value());
     ed.reset(program.value().entry());
+    // Host telemetry rides on the first ED run; the equality check below
+    // then doubles as a live non-intrusiveness proof for the telemetry
+    // layer itself.
+    if (telemetry_pending) {
+      telemetry.attach(ed);
+      telemetry.start();
+    }
     const u64 ed_cycles = ed.run(40'000'000);
+    if (telemetry_pending) {
+      telemetry.finish();  // ed dies with this iteration
+      telemetry_pending = false;
+    }
 
     const bool regs_equal = [&] {
       for (unsigned i = 0; i < 16; ++i) {

@@ -80,7 +80,10 @@ u64 suite_cycles(const optimize::ArchitectureEvaluator& evaluator,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_f_model", args);
+
   header("E9: the F-model generational loop",
          "profile generation N, apply the best performance/cost options, "
          "ship generation N+1 running the unchanged customer software");
@@ -119,5 +122,17 @@ int main() {
     std::printf("\n");
   }
   std::printf("\ncustomer software: byte-identical across all generations\n");
+
+  // The F-model loop runs many short configs internally; for --report /
+  // --perfetto, observe one engine run on the final generation.
+  if (telemetry.enabled()) {
+    auto engine = default_engine();
+    soc::Soc soc{generation};
+    (void)workload::install_engine(soc, engine);
+    telemetry.attach(soc);
+    telemetry.start();
+    soc.run(args.cycles != 0 ? args.cycles : 500'000);
+    telemetry.finish();
+  }
   return 0;
 }

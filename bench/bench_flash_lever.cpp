@@ -13,7 +13,10 @@
 using namespace audo;
 using namespace audo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_flash_lever", args);
+
   header("E5: the CPU-to-flash path is the main performance lever",
          "flash-path improvements move application runtime far more than "
          "equal-looking SRAM improvements");
@@ -37,9 +40,13 @@ int main() {
   {
     soc::Soc soc{soc::SocConfig{}};
     (void)workload::install_engine(soc, w);
+    // Telemetry observes this baseline run (a bare SoC, no ED wrapper).
+    telemetry.attach(soc);
+    telemetry.start();
     u64 stall[8] = {0};
     u64 retired_cycles = 0;
-    while (!soc.tc().halted() && soc.cycle() < 20'000'000) {
+    const u64 budget = args.cycles != 0 ? args.cycles : 20'000'000;
+    while (!soc.tc().halted() && soc.cycle() < budget) {
       soc.step();
       const auto& tc = soc.frame().tc;
       if (tc.retired > 0) {
@@ -71,6 +78,8 @@ int main() {
                 static_cast<unsigned long long>(fs.data_accesses),
                 fs.data_accesses ? 100.0 * fs.data_buffer_hits / fs.data_accesses : 0.0,
                 static_cast<unsigned long long>(fs.port_conflict_cycles));
+    telemetry.add_extra("retired_cycles", static_cast<double>(retired_cycles));
+    telemetry.finish();  // soc dies with this scope
   }
 
   // --- sensitivity sweeps ---

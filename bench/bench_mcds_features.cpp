@@ -170,7 +170,10 @@ static void fsm_preemption_demo() {
   }
 }
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_mcds_features", args);
+
   header("E8: MCDS debugging features",
          "cycle-accurate multi-core trace exposes shared-variable "
          "interleavings; counters and state machines trigger on missing "
@@ -178,5 +181,21 @@ int main() {
   shared_variable_demo();
   absence_trigger_demo();
   fsm_preemption_demo();
+
+  // The demos build their own short-lived devices; for --report /
+  // --perfetto, observe one representative engine run with irq trace on.
+  if (telemetry.enabled()) {
+    auto engine = default_engine();
+    mcds::McdsConfig mcds_cfg;
+    mcds_cfg.irq_trace = true;
+    ed::EmulationDevice ed(soc::SocConfig{}, mcds_cfg, ed::EdConfig{});
+    (void)ed.load(engine.program);
+    workload::configure_engine(ed.soc(), engine.options);
+    ed.reset(engine.tc_entry, engine.pcp_entry);
+    telemetry.attach(ed);
+    telemetry.start();
+    ed.run(args.cycles != 0 ? args.cycles : 500'000);
+    telemetry.finish();
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 // simulator throughput, trace codec throughput, assembler, cache model.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "cache/cache.hpp"
 #include "common/prng.hpp"
 #include "isa/assembler.hpp"
@@ -144,4 +145,49 @@ BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off the trisim-shared
+// flags (--cycles/--seed/--report/--perfetto) so a harness can pass one
+// uniform command line to every bench binary; everything else goes to
+// google-benchmark unchanged.
+int main(int argc, char** argv) {
+  std::vector<char*> own_argv{argv[0]};
+  std::vector<char*> bm_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--cycles" || a == "--seed" || a == "--report" ||
+        a == "--perfetto") {
+      own_argv.push_back(argv[i]);
+      if (i + 1 < argc) own_argv.push_back(argv[++i]);
+    } else {
+      bm_argv.push_back(argv[i]);
+    }
+  }
+  const audo::bench::BenchArgs args = audo::bench::parse_args(
+      static_cast<int>(own_argv.size()), own_argv.data());
+  audo::bench::BenchTelemetry telemetry("bench_micro", args);
+
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // The google-benchmark cases own their fixtures; for --report /
+  // --perfetto, observe one plain engine run.
+  if (telemetry.enabled()) {
+    audo::workload::EngineOptions opt;
+    opt.crank_time_scale = 80;
+    auto w = audo::workload::build_engine_workload(opt);
+    if (w.is_ok()) {
+      audo::soc::Soc soc{audo::soc::SocConfig{}};
+      (void)audo::workload::install_engine(soc, w.value());
+      telemetry.attach(soc);
+      telemetry.start();
+      soc.run(args.cycles != 0 ? args.cycles : 200'000);
+      telemetry.finish();
+    }
+  }
+  return 0;
+}

@@ -14,13 +14,16 @@
 using namespace audo;
 using namespace audo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_parallel_profiling", args);
+
   header("E1: parallel, dynamic, non-intrusive parameter measurement",
          "all essential parameters measured in parallel over the time "
          "line, without disturbing the target");
 
   auto w = default_engine();
-  constexpr u64 kCycles = 1'500'000;
+  const u64 kCycles = args.cycles != 0 ? args.cycles : 1'500'000;
 
   profiling::SessionOptions opts;
   opts.resolution = 1000;
@@ -28,6 +31,7 @@ int main() {
   (void)session.load(w.program);
   workload::configure_engine(session.device().soc(), w.options);
   session.reset(w.tc_entry, w.pcp_entry);
+  telemetry.attach(session.device());
   // Drive a realistic engine transient: idle -> acceleration -> cruise.
   // (The observed quantity is hard real-time activity following the
   // physical environment — exactly why §5 wants the time axis.)
@@ -36,10 +40,12 @@ int main() {
   profiling::SessionResult result;
   {
     const u64 slice = kCycles / std::size(kRpmProfile);
+    telemetry.start();
     for (u32 rpm : kRpmProfile) {
       session.device().soc().crank().set_rpm(rpm);
       session.device().run(slice);
     }
+    telemetry.stop();
     result = session.run(0);  // download & decode
   }
 
@@ -98,5 +104,11 @@ int main() {
               "measurement would mix different executions\n",
               static_cast<long long>(other->tc().retired()) -
                   static_cast<long long>(bare->tc().retired()));
+
+  telemetry.add_extra("trace_messages",
+                      static_cast<double>(result.trace_messages));
+  telemetry.add_extra("bytes_per_kcycle", result.bytes_per_kcycle);
+  telemetry.add_extra("series_count", static_cast<double>(result.series.size()));
+  telemetry.finish();
   return 0;
 }

@@ -16,7 +16,10 @@
 using namespace audo;
 using namespace audo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_rate_basis", args);
+
   header("E2: event rates on an executed-instructions basis",
          "per-cycle event rates mislead under stalls; per-instruction "
          "rates reflect the code's behaviour");
@@ -77,8 +80,10 @@ table:
   session.reset(program.value().entry());
 
   // Environment phases: quiet / DMA flood of the flash data port / quiet.
-  constexpr u64 kSlice = 300'000;
+  const u64 kSlice = args.cycles != 0 ? args.cycles / 3 : 300'000;
   auto& soc = session.device().soc();
+  telemetry.attach(session.device());
+  telemetry.start();
   session.device().run(kSlice);
   periph::DmaController::ChannelConfig flood;
   flood.src = mem::kPFlashUncachedBase + 0x60000;  // flash data port
@@ -90,6 +95,7 @@ table:
   session.device().run(kSlice);
   soc.dma().enable_channel(0, false);
   session.device().run(kSlice);
+  telemetry.stop();
   const auto result = session.run(0);
 
   const auto* mpc = result.find_series("per_cycle/tc.dcache.miss");
@@ -139,5 +145,9 @@ table:
               phase_ratio(b_mpc));
   std::printf("  misses per instruction:  %.2f  (flat: the truth)\n",
               phase_ratio(b_mpi));
+
+  telemetry.add_extra("phase_ratio_per_cycle", phase_ratio(b_mpc));
+  telemetry.add_extra("phase_ratio_per_instr", phase_ratio(b_mpi));
+  telemetry.finish();
   return 0;
 }

@@ -26,7 +26,7 @@ struct Measurement {
   u64 hottest_reads = 0;
 };
 
-Measurement measure(bool tables_in_dspr) {
+Measurement measure(bool tables_in_dspr, BenchTelemetry* tel = nullptr) {
   workload::EngineOptions opt;
   opt.rpm = 2000;
   opt.crank_time_scale = 120;  // high tooth rate: ISR load dominates
@@ -51,6 +51,10 @@ Measurement measure(bool tables_in_dspr) {
   (void)session.load(w.value().program);
   workload::configure_engine(session.device().soc(), w.value().options);
   session.reset(w.value().tc_entry, w.value().pcp_entry);
+  if (tel != nullptr) {
+    tel->attach(session.device());
+    tel->start();
+  }
   // The engine accelerates through the run: the map working set sweeps
   // both tables (as in a real drive cycle), far exceeding the D-cache.
   while (!session.device().soc().tc().halted() &&
@@ -59,6 +63,7 @@ Measurement measure(bool tables_in_dspr) {
     auto& crank = session.device().soc().crank();
     crank.set_rpm(std::min(6400u, crank.rpm() + 300));
   }
+  if (tel != nullptr) tel->stop();
   const auto result = session.run(0);
 
   Measurement m;
@@ -78,18 +83,23 @@ Measurement measure(bool tables_in_dspr) {
       break;
     }
   }
+  if (tel != nullptr) tel->finish();  // session dies with this scope
   return m;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_sw_optimization", args);
+
   header("E7: customer software optimization via system profiling",
          "profiling identifies lookup tables for scratchpad mapping; the "
          "remapping yields a measured speedup");
 
   std::printf("\nstep 1: profile the shipped application (tables in flash)\n");
-  const Measurement before = measure(false);
+  // Telemetry observes the shipped (pre-optimization) profiling run.
+  const Measurement before = measure(false, &telemetry);
   std::printf("  cycles to 300 background iterations: %llu\n",
               static_cast<unsigned long long>(before.cycles));
   std::printf("  flash data-port accesses: %llu\n",

@@ -26,17 +26,20 @@ struct Strategy {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_trace_bandwidth", args);
+
   header("E4: trace bandwidth vs measurement strategy and CPU clock",
          "rate messages keep tool bandwidth flat where instruction trace "
          "and external polling overrun the interface");
 
   auto w = default_engine();
-  constexpr u64 kCycles = 1'000'000;
+  const u64 kCycles = args.cycles != 0 ? args.cycles : 1'000'000;
   constexpr u32 kResolution = 1000;
 
-  auto run_session = [&](bool cycle_accurate, bool program_trace,
-                         bool rates) {
+  auto run_session = [&](bool cycle_accurate, bool program_trace, bool rates,
+                         BenchTelemetry* tel = nullptr) {
     profiling::SessionOptions opts;
     opts.standard_rates = rates;
     opts.resolution = kResolution;
@@ -48,12 +51,19 @@ int main() {
     (void)session.load(w.program);
     workload::configure_engine(session.device().soc(), w.options);
     session.reset(w.tc_entry, w.pcp_entry);
-    return session.run(kCycles);
+    if (tel != nullptr) {
+      tel->attach(session.device());
+      tel->start();
+    }
+    auto result = session.run(kCycles);
+    if (tel != nullptr) tel->finish();  // session dies with this scope
+    return result;
   };
 
   const auto full = run_session(true, true, false);
   const auto flow = run_session(false, true, false);
-  const auto rates = run_session(false, false, true);
+  // Telemetry observes the paper's own strategy (rate messages).
+  const auto rates = run_session(false, false, true, &telemetry);
 
   // External polling: for every rate-message window the tool would issue
   // one debug-port read per counter plus one for the basis counter; a

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace audo::bus {
 
 const char* to_string(MasterId id) {
@@ -93,6 +95,17 @@ void Crossbar::step(Cycle now) {
       pending_[static_cast<unsigned>(port->request_.master)] = nullptr;
       state.busy = false;
       state.active_port = nullptr;
+      // Publish the transaction's life cycle for the host timeline.
+      if (observation_.completed_count < kNumMasters) {
+        observation_.completed[observation_.completed_count++] =
+            CompletedTransaction{port->request_.master,
+                                 static_cast<u8>(s),
+                                 port->request_.addr,
+                                 port->request_.kind == AccessKind::kWrite,
+                                 port->request_.fetch,
+                                 port->issued_at,
+                                 port->granted_at};
+      }
     }
   };
 
@@ -154,6 +167,7 @@ void Crossbar::step(Cycle now) {
     const unsigned latency = std::max(1u, slaves_[s]->start_access(winner->request_));
     winner->state_ = MasterPort::State::kActive;
     winner->remaining = latency;
+    winner->granted_at = now;
     state.busy = true;
     state.active_port = winner;
 
@@ -175,7 +189,23 @@ void Crossbar::step(Cycle now) {
       observation_.granted_write = winner->request_.kind == AccessKind::kWrite;
     }
   }
-  (void)now;
+}
+
+void Crossbar::register_metrics(telemetry::MetricsRegistry& registry,
+                                std::string_view component) const {
+  for (unsigned s = 0; s < slaves_.size(); ++s) {
+    const std::string slave(slave_name(s));
+    const SlaveStats& stats = stats_[s];
+    registry.counter(std::string(component), slave + ".grants", &stats.grants);
+    registry.counter(std::string(component), slave + ".reads", &stats.reads);
+    registry.counter(std::string(component), slave + ".writes", &stats.writes);
+    registry.counter(std::string(component), slave + ".wait_cycles",
+                     &stats.wait_cycles);
+    registry.counter(std::string(component), slave + ".busy_cycles",
+                     &stats.busy_cycles);
+    registry.counter(std::string(component), slave + ".contention_cycles",
+                     &stats.contention_cycles);
+  }
 }
 
 }  // namespace audo::bus

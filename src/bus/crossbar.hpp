@@ -13,6 +13,10 @@
 #include "common/status.hpp"
 #include "common/types.hpp"
 
+namespace audo::telemetry {
+class MetricsRegistry;
+}
+
 namespace audo::bus {
 
 enum class ArbitrationPolicy : u8 { kFixedPriority, kRoundRobin };
@@ -37,6 +41,20 @@ struct Region {
   }
 };
 
+/// A bus transaction that completed this cycle, with its full life cycle
+/// (issue → grant → completion) — the host-telemetry timeline span
+/// source. Purely observational: the fabric records these as a
+/// by-product of completion, masters never read them.
+struct CompletedTransaction {
+  MasterId master = MasterId::kCount;
+  u8 slave = 0;
+  Addr addr = 0;
+  bool write = false;
+  bool fetch = false;
+  Cycle issued_at = 0;   // request posted to the fabric
+  Cycle granted_at = 0;  // arbiter grant (wait time = granted - issued)
+};
+
 /// What the fabric did this cycle — the MCDS bus observation input.
 struct FabricObservation {
   bool any_grant = false;
@@ -48,6 +66,10 @@ struct FabricObservation {
   /// behind a busy slave — the §3 "bus contention" event source.
   bool contention = false;
   unsigned waiting_masters = 0;
+
+  /// Transactions that completed this cycle (at most one per master).
+  std::array<CompletedTransaction, kNumMasters> completed{};
+  unsigned completed_count = 0;
 
   void clear() { *this = FabricObservation{}; }
 };
@@ -99,6 +121,13 @@ class Crossbar {
 
   /// Decode an address; returns slave index or error.
   Result<unsigned> decode(Addr addr, bool fetch = false) const;
+
+  /// Register per-slave statistics under `component` (e.g. "sri"), one
+  /// metric per slave counter ("<slave>.grants", ...). Call only after
+  /// all slaves are added: the registry keeps pointers into the stats
+  /// table, which must not grow afterwards.
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        std::string_view component) const;
 
  private:
   struct SlaveState {

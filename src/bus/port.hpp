@@ -89,6 +89,7 @@ class MasterPort {
   unsigned remaining = 0;
   u32 rdata_ = 0;
   Cycle issued_at = 0;
+  Cycle granted_at = 0;
 };
 
 }  // namespace audo::bus

@@ -2,7 +2,17 @@
 
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
+
 namespace audo::cache {
+
+void Cache::register_metrics(telemetry::MetricsRegistry& registry,
+                             std::string component) const {
+  registry.counter(component, "accesses", &stats_.accesses);
+  registry.counter(component, "hits", &stats_.hits);
+  registry.counter(component, "misses", &stats_.misses);
+  registry.counter(std::move(component), "evictions", &stats_.evictions);
+}
 
 Cache::Cache(const CacheConfig& config) : config_(config) {
   assert(config.valid());

@@ -8,10 +8,15 @@
 // This makes DMA/flash coherence a non-issue by construction.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/bits.hpp"
 #include "common/types.hpp"
+
+namespace audo::telemetry {
+class MetricsRegistry;
+}
 
 namespace audo::cache {
 
@@ -66,6 +71,10 @@ class Cache {
   const CacheConfig& config() const { return config_; }
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Register this cache's counters under `component` ("icache"/"dcache").
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        std::string component) const;
 
  private:
   struct Way {

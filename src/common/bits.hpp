@@ -4,6 +4,7 @@
 
 #include <bit>
 #include <cassert>
+#include <string_view>
 
 #include "common/types.hpp"
 
@@ -60,6 +61,26 @@ constexpr u64 align_up(u64 v, u64 align) {
 constexpr bool is_aligned(u64 v, u64 align) {
   assert(is_pow2(align));
   return (v & (align - 1)) == 0;
+}
+
+/// Incremental FNV-1a hashing — used for configuration fingerprints in
+/// telemetry run reports (stable across runs and platforms).
+inline constexpr u64 kFnvOffset = 0xcbf29ce484222325ull;
+
+constexpr u64 fnv1a(u64 hash, u64 value) {
+  for (unsigned i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xff;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+constexpr u64 fnv1a(u64 hash, std::string_view s) {
+  for (char c : s) {
+    hash ^= static_cast<u8>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
 }
 
 }  // namespace audo

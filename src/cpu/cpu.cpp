@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "mem/memory_map.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace audo::cpu {
+
+void Cpu::register_metrics(telemetry::MetricsRegistry& registry,
+                           std::string component) const {
+  registry.counter(component, "retired", &retired_);
+  registry.counter(component, "cycles", &cycles_);
+  registry.counter(std::move(component), "bus_errors", &bus_errors_);
+}
 
 using isa::Instr;
 using isa::Opcode;

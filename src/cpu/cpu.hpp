@@ -32,6 +32,10 @@
 #include "mem/mem_array.hpp"
 #include "mem/sram.hpp"
 
+namespace audo::telemetry {
+class MetricsRegistry;
+}
+
 namespace audo::cpu {
 
 struct CpuConfig {
@@ -90,6 +94,10 @@ class Cpu {
   u64 cycles() const { return cycles_; }
   /// Accesses that decoded to no bus region (read-as-zero / dropped).
   u64 bus_errors() const { return bus_errors_; }
+
+  /// Register the core's counters under `component` ("tc"/"pcp").
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        std::string component) const;
 
   u32 icr() const { return icr_; }
   void set_biv(Addr biv) { biv_ = biv; }

@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#include "soc/tracer.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/metrics.hpp"
+
 namespace audo::ed {
 
 EmulationDevice::EmulationDevice(const soc::SocConfig& soc_config,
@@ -34,6 +38,8 @@ double EmulationDevice::dap_bytes_per_cycle() const {
 
 void EmulationDevice::step() {
   soc_.step();
+  telemetry::PhaseProbe* probe = soc_.phase_probe();
+  if (probe != nullptr) probe->begin(telemetry::StepPhase::kMcds);
   mcds_.observe(soc_.frame());
   if (config_.stream_drain) {
     drain_budget_ += dap_bytes_per_cycle();
@@ -44,6 +50,20 @@ void EmulationDevice::step() {
       drain_budget_ -= static_cast<double>(whole);
     }
   }
+  if (probe != nullptr) probe->end(telemetry::StepPhase::kMcds);
+  if (soc::SocTracer* tracer = soc_.tracer(); tracer != nullptr) {
+    tracer->observe_eec(soc_.cycle(), emem_.occupancy_bytes(),
+                        emem_.total_pushed_messages(),
+                        mcds_.dropped_messages());
+  }
+}
+
+void EmulationDevice::register_metrics(
+    telemetry::MetricsRegistry& registry) const {
+  soc_.register_metrics(registry);
+  mcds_.register_metrics(registry, "mcds");
+  emem_.register_metrics(registry, "emem");
+  registry.counter("dap", "bytes_drained", &dap_drained_);
 }
 
 u64 EmulationDevice::run(u64 max_cycles) {

@@ -67,6 +67,22 @@ class EmulationDevice {
   /// host-side unit stream into messages.
   Result<std::vector<mcds::TraceMessage>> download_trace();
 
+  // ---- host telemetry ------------------------------------------------
+
+  /// Register the product chip's components plus the EEC side ("mcds",
+  /// "emem", "dap"). Call once, after construction.
+  void register_metrics(telemetry::MetricsRegistry& registry) const;
+
+  /// Attach a timeline tracer to the product chip *and* feed it the
+  /// EEC side (EMEM fill level, trace drops) each cycle.
+  void set_tracer(soc::SocTracer* tracer) { soc_.set_tracer(tracer); }
+
+  /// Attach a host phase profiler; the EEC observation path is timed as
+  /// its own phase (kMcds) on top of the product-chip phases.
+  void set_phase_probe(telemetry::PhaseProbe* probe) {
+    soc_.set_phase_probe(probe);
+  }
+
  private:
   soc::Soc soc_;
   mcds::Mcds mcds_;

@@ -2,7 +2,19 @@
 
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
+
 namespace audo::emem {
+
+void Emem::register_metrics(telemetry::MetricsRegistry& registry,
+                            std::string component) const {
+  registry.counter(component, "pushed_bytes", &pushed_bytes_);
+  registry.counter(component, "pushed_messages", &pushed_messages_);
+  registry.counter(component, "dropped", &dropped_);
+  registry.counter(component, "overwritten", &overwritten_);
+  registry.gauge(std::move(component), "occupancy_bytes",
+                 [this] { return static_cast<u64>(occupancy_); });
+}
 
 Emem::Emem(const EmemConfig& config)
     : config_(config), overlay_(config.overlay_bytes) {

@@ -21,6 +21,10 @@
 #include "mcds/mcds.hpp"
 #include "mem/mem_array.hpp"
 
+namespace audo::telemetry {
+class MetricsRegistry;
+}
+
 namespace audo::emem {
 
 enum class TraceMode : u8 { kFill, kRing, kStream };
@@ -63,6 +67,10 @@ class Emem final : public mcds::TraceSink {
   const EmemConfig& config() const { return config_; }
 
   void clear();
+
+  /// Register trace-sink counters under `component` (e.g. "emem").
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        std::string component) const;
 
   // ---- calibration overlay ----
   mem::MemArray& overlay() { return overlay_; }

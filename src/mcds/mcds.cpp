@@ -1,6 +1,36 @@
 #include "mcds/mcds.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace audo::mcds {
+
+void Mcds::register_metrics(telemetry::MetricsRegistry& registry,
+                            std::string component) const {
+  static constexpr const char* kKindNames[] = {
+      "msgs.sync", "msgs.flow", "msgs.tick",       "msgs.data",
+      "msgs.rate", "msgs.irq",  "msgs.watchpoint", "msgs.overflow",
+  };
+  registry.counter(component, kKindNames[0],
+                   &kind_counts_[static_cast<unsigned>(MsgKind::kSync)]);
+  registry.counter(component, kKindNames[1],
+                   &kind_counts_[static_cast<unsigned>(MsgKind::kFlow)]);
+  registry.counter(component, kKindNames[2],
+                   &kind_counts_[static_cast<unsigned>(MsgKind::kTick)]);
+  registry.counter(component, kKindNames[3],
+                   &kind_counts_[static_cast<unsigned>(MsgKind::kData)]);
+  registry.counter(component, kKindNames[4],
+                   &kind_counts_[static_cast<unsigned>(MsgKind::kRate)]);
+  registry.counter(component, kKindNames[5],
+                   &kind_counts_[static_cast<unsigned>(MsgKind::kIrq)]);
+  registry.counter(component, kKindNames[6],
+                   &kind_counts_[static_cast<unsigned>(MsgKind::kWatchpoint)]);
+  registry.counter(component, kKindNames[7],
+                   &kind_counts_[static_cast<unsigned>(MsgKind::kOverflow)]);
+  registry.counter(component, "dropped", &dropped_);
+  registry.counter(component, "trigger_out_pulses", &trigger_out_pulses_);
+  registry.gauge(std::move(component), "encoded_bytes",
+                 [this] { return encoder_.bytes_encoded(); });
+}
 
 Mcds::Mcds(McdsConfig config) : config_(std::move(config)), fsm_(config_.fsm) {
   for (const CounterGroupConfig& g : config_.counter_groups) {

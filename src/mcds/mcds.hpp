@@ -16,6 +16,10 @@
 #include "mcds/trace.hpp"
 #include "mcds/trigger.hpp"
 
+namespace audo::telemetry {
+class MetricsRegistry;
+}
+
 namespace audo::mcds {
 
 /// Destination of encoded trace messages (EMEM, or a plain collector in
@@ -102,6 +106,10 @@ class Mcds {
   u64 messages_of(MsgKind kind) const {
     return kind_counts_[static_cast<unsigned>(kind)];
   }
+
+  /// Register encoder/trigger counters under `component` (e.g. "mcds").
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        std::string component) const;
 
  private:
   void emit(TraceMessage msg);

@@ -11,6 +11,7 @@
 #include "bus/port.hpp"
 #include "common/types.hpp"
 #include "mem/mem_array.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace audo::mem {
 
@@ -56,6 +57,12 @@ class DFlashSlave final : public bus::BusSlave {
   u64 reads() const { return reads_; }
   u64 writes() const { return writes_; }
   const DFlashConfig& config() const { return config_; }
+
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        std::string component) const {
+    registry.counter(component, "reads", &reads_);
+    registry.counter(std::move(component), "writes", &writes_);
+  }
 
  private:
   Addr base_;

@@ -4,8 +4,24 @@
 
 #include "common/bits.hpp"
 #include "mem/memory_map.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace audo::mem {
+
+void PFlash::register_metrics(telemetry::MetricsRegistry& registry,
+                              std::string component) const {
+  registry.counter(component, "code_accesses", &stats_.code_accesses);
+  registry.counter(component, "code_buffer_hits", &stats_.code_buffer_hits);
+  registry.counter(component, "data_accesses", &stats_.data_accesses);
+  registry.counter(component, "data_buffer_hits", &stats_.data_buffer_hits);
+  registry.counter(component, "array_fetches", &stats_.array_fetches);
+  registry.counter(component, "prefetches_issued", &stats_.prefetches_issued);
+  registry.counter(component, "prefetch_hits", &stats_.prefetch_hits);
+  registry.counter(component, "port_conflict_cycles",
+                   &stats_.port_conflict_cycles);
+  registry.counter(std::move(component), "illegal_writes",
+                   &stats_.illegal_writes);
+}
 
 PFlash::PFlash(const PFlashConfig& config)
     : config_(config),

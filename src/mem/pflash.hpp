@@ -20,6 +20,10 @@
 #include "common/types.hpp"
 #include "mem/mem_array.hpp"
 
+namespace audo::telemetry {
+class MetricsRegistry;
+}
+
 namespace audo::mem {
 
 struct PFlashConfig {
@@ -73,6 +77,10 @@ class PFlash {
 
   /// Drop all buffered lines (used between benchmark runs).
   void invalidate_buffers();
+
+  /// Register the flash counters under `component` (e.g. "pflash").
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        std::string component) const;
 
  private:
   struct BufferEntry {

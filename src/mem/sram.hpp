@@ -6,6 +6,7 @@
 #include "bus/port.hpp"
 #include "common/types.hpp"
 #include "mem/mem_array.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace audo::mem {
 
@@ -67,6 +68,12 @@ class Scratchpad {
   const MemArray& array() const { return array_; }
   u64 reads() const { return reads_; }
   u64 writes() const { return writes_; }
+
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        std::string component) const {
+    registry.counter(component, "reads", &reads_);
+    registry.counter(std::move(component), "writes", &writes_);
+  }
 
  private:
   Addr base_;

@@ -1,10 +1,23 @@
 #include "periph/dma.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace audo::periph {
 
 DmaController::DmaController(unsigned channels, bus::Crossbar* bus,
                              IrqRouter* router)
     : channels_(channels), bus_(bus), router_(router) {}
+
+void DmaController::register_metrics(telemetry::MetricsRegistry& registry,
+                                     std::string component) const {
+  for (usize ch = 0; ch < channels_.size(); ++ch) {
+    const std::string prefix = "ch" + std::to_string(ch) + ".";
+    const ChannelStats& stats = channels_[ch].stats;
+    registry.counter(component, prefix + "units", &stats.units);
+    registry.counter(component, prefix + "blocks", &stats.blocks);
+    registry.counter(component, prefix + "triggers", &stats.triggers);
+  }
+}
 
 void DmaController::setup_channel(unsigned ch, const ChannelConfig& config,
                                   bool enabled) {

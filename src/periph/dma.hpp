@@ -21,6 +21,10 @@
 #include "periph/irq_router.hpp"
 #include "periph/sfr_bridge.hpp"
 
+namespace audo::telemetry {
+class MetricsRegistry;
+}
+
 namespace audo::periph {
 
 class DmaController final : public SfrDevice {
@@ -64,6 +68,10 @@ class DmaController final : public SfrDevice {
 
   u32 read_sfr(u32 offset) override;
   void write_sfr(u32 offset, u32 value) override;
+
+  /// Register per-channel counters under `component` (e.g. "dma").
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        std::string component) const;
 
  private:
   struct Channel {

@@ -1,6 +1,19 @@
 #include "periph/irq_router.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace audo::periph {
+
+void IrqRouter::register_metrics(telemetry::MetricsRegistry& registry,
+                                 std::string_view component) const {
+  for (const SrcNode& node : nodes_) {
+    registry.counter(std::string(component), node.name + ".posted",
+                     &node.posted);
+    registry.counter(std::string(component), node.name + ".serviced",
+                     &node.serviced);
+    registry.counter(std::string(component), node.name + ".lost", &node.lost);
+  }
+}
 
 unsigned IrqRouter::add_source(std::string name) {
   nodes_.push_back(SrcNode{std::move(name), 0, IrqTarget::kTc, false, false,

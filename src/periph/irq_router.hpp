@@ -14,6 +14,10 @@
 #include "common/types.hpp"
 #include "cpu/cpu.hpp"
 
+namespace audo::telemetry {
+class MetricsRegistry;
+}
+
 namespace audo::periph {
 
 enum class IrqTarget : u8 { kTc, kPcp, kDma };
@@ -43,6 +47,12 @@ class IrqRouter {
 
   const SrcNode& node(unsigned src) const { return nodes_.at(src); }
   unsigned source_count() const { return static_cast<unsigned>(nodes_.size()); }
+
+  /// Register per-node post/service/lost counters under `component`
+  /// (e.g. "irq"). Call after all sources are added; the registry keeps
+  /// pointers into the node table.
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        std::string_view component) const;
 
   /// Core-facing views. The DMA view makes the router able to trigger
   /// DMA channels directly, as the TriCore interrupt system can.

@@ -1,6 +1,9 @@
 #include "soc/soc.hpp"
 
 #include "mem/memory_map.hpp"
+#include "soc/tracer.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace audo::soc {
 namespace {
@@ -169,28 +172,73 @@ void Soc::step() {
   frame_ = mcds::ObservationFrame{};
   frame_.cycle = now;
 
+  using telemetry::StepPhase;
+  if (probe_ != nullptr) probe_->begin_cycle();
+
   // Phase 1: peripherals (may post interrupts visible to cores this cycle).
+  if (probe_ != nullptr) probe_->begin(StepPhase::kPeripherals);
   stm_.step(now);
   watchdog_.step(now);
   crank_.step(now);
   adc_.step(now);
   can_.step(now);
+  if (probe_ != nullptr) probe_->end(StepPhase::kPeripherals);
 
   // Phase 2: DMA (bus master) and cores issue their bus requests.
+  if (probe_ != nullptr) probe_->begin(StepPhase::kDma);
   dma_.step(now);
+  if (probe_ != nullptr) {
+    probe_->end(StepPhase::kDma);
+    probe_->begin(StepPhase::kCores);
+  }
   tc_->step(now, frame_.tc);
   if (pcp_ != nullptr) {
     pcp_->step(now, frame_.pcp);
   }
+  if (probe_ != nullptr) probe_->end(StepPhase::kCores);
 
   // Phase 3: memories sample time, fabric arbitrates and completes.
+  if (probe_ != nullptr) probe_->begin(StepPhase::kMemories);
   pflash_.tick(now);
+  if (probe_ != nullptr) {
+    probe_->end(StepPhase::kMemories);
+    probe_->begin(StepPhase::kBus);
+  }
   sri_.step(now);
+  if (probe_ != nullptr) probe_->end(StepPhase::kBus);
 
   // Phase 4: publish the observation frame.
+  if (probe_ != nullptr) probe_->begin(StepPhase::kObserve);
   frame_.sri = sri_.observation();
   frame_.flash = pflash_.strobes();
   frame_.dma = dma_.observation();
+  if (tracer_ != nullptr) tracer_->observe(frame_);
+  if (probe_ != nullptr) probe_->end(StepPhase::kObserve);
+}
+
+void Soc::set_tracer(SocTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  std::vector<std::string> names;
+  names.reserve(sri_.slave_count());
+  for (unsigned s = 0; s < sri_.slave_count(); ++s) {
+    names.emplace_back(sri_.slave_name(s));
+  }
+  tracer_->set_slave_names(std::move(names));
+}
+
+void Soc::register_metrics(telemetry::MetricsRegistry& registry) const {
+  tc_->register_metrics(registry, "tc");
+  if (pcp_ != nullptr) pcp_->register_metrics(registry, "pcp");
+  icache_.register_metrics(registry, "icache");
+  dcache_.register_metrics(registry, "dcache");
+  pflash_.register_metrics(registry, "pflash");
+  dflash_.register_metrics(registry, "dflash");
+  dspr_.register_metrics(registry, "dspr");
+  pspr_.register_metrics(registry, "pspr");
+  sri_.register_metrics(registry, "sri");
+  irq_router_.register_metrics(registry, "irq");
+  dma_.register_metrics(registry, "dma");
 }
 
 u64 Soc::run(u64 max_cycles) {

@@ -23,7 +23,14 @@
 #include "periph/sfr_bridge.hpp"
 #include "soc/soc_config.hpp"
 
+namespace audo::telemetry {
+class MetricsRegistry;
+class PhaseProbe;
+}
+
 namespace audo::soc {
+
+class SocTracer;
 
 /// Service-request node ids wired at construction.
 struct SrcIds {
@@ -89,6 +96,27 @@ class Soc {
   periph::Watchdog& watchdog() { return watchdog_; }
   periph::PeriphBridge& bridge() { return bridge_; }
 
+  // ---- host telemetry (all optional, null by default) ----------------
+  //
+  // Attaching any of these cannot change architectural behaviour: the
+  // tracer consumes the published frame read-only, the probe only reads
+  // the host clock, and the registry stores pointers into statistics the
+  // components maintain anyway.
+
+  /// Attach a timeline tracer fed from step(); binds the crossbar's slave
+  /// names for bus-span labels. Pass nullptr to detach.
+  void set_tracer(SocTracer* tracer);
+  SocTracer* tracer() { return tracer_; }
+
+  /// Attach a host phase profiler timing each step() phase.
+  void set_phase_probe(telemetry::PhaseProbe* probe) { probe_ = probe; }
+  telemetry::PhaseProbe* phase_probe() { return probe_; }
+
+  /// Register every component's counters ("tc", "icache", "pflash",
+  /// "sri", ...). Call once, after construction; samples reflect live
+  /// state at each collect().
+  void register_metrics(telemetry::MetricsRegistry& registry) const;
+
  private:
   SocConfig config_;
 
@@ -122,6 +150,9 @@ class Soc {
 
   Cycle cycle_ = 0;
   mcds::ObservationFrame frame_;
+
+  SocTracer* tracer_ = nullptr;
+  telemetry::PhaseProbe* probe_ = nullptr;
 };
 
 }  // namespace audo::soc

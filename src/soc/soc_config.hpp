@@ -9,6 +9,7 @@
 
 #include "bus/crossbar.hpp"
 #include "cache/cache.hpp"
+#include "common/bits.hpp"
 #include "common/types.hpp"
 #include "mem/dflash.hpp"
 #include "mem/pflash.hpp"
@@ -52,6 +53,44 @@ struct SocConfig {
   bool valid() const {
     return icache.valid() && dcache.valid() && tc_issue_width >= 1 &&
            tc_issue_width <= 3 && pflash.size > 0;
+  }
+
+  /// Stable FNV-1a hash over every architecture knob. Written into run
+  /// reports so results from different configurations never get compared
+  /// by accident.
+  u64 fingerprint() const {
+    u64 h = fnv1a(kFnvOffset, name);
+    h = fnv1a(h, clock_hz);
+    h = fnv1a(h, pflash.size);
+    h = fnv1a(h, u64{pflash.wait_states});
+    h = fnv1a(h, u64{pflash.line_bytes});
+    h = fnv1a(h, u64{pflash.code_buffers});
+    h = fnv1a(h, u64{pflash.data_buffers});
+    h = fnv1a(h, u64{pflash.sequential_prefetch});
+    h = fnv1a(h, dflash.size);
+    h = fnv1a(h, u64{dflash.read_latency});
+    h = fnv1a(h, u64{dflash.write_latency});
+    const auto mix_cache = [&h](const cache::CacheConfig& c) {
+      h = fnv1a(h, u64{c.enabled});
+      h = fnv1a(h, u64{c.size_bytes});
+      h = fnv1a(h, u64{c.ways});
+      h = fnv1a(h, u64{c.line_bytes});
+      h = fnv1a(h, static_cast<u64>(c.replacement));
+    };
+    mix_cache(icache);
+    mix_cache(dcache);
+    h = fnv1a(h, u64{dspr_bytes});
+    h = fnv1a(h, u64{pspr_bytes});
+    h = fnv1a(h, u64{lmu_bytes});
+    h = fnv1a(h, u64{lmu_latency});
+    h = fnv1a(h, u64{has_pcp});
+    h = fnv1a(h, u64{pcp_pram_bytes});
+    h = fnv1a(h, u64{pcp_dram_bytes});
+    h = fnv1a(h, u64{tc_issue_width});
+    h = fnv1a(h, u64{dma_channels});
+    h = fnv1a(h, static_cast<u64>(arbitration));
+    h = fnv1a(h, u64{spr_slave_latency});
+    return h;
   }
 };
 

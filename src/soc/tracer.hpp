@@ -1,0 +1,106 @@
+// SocTracer: adapts the per-cycle ObservationFrame into host-telemetry
+// timeline tracks — the visual counterpart of the MCDS trace path.
+//
+// Tracks produced (one Perfetto "thread" each):
+//  * "TC pipeline" / "PCP pipeline" — coalesced run/stall-cause spans;
+//  * "TC irq" / "PCP irq"           — nested interrupt entry/exit spans;
+//  * "SRI <master>"                  — one track per bus master with a
+//    wait span (issue → grant) and a transfer span (grant → completion)
+//    per transaction, named after the addressed slave;
+//  * "DMA"                           — per-channel transfer instants;
+//  * "EEC"                           — trace-message drops;
+//  * counter series — TC IPC, flash buffer hit rates, SRI contention,
+//    EMEM fill level and trace-message volume, sampled every
+//    `counter_interval` cycles.
+//
+// Like the MCDS, the tracer is strictly read-only over the frame: wiring
+// it up (Soc::set_tracer) cannot change architectural behaviour, and a
+// null tracer costs one branch per cycle.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "mcds/observation.hpp"
+#include "telemetry/timeline.hpp"
+
+namespace audo::soc {
+
+class SocTracer {
+ public:
+  struct Options {
+    /// Cycles between counter-series samples.
+    u32 counter_interval = 1024;
+    telemetry::TimelineOptions timeline;
+  };
+
+  SocTracer();
+  explicit SocTracer(Options options);
+
+  /// Give bus-transaction spans their slave names (done by
+  /// Soc::set_tracer; index = crossbar slave index).
+  void set_slave_names(std::vector<std::string> names);
+
+  /// Consume one product-chip cycle (called from Soc::step()).
+  void observe(const mcds::ObservationFrame& frame);
+
+  /// Consume the EEC side of one cycle (called by the Emulation Device):
+  /// cumulative message/byte/drop counts and the current EMEM fill level.
+  void observe_eec(Cycle now, usize emem_occupancy_bytes, u64 trace_messages,
+                   u64 dropped_messages);
+
+  /// Close all open spans and flush pending counters; call once after the
+  /// run, before exporting.
+  void finish(Cycle now);
+
+  telemetry::Timeline& timeline() { return timeline_; }
+  const telemetry::Timeline& timeline() const { return timeline_; }
+
+  Status write_chrome_json(const std::string& path, u64 clock_hz) const {
+    return timeline_.write_chrome_json(path, clock_hz);
+  }
+
+ private:
+  struct CoreState {
+    telemetry::Timeline::TrackId pipe_track = 0;
+    telemetry::Timeline::TrackId irq_track = 0;
+    bool span_open = false;
+    mcds::StallCause span_cause = mcds::StallCause::kNone;
+    bool span_running = false;  // retired > 0 during the span
+    Cycle span_start = 0;
+    unsigned irq_depth = 0;
+  };
+
+  void observe_core(const mcds::CoreObservation& obs, CoreState& core,
+                    Cycle now);
+  void close_core_span(CoreState& core, Cycle now);
+  void sample_counters(Cycle now);
+
+  Options options_;
+  telemetry::Timeline timeline_;
+
+  CoreState tc_;
+  CoreState pcp_;
+  std::array<telemetry::Timeline::TrackId, bus::kNumMasters> bus_tracks_{};
+  telemetry::Timeline::TrackId dma_track_ = 0;
+  telemetry::Timeline::TrackId eec_track_ = 0;
+  std::vector<std::string> slave_names_;
+
+  // Counter-series accumulators over the current interval.
+  Cycle next_sample_ = 0;
+  u64 interval_cycles_ = 0;
+  u64 interval_retired_ = 0;
+  u64 interval_code_acc_ = 0;
+  u64 interval_code_hit_ = 0;
+  u64 interval_data_acc_ = 0;
+  u64 interval_data_hit_ = 0;
+  u64 interval_contention_ = 0;
+
+  // EEC-side deltas.
+  Cycle next_eec_sample_ = 0;
+  u64 last_trace_messages_ = 0;
+  u64 last_dropped_ = 0;
+};
+
+}  // namespace audo::soc

@@ -1,0 +1,57 @@
+#include "telemetry/host_profiler.hpp"
+
+namespace audo::telemetry {
+
+const char* to_string(StepPhase phase) {
+  switch (phase) {
+    case StepPhase::kPeripherals: return "peripherals";
+    case StepPhase::kDma: return "dma";
+    case StepPhase::kCores: return "cores";
+    case StepPhase::kMemories: return "memories";
+    case StepPhase::kBus: return "bus";
+    case StepPhase::kObserve: return "observe";
+    case StepPhase::kMcds: return "mcds";
+    case StepPhase::kCount: break;
+  }
+  return "?";
+}
+
+double PhaseProbe::fraction(StepPhase phase) const {
+  u64 total = 0;
+  for (const PhaseStat& s : stats_) total += s.ns;
+  if (total == 0) return 0.0;
+  return static_cast<double>(stat(phase).ns) / static_cast<double>(total);
+}
+
+void PhaseProbe::reset() {
+  cycle_counter_ = 0;
+  sampling_ = false;
+  stats_ = {};
+}
+
+void HostProfiler::start(Cycle sim_cycle) {
+  start_cycle_ = sim_cycle;
+  stop_cycle_ = sim_cycle;
+  stopped_ = false;
+  probe_.reset();
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+void HostProfiler::stop(Cycle sim_cycle) {
+  wall_stop_ = std::chrono::steady_clock::now();
+  stop_cycle_ = sim_cycle;
+  stopped_ = true;
+}
+
+double HostProfiler::wall_seconds() const {
+  const auto end = stopped_ ? wall_stop_ : std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - wall_start_).count();
+}
+
+double HostProfiler::sim_cycles_per_second() const {
+  const double secs = wall_seconds();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(sim_cycles()) / secs;
+}
+
+}  // namespace audo::telemetry

@@ -1,0 +1,114 @@
+// Host self-profiler: measures the *simulator itself*, not the simulated
+// chip — wall-clock throughput (simulated cycles per host second) and a
+// sampled breakdown of where host time goes across the fixed Soc::step()
+// phase order (peripherals → DMA → cores → bus → memories → observe).
+//
+// The phase probe is a concrete class wired by pointer: a null probe
+// costs one predictable branch per phase, an attached probe reads the
+// steady clock only on sampled cycles (1 in `sample_stride`), so future
+// perf PRs get a baseline without slowing down the thing they measure.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace audo::telemetry {
+
+/// The Soc::step() phases, in execution order (see DESIGN.md), plus the
+/// EEC-side observation the Emulation Device runs after each SoC cycle.
+enum class StepPhase : u8 {
+  kPeripherals = 0,  // timers, crank, ADC, CAN, watchdog
+  kDma,              // DMA bus master
+  kCores,            // TC + PCP issue/retire
+  kMemories,         // flash timing sample (PFlash::tick)
+  kBus,              // crossbar arbitration + completion
+  kObserve,          // observation-frame publish + host tracer
+  kMcds,             // EEC side: MCDS observe + EMEM/DAP drain (ED only)
+  kCount,
+};
+
+const char* to_string(StepPhase phase);
+
+class PhaseProbe {
+ public:
+  /// Measure one cycle out of every `sample_stride` (power of two gives
+  /// the cheapest check but any stride >= 1 works).
+  explicit PhaseProbe(u32 sample_stride = 64)
+      : stride_(sample_stride == 0 ? 1 : sample_stride) {}
+
+  /// Called by Soc::step() once per cycle, before the first phase.
+  void begin_cycle() {
+    sampling_ = (cycle_counter_++ % stride_) == 0;
+  }
+
+  void begin(StepPhase phase) {
+    if (!sampling_) return;
+    (void)phase;
+    phase_start_ = std::chrono::steady_clock::now();
+  }
+
+  void end(StepPhase phase) {
+    if (!sampling_) return;
+    const auto now = std::chrono::steady_clock::now();
+    auto& stat = stats_[static_cast<unsigned>(phase)];
+    stat.ns += static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                             phase_start_)
+            .count());
+    stat.samples++;
+  }
+
+  struct PhaseStat {
+    u64 ns = 0;       // host ns accumulated over sampled cycles
+    u64 samples = 0;  // sampled cycles contributing
+  };
+
+  const PhaseStat& stat(StepPhase phase) const {
+    return stats_[static_cast<unsigned>(phase)];
+  }
+  u64 instrumented_cycles() const { return cycle_counter_; }
+  u32 sample_stride() const { return stride_; }
+
+  /// Fraction of sampled host time spent in `phase` (0 when nothing was
+  /// sampled yet).
+  double fraction(StepPhase phase) const;
+
+  void reset();
+
+ private:
+  u32 stride_;
+  u64 cycle_counter_ = 0;
+  bool sampling_ = false;
+  std::chrono::steady_clock::time_point phase_start_{};
+  std::array<PhaseStat, static_cast<unsigned>(StepPhase::kCount)> stats_{};
+};
+
+/// Wall-clock envelope of one measured run.
+class HostProfiler {
+ public:
+  void start(Cycle sim_cycle);
+  void stop(Cycle sim_cycle);
+
+  bool stopped() const { return stopped_; }
+  double wall_seconds() const;
+  u64 sim_cycles() const { return stop_cycle_ - start_cycle_; }
+  /// Simulated cycles per host second over the measured window.
+  double sim_cycles_per_second() const;
+
+  PhaseProbe& probe() { return probe_; }
+  const PhaseProbe& probe() const { return probe_; }
+
+ private:
+  PhaseProbe probe_;
+  std::chrono::steady_clock::time_point wall_start_{};
+  std::chrono::steady_clock::time_point wall_stop_{};
+  Cycle start_cycle_ = 0;
+  Cycle stop_cycle_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace audo::telemetry

@@ -1,0 +1,54 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+namespace audo::telemetry {
+
+u64 host_clock_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view component,
+                                          std::string_view name) const {
+  for (const MetricSample& s : samples) {
+    if (s.component == component && s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+usize MetricsSnapshot::component_count() const {
+  std::set<std::string_view> components;
+  for (const MetricSample& s : samples) components.insert(s.component);
+  return components.size();
+}
+
+void MetricsRegistry::counter(std::string component, std::string name,
+                              const u64* source) {
+  entries_.push_back(
+      Entry{std::move(component), std::move(name), source, {}});
+}
+
+void MetricsRegistry::gauge(std::string component, std::string name,
+                            std::function<u64()> fn) {
+  entries_.push_back(
+      Entry{std::move(component), std::move(name), nullptr, std::move(fn)});
+}
+
+MetricsSnapshot MetricsRegistry::collect(Cycle sim_cycle) const {
+  MetricsSnapshot snap;
+  snap.sim_cycle = sim_cycle;
+  snap.host_ns = host_clock_ns();
+  snap.samples.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    snap.samples.push_back(MetricSample{
+        e.component, e.name, e.source != nullptr ? *e.source : e.fn()});
+  }
+  return snap;
+}
+
+}  // namespace audo::telemetry

@@ -1,0 +1,75 @@
+// Simulator-host metrics registry — the host-side analogue of the MCDS
+// counter bank: every component of the simulated platform registers its
+// counters once, and the harness snapshots them all with one collect().
+//
+// Non-intrusiveness is structural, exactly as for the MCDS: a registered
+// counter is a *pointer into a statistic the component maintains anyway*
+// (SlaveStats, CacheStats, PFlash::Stats, ...). Registration happens once
+// at setup; the simulation hot path never touches the registry, never
+// pays a virtual call, and cannot observe whether telemetry is attached.
+// collect() dereferences the pointers at sampling time only.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace audo::telemetry {
+
+/// One sampled metric. `component` is the registration prefix ("tc",
+/// "icache", "sri", ...) so reports can group per component.
+struct MetricSample {
+  std::string component;
+  std::string name;  // metric name within the component
+  u64 value = 0;
+};
+
+/// A full registry snapshot, keyed by simulated cycle and host wall-clock.
+struct MetricsSnapshot {
+  Cycle sim_cycle = 0;
+  u64 host_ns = 0;  // wall-clock at collect(), ns since an arbitrary epoch
+  std::vector<MetricSample> samples;
+
+  /// Value lookup ("component/name"); returns nullptr when absent.
+  const MetricSample* find(std::string_view component,
+                           std::string_view name) const;
+  /// Number of distinct components that registered at least one metric.
+  usize component_count() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Register a monotonically increasing counter the component already
+  /// maintains. The pointee must outlive the registry (components and
+  /// registry share the harness scope).
+  void counter(std::string component, std::string name, const u64* source);
+
+  /// Register a computed gauge, evaluated at collect() time only (for
+  /// values that are not plain u64 fields, e.g. EMEM occupancy).
+  void gauge(std::string component, std::string name,
+             std::function<u64()> fn);
+
+  /// Snapshot every registered metric. Safe to call repeatedly; each call
+  /// re-reads the live component state.
+  MetricsSnapshot collect(Cycle sim_cycle) const;
+
+  usize size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::string component;
+    std::string name;
+    const u64* source = nullptr;       // counter form
+    std::function<u64()> fn;           // gauge form (source == nullptr)
+  };
+
+  std::vector<Entry> entries_;
+};
+
+/// Host wall-clock now, in ns since an arbitrary steady epoch.
+u64 host_clock_ns();
+
+}  // namespace audo::telemetry

@@ -1,0 +1,103 @@
+#include "telemetry/run_report.hpp"
+
+#include <fstream>
+
+#include "common/json.hpp"
+
+namespace audo::telemetry {
+
+void RunReport::set_host(const HostProfiler& host) {
+  wall_seconds = host.wall_seconds();
+  sim_cycles_per_second = host.sim_cycles_per_second();
+  host_phases.clear();
+  const PhaseProbe& probe = host.probe();
+  if (probe.instrumented_cycles() == 0) return;
+  for (unsigned p = 0; p < static_cast<unsigned>(StepPhase::kCount); ++p) {
+    const auto phase = static_cast<StepPhase>(p);
+    const PhaseProbe::PhaseStat& stat = probe.stat(phase);
+    host_phases.push_back(PhaseEntry{to_string(phase), stat.ns, stat.samples,
+                                     probe.fraction(phase)});
+  }
+}
+
+std::string RunReport::to_json() const {
+  json::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", schema);
+  w.kv("bench", bench);
+  w.key("config");
+  w.begin_object();
+  w.kv("name", config_name);
+  w.kv("fingerprint", config_fingerprint);
+  w.kv("seed", seed);
+  w.end_object();
+
+  w.key("run");
+  w.begin_object();
+  w.kv("cycles", cycles);
+  w.kv("instructions", instructions);
+  w.kv("ipc", sim_ipc);
+  w.end_object();
+
+  // Metrics grouped per component: { "tc": {"retired": N, ...}, ... }.
+  // Samples arrive registry-ordered, so one component's metrics are
+  // contiguous; emit a new group whenever the component changes.
+  w.key("metrics");
+  w.begin_object();
+  w.kv("sim_cycle", metrics.sim_cycle);
+  w.kv("host_ns", metrics.host_ns);
+  w.key("components");
+  w.begin_object();
+  const std::string* open_component = nullptr;
+  for (const MetricSample& s : metrics.samples) {
+    if (open_component == nullptr || *open_component != s.component) {
+      if (open_component != nullptr) w.end_object();
+      w.key(s.component);
+      w.begin_object();
+      open_component = &s.component;
+    }
+    w.kv(s.name, s.value);
+  }
+  if (open_component != nullptr) w.end_object();
+  w.end_object();  // components
+  w.end_object();  // metrics
+
+  w.key("host");
+  w.begin_object();
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("sim_cycles_per_second", sim_cycles_per_second);
+  w.key("phases");
+  w.begin_array();
+  for (const PhaseEntry& p : host_phases) {
+    w.begin_object();
+    w.kv("phase", p.phase);
+    w.kv("sampled_ns", p.sampled_ns);
+    w.kv("samples", p.samples);
+    w.kv("fraction", p.fraction);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // host
+
+  w.key("extras");
+  w.begin_object();
+  for (const auto& [name, value] : extras) w.kv(name, value);
+  w.end_object();
+
+  w.end_object();
+  return std::move(w).str();
+}
+
+Status RunReport::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return error(StatusCode::kNotFound, "cannot open " + path);
+  }
+  out << to_json() << '\n';
+  if (!out) {
+    return error(StatusCode::kResourceExhausted, "write failed: " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace audo::telemetry

@@ -1,0 +1,59 @@
+// Structured, machine-readable run report — the artifact that turns a
+// bench/tool invocation from "text on stdout" into data a trajectory can
+// track: configuration fingerprint, simulated work done, every registry
+// metric grouped by component, and host throughput. Written as JSON;
+// tools/report_schema.json documents the format and the CI smoke test
+// validates emitted reports against it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace audo::telemetry {
+
+struct RunReport {
+  // ---- identity ----
+  std::string schema = "trisim-run-report/1";
+  std::string bench;        // binary or scenario name
+  std::string config_name;  // SocConfig.name
+  u64 config_fingerprint = 0;
+  u64 seed = 0;
+
+  // ---- simulated work ----
+  u64 cycles = 0;
+  u64 instructions = 0;  // TC instructions retired
+  double sim_ipc = 0.0;
+
+  // ---- component metrics (registry snapshot) ----
+  MetricsSnapshot metrics;
+
+  // ---- host self-profile ----
+  double wall_seconds = 0.0;
+  double sim_cycles_per_second = 0.0;
+  struct PhaseEntry {
+    std::string phase;
+    u64 sampled_ns = 0;
+    u64 samples = 0;
+    double fraction = 0.0;
+  };
+  std::vector<PhaseEntry> host_phases;
+
+  // ---- freeform bench-specific extras ----
+  std::vector<std::pair<std::string, double>> extras;
+
+  /// Copy wall-clock + phase breakdown out of a finished profiler.
+  void set_host(const HostProfiler& host);
+
+  void add_extra(std::string name, double value) {
+    extras.emplace_back(std::move(name), value);
+  }
+
+  std::string to_json() const;
+  Status write(const std::string& path) const;
+};
+
+}  // namespace audo::telemetry

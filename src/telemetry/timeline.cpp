@@ -1,0 +1,161 @@
+#include "telemetry/timeline.hpp"
+
+#include <fstream>
+
+#include "common/json.hpp"
+
+namespace audo::telemetry {
+
+Timeline::TrackId Timeline::add_track(std::string name) {
+  tracks_.push_back(std::move(name));
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+u32 Timeline::intern(std::string_view name) {
+  const auto it = name_index_.find(std::string(name));
+  if (it != name_index_.end()) return it->second;
+  const u32 idx = static_cast<u32>(names_.size());
+  names_.emplace_back(name);
+  name_index_.emplace(names_.back(), idx);
+  return idx;
+}
+
+bool Timeline::admit(Cycle at) {
+  if (!wants(at)) return false;
+  if (events_.size() >= options_.max_events) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void Timeline::begin(TrackId track, std::string_view name, Cycle start) {
+  if (!admit(start)) return;
+  events_.push_back(Event{Ph::kBegin, track, intern(name), start, start, 0.0});
+}
+
+void Timeline::end(TrackId track, Cycle at) {
+  if (!admit(at)) return;
+  events_.push_back(Event{Ph::kEnd, track, 0, at, at, 0.0});
+}
+
+void Timeline::complete(TrackId track, std::string_view name, Cycle start,
+                        Cycle end) {
+  if (!admit(start)) return;
+  if (end <= start) end = start + 1;  // keep zero-length spans visible
+  events_.push_back(Event{Ph::kComplete, track, intern(name), start, end, 0.0});
+}
+
+void Timeline::instant(TrackId track, std::string_view name, Cycle at) {
+  if (!admit(at)) return;
+  events_.push_back(Event{Ph::kInstant, track, intern(name), at, at, 0.0});
+}
+
+void Timeline::counter(std::string_view name, Cycle at, double value) {
+  if (!admit(at)) return;
+  events_.push_back(Event{Ph::kCounter, 0, intern(name), at, at, value});
+}
+
+std::string Timeline::to_chrome_json(u64 clock_hz) const {
+  // Trace ts is in microseconds; one cycle = 1e6 / clock_hz us.
+  const double us_per_cycle =
+      1e6 / static_cast<double>(clock_hz == 0 ? 1 : clock_hz);
+  json::JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("clock_hz", clock_hz);
+  w.kv("dropped_events", dropped_);
+  w.end_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Process / track metadata. tid 0 is reserved for counters.
+  auto meta = [&](std::string_view name, u32 tid, std::string_view value) {
+    w.begin_object();
+    w.kv("ph", "M");
+    w.kv("pid", 1);
+    w.kv("tid", tid);
+    w.kv("name", name);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", value);
+    w.end_object();
+    w.end_object();
+  };
+  meta("process_name", 0, "trisim");
+  for (usize t = 0; t < tracks_.size(); ++t) {
+    meta("thread_name", static_cast<u32>(t + 1), tracks_[t]);
+    // Explicit sort index keeps registration order in the UI.
+    w.begin_object();
+    w.kv("ph", "M");
+    w.kv("pid", 1);
+    w.kv("tid", static_cast<u32>(t + 1));
+    w.kv("name", "thread_sort_index");
+    w.key("args");
+    w.begin_object();
+    w.kv("sort_index", static_cast<u64>(t));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const Event& e : events_) {
+    w.begin_object();
+    const double ts = static_cast<double>(e.start) * us_per_cycle;
+    switch (e.ph) {
+      case Ph::kBegin:
+        w.kv("ph", "B");
+        w.kv("name", names_[e.name]);
+        break;
+      case Ph::kEnd:
+        w.kv("ph", "E");
+        break;
+      case Ph::kComplete:
+        w.kv("ph", "X");
+        w.kv("name", names_[e.name]);
+        w.kv("dur", static_cast<double>(e.end - e.start) * us_per_cycle);
+        break;
+      case Ph::kInstant:
+        w.kv("ph", "i");
+        w.kv("name", names_[e.name]);
+        w.kv("s", "t");  // thread-scoped instant
+        break;
+      case Ph::kCounter:
+        w.kv("ph", "C");
+        w.kv("name", names_[e.name]);
+        break;
+    }
+    w.kv("ts", ts);
+    w.kv("pid", 1);
+    w.kv("tid", e.ph == Ph::kCounter ? 0u : e.track + 1);
+    w.key("args");
+    w.begin_object();
+    if (e.ph == Ph::kCounter) {
+      w.kv("value", e.value);
+    } else {
+      w.kv("cycle", e.start);
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+Status Timeline::write_chrome_json(const std::string& path,
+                                   u64 clock_hz) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return error(StatusCode::kNotFound, "cannot open " + path);
+  }
+  out << to_chrome_json(clock_hz);
+  if (!out) {
+    return error(StatusCode::kResourceExhausted, "write failed: " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace audo::telemetry

@@ -1,0 +1,93 @@
+// Cycle-domain timeline recorder with Chrome-trace-event (Perfetto) JSON
+// export. The simulator-host analogue of the MCDS trace path: observers
+// append spans/instants/counter samples in simulated-cycle time, and the
+// exporter maps cycles to trace microseconds via the SoC clock so a run
+// opens directly in ui.perfetto.dev.
+//
+// Tracks map to Chrome "threads" of one "trisim" process; span nesting
+// uses B/E duration events (per-track stack semantics), transactions use
+// X complete events, and fill levels use C counter events.
+//
+// The recorder is bounded: at most `max_events` events are kept and
+// events outside the [start_cycle, end_cycle) window are ignored, so a
+// multi-minute simulation cannot silently produce a multi-GiB trace.
+// Dropped events are counted and reported, never silently discarded.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace audo::telemetry {
+
+struct TimelineOptions {
+  /// Record only cycles in [start_cycle, end_cycle).
+  Cycle start_cycle = 0;
+  Cycle end_cycle = ~Cycle{0};
+  /// Hard cap on stored events (spans count once at close).
+  usize max_events = 4'000'000;
+};
+
+class Timeline {
+ public:
+  using TrackId = u32;
+
+  explicit Timeline(TimelineOptions options = {}) : options_(options) {}
+
+  /// Register a named track (Chrome thread). Tracks render in
+  /// registration order (tid order).
+  TrackId add_track(std::string name);
+
+  bool wants(Cycle at) const {
+    return at >= options_.start_cycle && at < options_.end_cycle;
+  }
+
+  /// Open a nested span on `track` (B event). Spans on one track must be
+  /// closed in LIFO order.
+  void begin(TrackId track, std::string_view name, Cycle start);
+  /// Close the innermost open span on `track` (E event).
+  void end(TrackId track, Cycle at);
+  /// A complete span [start, end] (X event). Zero-length spans are given
+  /// one cycle of duration so they stay visible.
+  void complete(TrackId track, std::string_view name, Cycle start, Cycle end);
+  /// A point event (i instant).
+  void instant(TrackId track, std::string_view name, Cycle at);
+  /// A counter sample (C event); one counter series per `name`.
+  void counter(std::string_view name, Cycle at, double value);
+
+  usize event_count() const { return events_.size(); }
+  u64 dropped_events() const { return dropped_; }
+  usize track_count() const { return tracks_.size(); }
+
+  /// Serialize as a Chrome trace-event JSON document; `clock_hz` converts
+  /// simulated cycles to trace microseconds.
+  std::string to_chrome_json(u64 clock_hz) const;
+  Status write_chrome_json(const std::string& path, u64 clock_hz) const;
+
+ private:
+  enum class Ph : u8 { kBegin, kEnd, kComplete, kInstant, kCounter };
+
+  struct Event {
+    Ph ph;
+    TrackId track;
+    u32 name;  // index into names_
+    Cycle start;
+    Cycle end;      // kComplete only
+    double value;   // kCounter only
+  };
+
+  u32 intern(std::string_view name);
+  bool admit(Cycle at);
+
+  TimelineOptions options_;
+  std::vector<std::string> tracks_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, u32> name_index_;
+  std::vector<Event> events_;
+  u64 dropped_ = 0;
+};
+
+}  // namespace audo::telemetry

@@ -17,6 +17,8 @@
 //     --no-icache / --no-dcache
 //     --flash-ws N        flash wait states (default 5)
 //     --emem-kib N        trace memory size (default 384 usable)
+//     --report FILE       write a structured RunReport JSON
+//     --perfetto FILE     write a Chrome/Perfetto trace JSON
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +29,10 @@
 #include "profiling/function_profile.hpp"
 #include "profiling/listing.hpp"
 #include "profiling/session.hpp"
+#include "soc/tracer.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
 
 using namespace audo;
 
@@ -38,7 +44,8 @@ void usage() {
                "       [--flow] [--data] [--irq] [--cycle-accurate]\n"
                "       [--functions] [--listing N] [--series-csv FILE]\n"
                "       [--events-csv FILE] [--no-icache] [--no-dcache]\n"
-               "       [--flash-ws N] [--emem-kib N]\n");
+               "       [--flash-ws N] [--emem-kib N]\n"
+               "       [--report FILE] [--perfetto FILE]\n");
 }
 
 bool write_file(const char* path, const std::string& content) {
@@ -62,6 +69,8 @@ int main(int argc, char** argv) {
   usize listing_lines = 0;
   const char* series_csv = nullptr;
   const char* events_csv = nullptr;
+  const char* report_path = nullptr;
+  const char* perfetto_path = nullptr;
 
   soc::SocConfig chip;
   profiling::SessionOptions options;
@@ -97,6 +106,10 @@ int main(int argc, char** argv) {
       series_csv = next_value();
     } else if (std::strcmp(arg, "--events-csv") == 0) {
       events_csv = next_value();
+    } else if (std::strcmp(arg, "--report") == 0) {
+      report_path = next_value();
+    } else if (std::strcmp(arg, "--perfetto") == 0) {
+      perfetto_path = next_value();
     } else if (std::strcmp(arg, "--no-icache") == 0) {
       chip.icache.enabled = false;
     } else if (std::strcmp(arg, "--no-dcache") == 0) {
@@ -142,7 +155,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   session.reset(program.value().entry());
+
+  // Host telemetry (null-cost when neither flag was given).
+  telemetry::MetricsRegistry registry;
+  soc::SocTracer tracer;
+  telemetry::HostProfiler host;
+  const bool telemetry_on = report_path != nullptr || perfetto_path != nullptr;
+  if (telemetry_on) {
+    session.device().register_metrics(registry);
+    if (perfetto_path != nullptr) session.device().set_tracer(&tracer);
+    session.device().set_phase_probe(&host.probe());
+    host.start(session.device().soc().cycle());
+  }
+
   const profiling::SessionResult result = session.run(cycles);
+  if (telemetry_on) host.stop(session.device().soc().cycle());
 
   std::printf("%s: %llu cycles, %llu instructions, IPC %.3f%s\n", source_path,
               static_cast<unsigned long long>(result.cycles),
@@ -183,6 +210,45 @@ int main(int argc, char** argv) {
       !write_file(events_csv, profiling::messages_to_csv(result.messages))) {
     std::fprintf(stderr, "cannot write %s\n", events_csv);
     return 1;
+  }
+
+  auto& soc = session.device().soc();
+  if (perfetto_path != nullptr) {
+    tracer.finish(soc.cycle());
+    if (Status s = tracer.write_chrome_json(perfetto_path,
+                                            soc.config().clock_hz);
+        !s.is_ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", perfetto_path,
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("perfetto trace: %s (%zu events, %zu tracks)\n", perfetto_path,
+                tracer.timeline().event_count(),
+                tracer.timeline().track_count());
+  }
+  if (report_path != nullptr) {
+    telemetry::RunReport report;
+    report.bench = "audo_profile";
+    report.config_name = soc.config().name;
+    report.config_fingerprint = soc.config().fingerprint();
+    report.cycles = soc.cycle();
+    report.instructions = soc.tc().retired();
+    report.sim_ipc = result.ipc;
+    report.metrics = registry.collect(soc.cycle());
+    report.set_host(host);
+    report.add_extra("trace_messages",
+                     static_cast<double>(result.trace_messages));
+    report.add_extra("bytes_per_kcycle", result.bytes_per_kcycle);
+    if (Status s = report.write(report_path); !s.is_ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", report_path,
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("run report: %s (%zu metrics, %zu components, "
+                "%.0f sim cycles/s)\n",
+                report_path, report.metrics.samples.size(),
+                report.metrics.component_count(),
+                report.sim_cycles_per_second);
   }
   return 0;
 }

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate a trisim RunReport JSON against tools/report_schema.json.
+
+Standard library only (no jsonschema dependency): implements exactly the
+subset of JSON Schema the report schema uses — type, const, required,
+properties, additionalProperties, items, minimum, exclusiveMinimum,
+minProperties, minItems.
+
+Usage:  check_report.py report.json [schema.json]
+Exit 0 when the report validates; exit 1 with a path-qualified error list
+otherwise. Used by the CI smoke test.
+"""
+import json
+import os
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate(value, schema, path, errors):
+    if "const" in schema:
+        if value != schema["const"]:
+            errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        py = TYPES[expected]
+        # bool is a subclass of int; don't let true/false pass as numbers.
+        if not isinstance(value, py) or (expected == "number"
+                                         and isinstance(value, bool)):
+            errors.append(f"{path}: expected {expected}, "
+                          f"got {type(value).__name__}")
+            return
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "exclusiveMinimum" in schema and value <= schema["exclusiveMinimum"]:
+            errors.append(f"{path}: {value} <= exclusiveMinimum "
+                          f"{schema['exclusiveMinimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required member {key!r}")
+        if "minProperties" in schema and len(value) < schema["minProperties"]:
+            errors.append(f"{path}: {len(value)} members < minProperties "
+                          f"{schema['minProperties']}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, member in value.items():
+            if key in props:
+                validate(member, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(member, extra, f"{path}.{key}", errors)
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < minItems "
+                          f"{schema['minItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                validate(item, items, f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    report_path = argv[1]
+    schema_path = argv[2] if len(argv) == 3 else os.path.join(
+        os.path.dirname(os.path.abspath(argv[0])), "report_schema.json")
+    with open(report_path) as f:
+        report = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+    errors = []
+    validate(report, schema, "$", errors)
+    if errors:
+        print(f"{report_path}: INVALID against {schema_path}:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    components = len(report["metrics"]["components"])
+    rate = report["host"]["sim_cycles_per_second"]
+    print(f"{report_path}: OK ({components} components, "
+          f"{rate:.0f} sim cycles/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
