@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
     w = std::move(rebuilt).value();
   }
 
+  // One pool for every multi-config sweep below (A1/A3/A5); each lambda
+  // builds its own SoC/ED, so runs are independent and order-identical.
+  host::SimPool pool(args.jobs);
+
   // --- A1: sequential prefetch ---
   // Visible on sequential code fetched straight from the flash (cold
   // cache / non-cacheable code); cached steady-state code hides it.
@@ -49,8 +53,10 @@ int main(int argc, char** argv) {
       soc.reset(straight.value().entry());
       return soc.run(10'000'000);
     };
-    const u64 c_with = run_once(true);
-    const u64 c_without = run_once(false);
+    const std::vector<u64> cycles =
+        pool.map<u64>(2, [&](usize i) { return run_once(i == 0); });
+    const u64 c_with = cycles[0];
+    const u64 c_without = cycles[1];
     std::printf("\nA1 flash sequential prefetch (straight-line uncached "
                 "code): on=%llu cycles, off=%llu (+%.1f%% without)\n",
                 static_cast<unsigned long long>(c_with),
@@ -129,8 +135,12 @@ _pcp_loop:
       soc.run(200'000);
       return soc.pcp()->retired();
     };
-    const u64 fixed = pcp_progress(bus::ArbitrationPolicy::kFixedPriority);
-    const u64 rr = pcp_progress(bus::ArbitrationPolicy::kRoundRobin);
+    const std::vector<u64> progress = pool.map<u64>(2, [&](usize i) {
+      return pcp_progress(i == 0 ? bus::ArbitrationPolicy::kFixedPriority
+                                 : bus::ArbitrationPolicy::kRoundRobin);
+    });
+    const u64 fixed = progress[0];
+    const u64 rr = progress[1];
     std::printf("A3 arbitration on an oversubscribed flash port (TC + DMA + "
                 "PCP): PCP progress fixed-priority=%llu instrs, "
                 "round-robin=%llu (%.2fx fairer)\n",
@@ -171,24 +181,29 @@ _pcp_loop:
   {
     std::printf("A5 EMEM capacity vs usable fill-mode measurement length "
                 "(flow trace + standard rates):\n");
-    for (u32 kib : {64u, 128u, 256u, 512u}) {
-      mcds::McdsConfig cfg;
-      cfg.program_trace = true;
-      cfg.counter_groups = profiling::standard_groups(1000);
-      ed::EdConfig ed_cfg;
-      ed_cfg.emem.size_bytes = kib * 1024;
-      ed_cfg.emem.overlay_bytes = 0;
-      ed::EmulationDevice ed(soc::SocConfig{}, cfg, ed_cfg);
-      (void)ed.load(w.program);
-      workload::configure_engine(ed.soc(), w.options);
-      ed.reset(w.tc_entry, w.pcp_entry);
-      // Run until the first message is dropped.
-      while (ed.mcds().dropped_messages() == 0 &&
-             !ed.soc().tc().halted() && ed.soc().cycle() < 60'000'000) {
-        ed.step();
-      }
-      std::printf("  %4u KiB -> %9llu cycles of gap-free capture\n", kib,
-                  static_cast<unsigned long long>(ed.soc().cycle()));
+    const std::vector<u32> sizes_kib = {64u, 128u, 256u, 512u};
+    const std::vector<u64> capture = pool.map<u64>(
+        sizes_kib.size(), [&](usize i) -> u64 {
+          mcds::McdsConfig cfg;
+          cfg.program_trace = true;
+          cfg.counter_groups = profiling::standard_groups(1000);
+          ed::EdConfig ed_cfg;
+          ed_cfg.emem.size_bytes = sizes_kib[i] * 1024;
+          ed_cfg.emem.overlay_bytes = 0;
+          ed::EmulationDevice ed(soc::SocConfig{}, cfg, ed_cfg);
+          (void)ed.load(w.program);
+          workload::configure_engine(ed.soc(), w.options);
+          ed.reset(w.tc_entry, w.pcp_entry);
+          // Run until the first message is dropped.
+          while (ed.mcds().dropped_messages() == 0 &&
+                 !ed.soc().tc().halted() && ed.soc().cycle() < 60'000'000) {
+            ed.step();
+          }
+          return ed.soc().cycle();
+        });
+    for (usize i = 0; i < sizes_kib.size(); ++i) {
+      std::printf("  %4u KiB -> %9llu cycles of gap-free capture\n",
+                  sizes_kib[i], static_cast<unsigned long long>(capture[i]));
     }
   }
   return 0;

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
          "objective ranking of next-generation SoC options");
 
   optimize::ArchitectureEvaluator evaluator{soc::SocConfig{}};
+  evaluator.set_jobs(args.jobs);
 
   // Kernel suite (one customer's algorithm mix).
   for (const auto& spec : workload::standard_suite()) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ed/emulation_device.hpp"
+#include "host/sim_pool.hpp"
 #include "profiling/session.hpp"
 #include "soc/tracer.hpp"
 #include "telemetry/host_profiler.hpp"
@@ -26,6 +27,9 @@ namespace audo::bench {
 struct BenchArgs {
   u64 cycles = 0;  // 0 = keep the bench's built-in default
   u64 seed = 0;
+  /// Host workers for config sweeps; defaults to hardware concurrency.
+  /// Any value produces bit-identical results (see host/sim_pool.hpp).
+  unsigned jobs = host::SimPool::hardware_jobs();
   std::string report_path;    // --report <path>: RunReport JSON
   std::string perfetto_path;  // --perfetto <path>: Chrome trace JSON
 
@@ -36,11 +40,14 @@ struct BenchArgs {
 
 inline void print_usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--cycles N] [--seed N] [--report PATH] "
+               "usage: %s [--cycles N] [--seed N] [--jobs N] [--report PATH] "
                "[--perfetto PATH]\n"
                "  --cycles N       override the bench's simulated-cycle "
                "budget\n"
                "  --seed N         workload seed (recorded in the report)\n"
+               "  --jobs N         host threads for config sweeps "
+               "(default: hardware concurrency; results are identical "
+               "for any N)\n"
                "  --report PATH    write a structured RunReport JSON\n"
                "  --perfetto PATH  write a Chrome/Perfetto trace JSON\n",
                argv0);
@@ -64,6 +71,10 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.cycles = std::strtoull(value_of(i, a), nullptr, 0);
     } else if (a == "--seed") {
       args.seed = std::strtoull(value_of(i, a), nullptr, 0);
+    } else if (a == "--jobs") {
+      args.jobs = static_cast<unsigned>(
+          std::strtoul(value_of(i, a), nullptr, 0));
+      if (args.jobs == 0) args.jobs = host::SimPool::hardware_jobs();
     } else if (a == "--report") {
       args.report_path = value_of(i, a);
     } else if (a == "--perfetto") {
@@ -154,6 +165,7 @@ class BenchTelemetry {
       report_.config_name = soc_->config().name;
       report_.config_fingerprint = soc_->config().fingerprint();
       report_.seed = args_.seed;
+      report_.jobs = args_.jobs;
       report_.cycles = end;
       report_.instructions = soc_->tc().retired();
       report_.sim_ipc = end > 0 ? static_cast<double>(report_.instructions) /

@@ -18,8 +18,10 @@ using namespace audo::bench;
 
 namespace {
 
-optimize::ArchitectureEvaluator make_evaluator(const soc::SocConfig& base) {
+optimize::ArchitectureEvaluator make_evaluator(const soc::SocConfig& base,
+                                               unsigned jobs) {
   optimize::ArchitectureEvaluator evaluator(base);
+  evaluator.set_jobs(jobs);
   for (const char* name : {"lookup", "fir", "checksum", "sort", "matmul"}) {
     for (const auto& spec : workload::standard_suite()) {
       if (std::string_view(spec.name) != name) continue;
@@ -98,7 +100,8 @@ int main(int argc, char** argv) {
 
   double prev_cycles = 0;
   for (int gen = 0; gen <= 2; ++gen) {
-    optimize::ArchitectureEvaluator evaluator = make_evaluator(generation);
+    optimize::ArchitectureEvaluator evaluator =
+        make_evaluator(generation, args.jobs);
     const double area = evaluator.cost_model().soc_area(generation);
     const u64 cycles = suite_cycles(evaluator, generation);
     std::printf("\ngeneration %d: area %.1f au, suite runtime %llu cycles",

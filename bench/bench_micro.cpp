@@ -57,6 +57,31 @@ void BM_SocSimulationWithMcds(benchmark::State& state) {
 }
 BENCHMARK(BM_SocSimulationWithMcds);
 
+// The fetch/decode hot path with the predecoded-program cache (the
+// default since the cache was introduced) vs the seed behaviour of
+// calling isa::decode on every fetched word. Same engine workload, so
+// the delta is exactly what the cache buys a single run.
+void BM_SocSimulationDecodeCache(benchmark::State& state) {
+  workload::EngineOptions opt;
+  opt.crank_time_scale = 80;
+  auto w = workload::build_engine_workload(opt);
+  if (!w.is_ok()) {
+    state.SkipWithError("engine build failed");
+    return;
+  }
+  soc::Soc soc{soc::SocConfig{}};
+  soc.set_decode_cache_enabled(state.range(0) != 0);
+  (void)workload::install_engine(soc, w.value());
+  for (auto _ : state) {
+    soc.step();
+    benchmark::DoNotOptimize(soc.cycle());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+  state.SetLabel(state.range(0) != 0 ? "predecoded lookup"
+                                     : "isa::decode per fetched word");
+}
+BENCHMARK(BM_SocSimulationDecodeCache)->Arg(1)->Arg(0);
+
 void BM_TraceEncode(benchmark::State& state) {
   mcds::TraceEncoder encoder;
   mcds::TraceMessage sync;
@@ -146,16 +171,16 @@ BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): peel off the trisim-shared
-// flags (--cycles/--seed/--report/--perfetto) so a harness can pass one
-// uniform command line to every bench binary; everything else goes to
-// google-benchmark unchanged.
+// flags (--cycles/--seed/--jobs/--report/--perfetto) so a harness can
+// pass one uniform command line to every bench binary; everything else
+// goes to google-benchmark unchanged.
 int main(int argc, char** argv) {
   std::vector<char*> own_argv{argv[0]};
   std::vector<char*> bm_argv{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
-    if (a == "--cycles" || a == "--seed" || a == "--report" ||
-        a == "--perfetto") {
+    if (a == "--cycles" || a == "--seed" || a == "--jobs" ||
+        a == "--report" || a == "--perfetto") {
       own_argv.push_back(argv[i]);
       if (i + 1 < argc) own_argv.push_back(argv[++i]);
     } else {

@@ -1,0 +1,150 @@
+// Host-throughput smoke: the numbers behind BENCH_throughput.json.
+//
+//   1. Single-run simulator speed (simulated cycles per host second) on
+//      the engine workload, with the predecoded-program cache on vs off
+//      — measured with the existing HostProfiler, telemetry detached.
+//   2. A config sweep (the E6-style evaluator over the kernel suite) run
+//      serially and with --jobs workers: wall-clock for each plus a
+//      bit-identity check that the parallel sweep returned exactly the
+//      serial result.
+//
+// Output is the normal human-readable text plus `THROUGHPUT key=value`
+// lines; tools/bench_throughput.py parses those into BENCH_throughput.json
+// and applies the (core-count-aware) CI thresholds.
+#include <chrono>
+
+#include "bench_common.hpp"
+
+#include "optimize/evaluator.hpp"
+
+using namespace audo;
+using namespace audo::bench;
+
+namespace {
+
+optimize::ArchitectureEvaluator make_sweep_evaluator(unsigned jobs) {
+  optimize::ArchitectureEvaluator evaluator{soc::SocConfig{}};
+  evaluator.set_jobs(jobs);
+  for (const auto& spec : workload::standard_suite()) {
+    auto program = spec.build();
+    if (!program.is_ok()) continue;
+    optimize::WorkloadCase wc;
+    wc.name = spec.name;
+    wc.program = std::move(program).value();
+    wc.tc_entry = wc.program.entry();
+    evaluator.add_case(std::move(wc));
+  }
+  return evaluator;
+}
+
+u64 runs_checksum(const std::vector<optimize::OptionResult>& results) {
+  // Order-sensitive digest over (option rank, per-case cycles/instructions)
+  // — equal checksums on the serial and parallel sweep mean bit-identical
+  // CaseRun vectors *and* ranking order.
+  u64 h = 1469598103934665603ull;
+  auto mix = [&h](u64 v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& r : results) {
+    for (char c : r.option) mix(static_cast<u64>(c));
+    for (const auto& run : r.runs) {
+      mix(run.cycles);
+      mix(run.instructions);
+      mix(run.halted ? 1 : 0);
+    }
+  }
+  return h;
+}
+
+double time_evaluate(optimize::ArchitectureEvaluator& evaluator,
+                     const std::vector<optimize::ArchOption>& catalogue,
+                     u64* checksum) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = evaluator.evaluate(catalogue);
+  const auto t1 = std::chrono::steady_clock::now();
+  *checksum = runs_checksum(results);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  BenchTelemetry telemetry("bench_throughput", args);
+
+  header("Host throughput", "simulator speed: single-run hot path and the "
+                            "parallel sweep engine");
+
+  const u64 cycles = args.cycles != 0 ? args.cycles : 2'000'000;
+
+  // --- 1. single-run cycles/sec, decode cache on vs off ---------------
+  auto single_run_cps = [&](bool decode_cache) {
+    auto w = default_engine();
+    soc::Soc soc{soc::SocConfig{}};
+    soc.set_decode_cache_enabled(decode_cache);
+    if (Status s = workload::install_engine(soc, w); !s.is_ok()) {
+      std::fprintf(stderr, "install failed: %s\n", s.to_string().c_str());
+      std::exit(1);
+    }
+    telemetry::HostProfiler host;
+    host.start(soc.cycle());
+    soc.run(cycles);
+    host.stop(soc.cycle());
+    return host.sim_cycles_per_second();
+  };
+  const double cps_on = single_run_cps(true);
+  const double cps_off = single_run_cps(false);
+  std::printf("\nsingle run (%llu cycles, engine workload, telemetry "
+              "detached):\n"
+              "  decode cache on:  %12.0f sim cycles/sec\n"
+              "  decode cache off: %12.0f sim cycles/sec (%.1f%% slower)\n",
+              static_cast<unsigned long long>(cycles), cps_on, cps_off,
+              cps_on > 0.0 ? 100.0 * (cps_on - cps_off) / cps_on : 0.0);
+
+  // --- 2. sweep wall-clock, serial vs --jobs --------------------------
+  const auto catalogue = optimize::standard_catalogue();
+  u64 serial_sum = 0;
+  u64 parallel_sum = 0;
+  auto serial_eval = make_sweep_evaluator(1);
+  const double serial_s = time_evaluate(serial_eval, catalogue, &serial_sum);
+  auto parallel_eval = make_sweep_evaluator(args.jobs);
+  const double parallel_s =
+      time_evaluate(parallel_eval, catalogue, &parallel_sum);
+  const bool identical = serial_sum == parallel_sum;
+  std::printf("\nE6-style sweep (%zu options x kernel suite):\n"
+              "  serial (1 job):   %8.2f s\n"
+              "  parallel (%u jobs): %6.2f s (%.2fx)\n"
+              "  results: %s\n",
+              catalogue.size(), serial_s, args.jobs, parallel_s,
+              parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+              identical ? "bit-identical to serial" : "MISMATCH");
+
+  // Machine-readable tail for tools/bench_throughput.py.
+  std::printf("\nTHROUGHPUT single_run_cycles=%llu\n",
+              static_cast<unsigned long long>(cycles));
+  std::printf("THROUGHPUT single_run_cache_on_cps=%.0f\n", cps_on);
+  std::printf("THROUGHPUT single_run_cache_off_cps=%.0f\n", cps_off);
+  std::printf("THROUGHPUT sweep_serial_seconds=%.4f\n", serial_s);
+  std::printf("THROUGHPUT sweep_parallel_seconds=%.4f\n", parallel_s);
+  std::printf("THROUGHPUT sweep_jobs=%u\n", args.jobs);
+  std::printf("THROUGHPUT hardware_jobs=%u\n",
+              host::SimPool::hardware_jobs());
+  std::printf("THROUGHPUT sweep_identical=%d\n", identical ? 1 : 0);
+
+  // Optional RunReport on one representative engine run.
+  if (telemetry.enabled()) {
+    auto w = default_engine();
+    soc::Soc soc{soc::SocConfig{}};
+    (void)workload::install_engine(soc, w);
+    telemetry.attach(soc);
+    telemetry.start();
+    soc.run(200'000);
+    telemetry.add_extra("single_run_cache_on_cps", cps_on);
+    telemetry.add_extra("single_run_cache_off_cps", cps_off);
+    telemetry.add_extra("sweep_speedup",
+                        parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+    telemetry.finish();
+  }
+  return identical ? 0 : 1;
+}

@@ -146,6 +146,12 @@ void Cpu::try_finish_fetch(Cycle now) {
     for (unsigned w = 0; w < words; ++w) {
       const Addr pc = fetch_addr_ + w * isa::kInstrBytes;
       const u32 word = read_word(pc);
+      if (env_.decode_cache != nullptr) {
+        if (const Instr* hit = env_.decode_cache->lookup(pc, word)) {
+          fetch_queue_.push_back(Fetched{pc, *hit});
+          continue;
+        }
+      }
       auto decoded = isa::decode(word);
       Instr instr;
       if (decoded.is_ok()) {

@@ -27,6 +27,7 @@
 #include "cache/cache.hpp"
 #include "common/types.hpp"
 #include "isa/core_regs.hpp"
+#include "isa/decode_cache.hpp"
 #include "isa/isa.hpp"
 #include "mcds/observation.hpp"
 #include "mem/mem_array.hpp"
@@ -70,6 +71,9 @@ class Cpu {
     mem::MemArray* flash = nullptr;
     u32 flash_size = 0;
     IrqSource* irq = nullptr;
+    /// Predecoded program image (host acceleration; see
+    /// isa/decode_cache.hpp). Null falls back to isa::decode per word.
+    const isa::DecodeCache* decode_cache = nullptr;
   };
 
   Cpu(const CpuConfig& config, Env env);

@@ -1,0 +1,54 @@
+// One self-contained simulation job for the SimPool.
+//
+// A SimJob carries everything needed to run one workload on one SoC
+// configuration to completion. The Soc is constructed *inside* run(), on
+// whichever worker claimed the job, and destroyed with it — one live Soc
+// per worker, never shared, never reused across jobs. That, plus the rule
+// that any randomness (common/prng.hpp) is seeded per job, is what makes
+// a parallel sweep bit-identical to the serial one.
+#pragma once
+
+#include <functional>
+
+#include "isa/program.hpp"
+#include "soc/soc.hpp"
+
+namespace audo::host {
+
+struct SimJobResult {
+  u64 cycles = 0;
+  u64 instructions = 0;
+  bool halted = false;
+  bool loaded = false;  // program image placed successfully
+};
+
+struct SimJob {
+  soc::SocConfig config;
+  /// Program image; must outlive run(). Shared read-only across jobs.
+  const isa::Program* program = nullptr;
+  Addr tc_entry = 0;
+  Addr pcp_entry = 0;
+  /// Extra SoC setup after load. Runs on the worker thread: it must only
+  /// touch the Soc it is handed (and per-job state it owns).
+  std::function<void(soc::Soc&)> configure;
+  u64 max_cycles = 0;
+
+  SimJobResult run() const {
+    SimJobResult result;
+    soc::Soc soc(config);
+    if (program != nullptr) {
+      if (Status s = soc.load(*program); !s.is_ok()) {
+        return result;
+      }
+    }
+    result.loaded = true;
+    if (configure) configure(soc);
+    soc.reset(tc_entry, pcp_entry);
+    result.cycles = soc.run(max_cycles);
+    result.instructions = soc.tc().retired();
+    result.halted = soc.tc().halted();
+    return result;
+  }
+};
+
+}  // namespace audo::host

@@ -1,0 +1,107 @@
+#include "host/sim_pool.hpp"
+
+namespace audo::host {
+
+unsigned SimPool::hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+SimPool::SimPool(unsigned jobs) : jobs_(jobs == 0 ? hardware_jobs() : jobs) {
+  // The calling thread is worker 0; spawn the rest.
+  workers_.reserve(jobs_ - 1);
+  for (unsigned w = 1; w < jobs_; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimPool::~SimPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void SimPool::work_on_current_task() {
+  // Claim indices from the shared counter until the task is exhausted.
+  // No work stealing, no per-worker queues: the claim order is the only
+  // scheduling freedom, and results are keyed by index, so output is
+  // independent of it.
+  for (;;) {
+    const usize i = next_index_.fetch_add(1);
+    if (i >= task_count_) break;
+    try {
+      (*task_fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (completed_.fetch_add(1) + 1 == task_count_) {
+      // Last job overall: wake the submitter (taking the mutex orders the
+      // notify after the submitter's wait registration).
+      std::lock_guard<std::mutex> lock(mutex_);
+      task_done_.notify_all();
+    }
+  }
+}
+
+void SimPool::worker_loop() {
+  u64 seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      // Counted while still under the lock, so a submitter draining
+      // stragglers cannot miss this worker.
+      ++workers_active_;
+    }
+    work_on_current_task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_active_;
+      task_done_.notify_all();
+    }
+  }
+}
+
+void SimPool::run(usize count, const std::function<void(usize)>& fn) {
+  if (count == 0) return;
+  if (jobs_ == 1 || count == 1) {
+    // Strictly serial: identical to the pre-pool code path.
+    for (usize i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // A worker woken late for the previous task may still be inside its
+    // (empty) claim loop; publishing a new task while it reads the old
+    // one would race. Drain before publishing.
+    task_done_.wait(lock, [&] { return workers_active_ == 0; });
+    task_fn_ = &fn;
+    task_count_ = count;
+    next_index_.store(0);
+    completed_.store(0);
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  task_ready_.notify_all();
+  work_on_current_task();  // the caller is worker 0
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    task_done_.wait(lock, [&] { return completed_.load() == task_count_; });
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace audo::host

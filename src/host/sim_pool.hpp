@@ -1,0 +1,84 @@
+// Host-side parallel simulation job engine.
+//
+// The §6 methodology is a sweep: replay a workload suite over every
+// architecture option (and option pair) to rank them. Each of those runs
+// is an independent multi-million-cycle simulation of a self-contained
+// `Soc`, so the sweep is embarrassingly parallel on the host — what makes
+// the trace-driven methodology usable at scale (cf. Castells-Rufas et
+// al., PAPERS.md).
+//
+// Determinism contract: SimPool is a fixed-size thread pool with *no work
+// stealing* — workers claim job indices from one atomic counter and write
+// each result into a slot owned by that index, so results always come back
+// in submission order regardless of which worker ran what or how the OS
+// scheduled them. A parallel sweep is therefore bit-identical to the
+// serial one as long as every job is self-contained (its own Soc, its own
+// PRNG seed — never a shared one).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace audo::host {
+
+class SimPool {
+ public:
+  /// `jobs` = number of concurrent workers, including the calling thread.
+  /// 0 picks the host's hardware concurrency; 1 means strictly serial
+  /// (no threads are ever created).
+  explicit SimPool(unsigned jobs = 0);
+  ~SimPool();
+
+  SimPool(const SimPool&) = delete;
+  SimPool& operator=(const SimPool&) = delete;
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Run fn(0) .. fn(count-1), each exactly once, across the workers.
+  /// Returns when all calls finished. The first exception thrown by any
+  /// job is rethrown here (remaining jobs still run to completion).
+  /// Not reentrant: do not call run() from inside a job.
+  void run(usize count, const std::function<void(usize)>& fn);
+
+  /// Deterministic parallel map: results indexed by job, so the output
+  /// order is the submission order, independent of scheduling.
+  template <typename R, typename Fn>
+  std::vector<R> map(usize count, Fn&& fn) {
+    std::vector<R> results(count);
+    run(count, [&](usize i) { results[i] = fn(i); });
+    return results;
+  }
+
+  /// What `jobs = 0` resolves to on this host (never 0).
+  static unsigned hardware_jobs();
+
+ private:
+  void worker_loop();
+  void work_on_current_task();
+
+  unsigned jobs_;
+
+  // Current task, published under mutex_; workers claim indices lock-free.
+  const std::function<void(usize)>* task_fn_ = nullptr;
+  usize task_count_ = 0;
+  std::atomic<usize> next_index_{0};
+  std::atomic<usize> completed_{0};
+  u64 generation_ = 0;  // bumped per run() so workers see a fresh task
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable task_done_;
+  std::exception_ptr first_error_;
+  unsigned workers_active_ = 0;  // workers inside a claim loop (under mutex_)
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace audo::host

@@ -1,0 +1,51 @@
+#include "isa/decode_cache.hpp"
+
+#include <algorithm>
+
+namespace audo::isa {
+
+usize DecodeCache::entry_count() const {
+  usize n = 0;
+  for (const Range& r : ranges_) n += r.entries.size();
+  return n;
+}
+
+void DecodeCache::add_section(Addr base, const std::vector<u8>& bytes) {
+  // Whole words only; a trailing partial word is never a fetchable
+  // instruction.
+  const usize words = bytes.size() / kInstrBytes;
+  if (words == 0) return;
+  const u32 span = static_cast<u32>(words * kInstrBytes);
+
+  // Drop stale ranges this load overlaps (lookup() would still reject
+  // them by word comparison, but keeping them wastes memory and scan
+  // time).
+  ranges_.erase(std::remove_if(ranges_.begin(), ranges_.end(),
+                               [&](const Range& r) {
+                                 return base < r.base + r.bytes &&
+                                        r.base < base + span;
+                               }),
+                ranges_.end());
+  last_ = 0;
+
+  Range range;
+  range.base = base;
+  range.bytes = span;
+  range.entries.resize(words);
+  for (usize w = 0; w < words; ++w) {
+    u32 word = 0;
+    for (unsigned b = 0; b < kInstrBytes; ++b) {
+      word |= static_cast<u32>(bytes[w * kInstrBytes + b]) << (8 * b);
+    }
+    Entry& e = range.entries[w];
+    e.word = word;
+    if (auto decoded = decode(word); decoded.is_ok()) {
+      e.instr = decoded.value();
+    } else {
+      e.instr.opcode = Opcode::kHalt;  // garbage stops the core (cpu.cpp)
+    }
+  }
+  ranges_.push_back(std::move(range));
+}
+
+}  // namespace audo::isa

@@ -1,0 +1,86 @@
+// Host-side predecoded-instruction cache.
+//
+// The per-cycle fetch path used to call isa::decode() on every word of
+// every refill — for steady-state code that re-decodes the same handful
+// of loop bodies millions of times. Instead, every program section is
+// predecoded once at Soc::load() time; fetch completion then looks the
+// word up by address.
+//
+// Correctness is self-validating: lookup() takes the instruction word the
+// fetch just read from memory and only returns the cached decode when the
+// stored word still matches. Code modified at runtime (DMA into a
+// scratchpad, stores over code) therefore misses and falls back to
+// isa::decode() — the cache can accelerate, never alter, execution.
+#pragma once
+
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace audo::isa {
+
+class DecodeCache {
+ public:
+  /// Predecode a section image at `base`. Replaces any previously added
+  /// range it overlaps (stale predecode from an earlier load). Words that
+  /// fail to decode are cached as HALT — the same thing the fetch path
+  /// does when executing garbage.
+  void add_section(Addr base, const std::vector<u8>& bytes);
+
+  void clear() {
+    ranges_.clear();
+    last_ = 0;
+  }
+  bool empty() const { return ranges_.empty(); }
+
+  /// Total predecoded instruction slots.
+  usize entry_count() const;
+
+  /// Cached decode of the word at `pc`, validated against `word` (the
+  /// value just read from memory). Returns nullptr when `pc` is outside
+  /// every predecoded range or the memory content changed since load.
+  const Instr* lookup(Addr pc, u32 word) const {
+    // Fetch streams stay inside one section for long stretches: check the
+    // last-hit range first, then scan (programs have a handful of
+    // sections, so the cold scan is short).
+    if (last_ < ranges_.size()) {
+      if (const Instr* hit = ranges_[last_].find(pc, word)) return hit;
+      if (ranges_[last_].contains(pc)) return nullptr;  // modified word
+    }
+    for (usize r = 0; r < ranges_.size(); ++r) {
+      if (r == last_) continue;
+      if (!ranges_[r].contains(pc)) continue;
+      last_ = r;
+      return ranges_[r].find(pc, word);
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Entry {
+    u32 word = 0;
+    Instr instr;
+  };
+  struct Range {
+    Addr base = 0;
+    u32 bytes = 0;
+    std::vector<Entry> entries;
+
+    bool contains(Addr pc) const {
+      return pc - base < bytes;  // unsigned wrap rejects pc < base
+    }
+    const Instr* find(Addr pc, u32 word) const {
+      const Addr off = pc - base;
+      if (off >= bytes) return nullptr;
+      const Entry& e = entries[off / kInstrBytes];
+      return e.word == word ? &e.instr : nullptr;
+    }
+  };
+
+  std::vector<Range> ranges_;
+  // Single-simulation-thread locality hint; each Soc owns its own cache,
+  // so this never crosses threads.
+  mutable usize last_ = 0;
+};
+
+}  // namespace audo::isa

@@ -65,6 +65,11 @@ struct CoreObservation {
   bool flash_data_access = false;  // data-side access routed to PFlash
   bool sram_data_access = false;   // data-side access routed to LMU SRAM
   bool periph_data_access = false; // data-side access routed to SFR space
+
+  /// Per-cycle reset. Equivalent to assigning a fresh CoreObservation,
+  /// written out so Soc::step() can clear just the two core records
+  /// instead of value-initializing the whole frame every cycle.
+  void reset() { *this = CoreObservation{}; }
 };
 
 /// DMA controller activity in one cycle.

@@ -4,28 +4,62 @@
 #include <cmath>
 #include <cstdio>
 
+#include "host/sim_job.hpp"
+#include "host/sim_pool.hpp"
+
 namespace audo::optimize {
 
 std::vector<CaseRun> ArchitectureEvaluator::run_config(
     const soc::SocConfig& config) const {
-  std::vector<CaseRun> runs;
-  runs.reserve(cases_.size());
-  for (const WorkloadCase& wc : cases_) {
-    soc::Soc soc(config);
-    CaseRun run;
-    run.workload = wc.name;
-    if (Status s = soc.load(wc.program); !s.is_ok()) {
-      runs.push_back(run);
-      continue;
+  return run_configs({config}).front();
+}
+
+std::vector<std::vector<CaseRun>> ArchitectureEvaluator::run_configs(
+    const std::vector<soc::SocConfig>& configs) const {
+  // Flatten every (config, case) pair into one self-contained SimJob so a
+  // sweep saturates the pool even when |configs| < jobs. map() collects by
+  // submission index, so grouping back is order-preserving and the result
+  // is bit-identical to the serial loop for any jobs value.
+  std::vector<host::SimJob> batch;
+  batch.reserve(configs.size() * cases_.size());
+  for (const soc::SocConfig& config : configs) {
+    for (const WorkloadCase& wc : cases_) {
+      host::SimJob job;
+      job.config = config;
+      job.program = &wc.program;
+      job.tc_entry = wc.tc_entry;
+      job.pcp_entry = wc.pcp_entry;
+      job.configure = wc.configure;
+      job.max_cycles = wc.max_cycles;
+      batch.push_back(std::move(job));
     }
-    if (wc.configure) wc.configure(soc);
-    soc.reset(wc.tc_entry, wc.pcp_entry);
-    run.cycles = soc.run(wc.max_cycles);
-    run.instructions = soc.tc().retired();
-    run.halted = soc.tc().halted();
-    runs.push_back(run);
   }
-  return runs;
+
+  host::SimPool pool(jobs_);
+  const std::vector<host::SimJobResult> raw =
+      pool.map<host::SimJobResult>(batch.size(),
+                                   [&](usize i) { return batch[i].run(); });
+
+  std::vector<std::vector<CaseRun>> grouped;
+  grouped.reserve(configs.size());
+  usize flat = 0;
+  for (usize c = 0; c < configs.size(); ++c) {
+    std::vector<CaseRun> runs;
+    runs.reserve(cases_.size());
+    for (const WorkloadCase& wc : cases_) {
+      const host::SimJobResult& r = raw[flat++];
+      CaseRun run;
+      run.workload = wc.name;
+      if (r.loaded) {
+        run.cycles = r.cycles;
+        run.instructions = r.instructions;
+        run.halted = r.halted;
+      }
+      runs.push_back(std::move(run));
+    }
+    grouped.push_back(std::move(runs));
+  }
+  return grouped;
 }
 
 double ArchitectureEvaluator::speedup_of(
@@ -44,17 +78,26 @@ double ArchitectureEvaluator::speedup_of(
 
 std::vector<OptionResult> ArchitectureEvaluator::evaluate(
     const std::vector<ArchOption>& catalogue) const {
-  const std::vector<CaseRun> base_runs = run_config(baseline_);
+  // One batch: baseline plus every variant, simulated in parallel.
+  std::vector<soc::SocConfig> configs;
+  configs.reserve(1 + catalogue.size());
+  configs.push_back(baseline_);
+  for (const ArchOption& option : catalogue) {
+    configs.push_back(option.apply(baseline_));
+  }
+  std::vector<std::vector<CaseRun>> all_runs = run_configs(configs);
+  const std::vector<CaseRun>& base_runs = all_runs.front();
   const double base_area = cost_.soc_area(baseline_);
 
   std::vector<OptionResult> results;
   results.reserve(catalogue.size());
-  for (const ArchOption& option : catalogue) {
-    const soc::SocConfig variant = option.apply(baseline_);
+  for (usize k = 0; k < catalogue.size(); ++k) {
+    const ArchOption& option = catalogue[k];
+    const soc::SocConfig& variant = configs[1 + k];
     OptionResult result;
     result.option = option.name;
     result.description = option.description;
-    result.runs = run_config(variant);
+    result.runs = std::move(all_runs[1 + k]);
     result.speedup = speedup_of(base_runs, result.runs);
     result.area_delta_au = cost_.soc_area(variant) - base_area;
     const double gain_percent = (result.speedup - 1.0) * 100.0;
@@ -78,13 +121,28 @@ std::vector<OptionResult> ArchitectureEvaluator::evaluate(
 std::vector<ArchitectureEvaluator::InteractionResult>
 ArchitectureEvaluator::evaluate_interactions(
     const std::vector<ArchOption>& options) const {
-  const std::vector<CaseRun> base_runs = run_config(baseline_);
-  // Cache single-option runs.
+  // One batch: baseline, every single option, every ordered pair (i<j).
+  std::vector<soc::SocConfig> configs;
+  configs.reserve(1 + options.size() +
+                  options.size() * (options.size() + 1) / 2);
+  configs.push_back(baseline_);
+  for (const ArchOption& option : options) {
+    configs.push_back(option.apply(baseline_));
+  }
+  for (usize i = 0; i < options.size(); ++i) {
+    for (usize j = i + 1; j < options.size(); ++j) {
+      configs.push_back(options[j].apply(options[i].apply(baseline_)));
+    }
+  }
+  const std::vector<std::vector<CaseRun>> all_runs = run_configs(configs);
+  const std::vector<CaseRun>& base_runs = all_runs.front();
+
   std::vector<double> single(options.size(), 1.0);
   for (usize i = 0; i < options.size(); ++i) {
-    single[i] = speedup_of(base_runs, run_config(options[i].apply(baseline_)));
+    single[i] = speedup_of(base_runs, all_runs[1 + i]);
   }
   std::vector<InteractionResult> results;
+  usize pair_index = 1 + options.size();
   for (usize i = 0; i < options.size(); ++i) {
     for (usize j = i + 1; j < options.size(); ++j) {
       InteractionResult r;
@@ -92,9 +150,7 @@ ArchitectureEvaluator::evaluate_interactions(
       r.option_b = options[j].name;
       r.speedup_a = single[i];
       r.speedup_b = single[j];
-      const soc::SocConfig combined =
-          options[j].apply(options[i].apply(baseline_));
-      r.speedup_both = speedup_of(base_runs, run_config(combined));
+      r.speedup_both = speedup_of(base_runs, all_runs[pair_index++]);
       r.expected = r.speedup_a * r.speedup_b;
       r.synergy = r.expected == 0.0 ? 1.0 : r.speedup_both / r.expected;
       results.push_back(std::move(r));

@@ -60,8 +60,21 @@ class ArchitectureEvaluator {
     cases_.push_back(std::move(workload));
   }
 
+  /// Host workers for the sweep methods below. Every (config, case) pair
+  /// is one self-contained SimJob on the host::SimPool, and results are
+  /// collected in submission order, so any jobs value — including the
+  /// default serial 1 — produces bit-identical CaseRun vectors and
+  /// ranking order. 0 = hardware concurrency.
+  void set_jobs(unsigned jobs) { jobs_ = jobs; }
+  unsigned jobs() const { return jobs_; }
+
   /// Run one configuration over all cases.
   std::vector<CaseRun> run_config(const soc::SocConfig& config) const;
+
+  /// Run several configurations over all cases (one parallel batch).
+  /// result[i] corresponds to configs[i], in order.
+  std::vector<std::vector<CaseRun>> run_configs(
+      const std::vector<soc::SocConfig>& configs) const;
 
   /// Evaluate the catalogue: baseline first, then each option applied to
   /// the baseline in isolation. Results sorted by gain_per_cost.
@@ -108,6 +121,7 @@ class ArchitectureEvaluator {
   soc::SocConfig baseline_;
   CostModel cost_;
   std::vector<WorkloadCase> cases_;
+  unsigned jobs_ = 1;
 };
 
 }  // namespace audo::optimize

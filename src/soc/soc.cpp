@@ -90,6 +90,7 @@ Soc::Soc(const SocConfig& config)
   cpu::CpuConfig tc_cfg;
   tc_cfg.issue_width = config.tc_issue_width;
   cpu::Cpu::Env tc_env;
+  tc_env.decode_cache = &decode_cache_;
   tc_env.bus = &sri_;
   tc_env.code_spr = &pspr_;
   tc_env.data_spr = &dspr_;
@@ -117,6 +118,7 @@ Soc::Soc(const SocConfig& config)
     pcp_cfg.fetch_master = bus::MasterId::kPcpData;  // PCP has one port
     pcp_cfg.data_master = bus::MasterId::kPcpData;
     cpu::Cpu::Env pcp_env;
+    pcp_env.decode_cache = &decode_cache_;
     pcp_env.bus = &sri_;
     pcp_env.code_spr = pcp_pram_.get();
     pcp_env.data_spr = pcp_dram_.get();
@@ -128,6 +130,18 @@ Soc::Soc(const SocConfig& config)
 Status Soc::load(const isa::Program& program) {
   for (const isa::Section& sec : program.sections()) {
     const Addr base = sec.base;
+    // Predecode for the fetch path. add_section() invalidates whatever an
+    // earlier load() placed at overlapping addresses; for flash sections,
+    // register both address aliases, since code runs out of either.
+    if (decode_cache_enabled_) {
+      if (mem::is_pflash(base, config_.pflash.size)) {
+        const u32 off = mem::pflash_offset(base);
+        decode_cache_.add_section(mem::kPFlashCachedBase + off, sec.bytes);
+        decode_cache_.add_section(mem::kPFlashUncachedBase + off, sec.bytes);
+      } else {
+        decode_cache_.add_section(base, sec.bytes);
+      }
+    }
     if (mem::is_pflash(base, config_.pflash.size)) {
       pflash_.array().load(mem::pflash_offset(base), sec.bytes);
     } else if (dspr_.contains(base)) {
@@ -166,11 +180,21 @@ void Soc::reset(Addr tc_entry, Addr pcp_entry) {
   pflash_.invalidate_buffers();
 }
 
+void Soc::set_decode_cache_enabled(bool enabled) {
+  decode_cache_enabled_ = enabled;
+  if (!enabled) decode_cache_.clear();
+}
+
 void Soc::step() {
   ++cycle_;
   const Cycle now = cycle_;
-  frame_ = mcds::ObservationFrame{};
+  // Hot path: only the core observations need clearing here. sri/flash/
+  // dma are assigned wholesale in phase 4 from structs their components
+  // re-initialize every cycle, so re-zeroing the whole frame (including
+  // the per-master completed-transaction array) each cycle is pure waste.
   frame_.cycle = now;
+  frame_.tc.reset();
+  frame_.pcp.reset();
 
   using telemetry::StepPhase;
   if (probe_ != nullptr) probe_->begin_cycle();

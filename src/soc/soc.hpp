@@ -12,6 +12,7 @@
 #include "cache/cache.hpp"
 #include "common/status.hpp"
 #include "cpu/cpu.hpp"
+#include "isa/decode_cache.hpp"
 #include "isa/program.hpp"
 #include "mcds/observation.hpp"
 #include "mem/dflash.hpp"
@@ -96,6 +97,15 @@ class Soc {
   periph::Watchdog& watchdog() { return watchdog_; }
   periph::PeriphBridge& bridge() { return bridge_; }
 
+  /// Host acceleration: predecoded program image consulted by the cores'
+  /// fetch path. On by default; lookups are validated against the word
+  /// just read from memory, so enabling it cannot change behaviour (see
+  /// isa/decode_cache.hpp). Disabling takes effect immediately (the cache
+  /// is cleared); re-enabling populates on the next load().
+  void set_decode_cache_enabled(bool enabled);
+  bool decode_cache_enabled() const { return decode_cache_enabled_; }
+  const isa::DecodeCache& decode_cache() const { return decode_cache_; }
+
   // ---- host telemetry (all optional, null by default) ----------------
   //
   // Attaching any of these cannot change architectural behaviour: the
@@ -147,6 +157,9 @@ class Soc {
 
   std::unique_ptr<cpu::Cpu> tc_;
   std::unique_ptr<cpu::Cpu> pcp_;
+
+  isa::DecodeCache decode_cache_;
+  bool decode_cache_enabled_ = true;
 
   Cycle cycle_ = 0;
   mcds::ObservationFrame frame_;

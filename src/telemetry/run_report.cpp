@@ -37,6 +37,7 @@ std::string RunReport::to_json() const {
   w.kv("cycles", cycles);
   w.kv("instructions", instructions);
   w.kv("ipc", sim_ipc);
+  w.kv("jobs", jobs);
   w.end_object();
 
   // Metrics grouped per component: { "tc": {"retired": N, ...}, ... }.

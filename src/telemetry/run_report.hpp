@@ -27,6 +27,7 @@ struct RunReport {
   u64 cycles = 0;
   u64 instructions = 0;  // TC instructions retired
   double sim_ipc = 0.0;
+  u64 jobs = 1;  // host worker threads used for sweeps (--jobs)
 
   // ---- component metrics (registry snapshot) ----
   MetricsSnapshot metrics;

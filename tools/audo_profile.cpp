@@ -17,6 +17,8 @@
 //     --no-icache / --no-dcache
 //     --flash-ws N        flash wait states (default 5)
 //     --emem-kib N        trace memory size (default 384 usable)
+//     --jobs N            host threads (recorded in the report; a single
+//                         profiling run is inherently serial)
 //     --report FILE       write a structured RunReport JSON
 //     --perfetto FILE     write a Chrome/Perfetto trace JSON
 #include <cstdio>
@@ -24,6 +26,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "host/sim_pool.hpp"
 #include "isa/assembler.hpp"
 #include "profiling/export.hpp"
 #include "profiling/function_profile.hpp"
@@ -44,7 +47,7 @@ void usage() {
                "       [--flow] [--data] [--irq] [--cycle-accurate]\n"
                "       [--functions] [--listing N] [--series-csv FILE]\n"
                "       [--events-csv FILE] [--no-icache] [--no-dcache]\n"
-               "       [--flash-ws N] [--emem-kib N]\n"
+               "       [--flash-ws N] [--emem-kib N] [--jobs N]\n"
                "       [--report FILE] [--perfetto FILE]\n");
 }
 
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
   const char* events_csv = nullptr;
   const char* report_path = nullptr;
   const char* perfetto_path = nullptr;
+  unsigned jobs = host::SimPool::hardware_jobs();
 
   soc::SocConfig chip;
   profiling::SessionOptions options;
@@ -106,6 +110,9 @@ int main(int argc, char** argv) {
       series_csv = next_value();
     } else if (std::strcmp(arg, "--events-csv") == 0) {
       events_csv = next_value();
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(next_value(), nullptr, 0));
+      if (jobs == 0) jobs = host::SimPool::hardware_jobs();
     } else if (std::strcmp(arg, "--report") == 0) {
       report_path = next_value();
     } else if (std::strcmp(arg, "--perfetto") == 0) {
@@ -234,6 +241,7 @@ int main(int argc, char** argv) {
     report.cycles = soc.cycle();
     report.instructions = soc.tc().retired();
     report.sim_ipc = result.ipc;
+    report.jobs = jobs;
     report.metrics = registry.collect(soc.cycle());
     report.set_host(host);
     report.add_extra("trace_messages",

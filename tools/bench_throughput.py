@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI perf smoke: run bench_throughput and emit BENCH_throughput.json.
+
+Runs the bench binary, parses its `THROUGHPUT key=value` tail, derives the
+headline numbers (single-run cycles/sec with the decode cache on/off, and
+serial-vs-parallel sweep wall clock), and writes them as one JSON artifact.
+
+Checks applied:
+  - the parallel sweep must be bit-identical to the serial one (always);
+  - sweep speedup >= --min-speedup, but only when the host actually has
+    enough cores for the requested job count — on a 1- or 2-core CI
+    runner a 4-job >=2x target is physically impossible, so the check is
+    recorded as "skipped" instead of failing the build.
+
+Usage:
+  tools/bench_throughput.py --bench build/bench/bench_throughput \
+      --out BENCH_throughput.json [--jobs 4] [--cycles N] \
+      [--min-speedup 2.0]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def parse_throughput_lines(text):
+    values = {}
+    for line in text.splitlines():
+        if not line.startswith("THROUGHPUT "):
+            continue
+        key, _, raw = line[len("THROUGHPUT "):].partition("=")
+        try:
+            values[key.strip()] = float(raw)
+        except ValueError:
+            pass
+    return values
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench_throughput binary")
+    ap.add_argument("--out", required=True,
+                    help="output JSON path (BENCH_throughput.json)")
+    ap.add_argument("--jobs", type=int, default=4,
+                    help="worker threads for the parallel sweep")
+    ap.add_argument("--cycles", type=int, default=0,
+                    help="single-run cycle budget (0 = bench default)")
+    ap.add_argument("--min-speedup", type=float, default=2.0,
+                    help="required sweep speedup when cores allow")
+    args = ap.parse_args()
+
+    cmd = [args.bench, "--jobs", str(args.jobs)]
+    if args.cycles:
+        cmd += ["--cycles", str(args.cycles)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+
+    values = parse_throughput_lines(proc.stdout)
+    required = [
+        "single_run_cache_on_cps", "single_run_cache_off_cps",
+        "sweep_serial_seconds", "sweep_parallel_seconds", "sweep_jobs",
+        "hardware_jobs", "sweep_identical",
+    ]
+    missing = [k for k in required if k not in values]
+    if proc.returncode != 0 or missing:
+        print("bench_throughput failed (rc=%d, missing=%s)"
+              % (proc.returncode, missing), file=sys.stderr)
+        return 1
+
+    serial_s = values["sweep_serial_seconds"]
+    parallel_s = values["sweep_parallel_seconds"]
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    hardware_jobs = int(values["hardware_jobs"])
+    sweep_jobs = int(values["sweep_jobs"])
+    identical = values["sweep_identical"] == 1
+
+    # The speedup criterion only makes sense when the host can actually
+    # run the requested workers in parallel.
+    enough_cores = hardware_jobs >= sweep_jobs and sweep_jobs >= 2
+    speedup_ok = speedup >= args.min_speedup
+    checks = {
+        "sweep_identical": "pass" if identical else "fail",
+        "sweep_speedup": ("pass" if speedup_ok else "fail")
+                         if enough_cores else "skipped (host has %d cores "
+                         "for a %d-job sweep)" % (hardware_jobs, sweep_jobs),
+    }
+
+    report = {
+        "schema": "trisim-bench-throughput/1",
+        "single_run": {
+            "cycles": int(values.get("single_run_cycles", 0)),
+            "cache_on_cycles_per_second": values["single_run_cache_on_cps"],
+            "cache_off_cycles_per_second": values["single_run_cache_off_cps"],
+        },
+        "sweep": {
+            "jobs": sweep_jobs,
+            "hardware_jobs": hardware_jobs,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": speedup,
+            "identical_to_serial": identical,
+            "min_speedup_required": args.min_speedup,
+        },
+        "checks": checks,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print("wrote %s (sweep speedup %.2fx at %d jobs, checks: %s)"
+          % (args.out, speedup, sweep_jobs, checks))
+
+    if not identical:
+        print("FAIL: parallel sweep diverged from serial", file=sys.stderr)
+        return 1
+    if enough_cores and not speedup_ok:
+        print("FAIL: sweep speedup %.2fx < required %.2fx"
+              % (speedup, args.min_speedup), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
