@@ -55,6 +55,10 @@ void Crossbar::set_priority_order(std::vector<MasterId> order) {
   priority_set_ = true;
 }
 
+void Crossbar::inject_slave_errors(unsigned slave, u64 count) {
+  slave_state_.at(slave).error_arm += count;
+}
+
 Result<unsigned> Crossbar::decode(Addr addr, bool fetch) const {
   for (const Region& r : regions_) {
     if (r.matches(addr, fetch)) return r.slave;
@@ -69,6 +73,7 @@ bool Crossbar::issue(MasterPort& port, const BusRequest& req, Cycle now) {
   port.request_ = req;
   port.slave_index = slave.value();
   port.state_ = MasterPort::State::kWaiting;
+  port.error_ = false;
   port.issued_at = now;
   const auto master_index = static_cast<unsigned>(req.master);
   assert(pending_[master_index] == nullptr &&
@@ -90,7 +95,18 @@ void Crossbar::step(Cycle now) {
     MasterPort* port = state.active_port;
     assert(port != nullptr && port->state_ == MasterPort::State::kActive);
     if (--port->remaining == 0) {
-      port->rdata_ = slaves_[s]->complete_access(port->request_);
+      if (state.error_arm > 0) {
+        // Injected error response: the transfer is suppressed — the
+        // slave never sees the completion, reads return 0.
+        --state.error_arm;
+        stats_[s].error_responses++;
+        port->rdata_ = 0;
+        port->error_ = true;
+        observation_.error_response = true;
+        observation_.error_master = port->request_.master;
+      } else {
+        port->rdata_ = slaves_[s]->complete_access(port->request_);
+      }
       port->state_ = MasterPort::State::kDone;
       pending_[static_cast<unsigned>(port->request_.master)] = nullptr;
       state.busy = false;
@@ -205,6 +221,8 @@ void Crossbar::register_metrics(telemetry::MetricsRegistry& registry,
                      &stats.busy_cycles);
     registry.counter(std::string(component), slave + ".contention_cycles",
                      &stats.contention_cycles);
+    registry.counter(std::string(component), slave + ".error_responses",
+                     &stats.error_responses);
   }
 }
 

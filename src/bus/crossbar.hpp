@@ -67,6 +67,11 @@ struct FabricObservation {
   bool contention = false;
   unsigned waiting_masters = 0;
 
+  /// A transaction completed with an (injected) error response this
+  /// cycle — the SafetyMonitor's bus-error alarm source.
+  bool error_response = false;
+  MasterId error_master = MasterId::kCount;
+
   /// Transactions that completed this cycle (at most one per master).
   std::array<CompletedTransaction, kNumMasters> completed{};
   unsigned completed_count = 0;
@@ -81,6 +86,7 @@ struct SlaveStats {
   u64 wait_cycles = 0;     // master-cycles spent waiting for grant
   u64 busy_cycles = 0;     // cycles the slave was serving a transaction
   u64 contention_cycles = 0;
+  u64 error_responses = 0; // injected error completions (fault campaigns)
 };
 
 class Crossbar {
@@ -122,6 +128,15 @@ class Crossbar {
   /// Decode an address; returns slave index or error.
   Result<unsigned> decode(Addr addr, bool fetch = false) const;
 
+  /// Fault injection: the next `count` completions on `slave` return an
+  /// error response — the transfer is suppressed (reads return 0, writes
+  /// are dropped) and the master port's error flag is set.
+  void inject_slave_errors(unsigned slave, u64 count);
+  /// Error responses still armed on `slave`.
+  u64 pending_slave_errors(unsigned slave) const {
+    return slave_state_.at(slave).error_arm;
+  }
+
   /// Register per-slave statistics under `component` (e.g. "sri"), one
   /// metric per slave counter ("<slave>.grants", ...). Call only after
   /// all slaves are added: the registry keeps pointers into the stats
@@ -134,6 +149,7 @@ class Crossbar {
     bool busy = false;
     MasterPort* active_port = nullptr;
     unsigned rr_next = 0;  // round-robin pointer over master ids
+    u64 error_arm = 0;     // completions left to fail (fault injection)
   };
 
   ArbitrationPolicy policy_;

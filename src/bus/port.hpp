@@ -72,10 +72,15 @@ class MasterPort {
   }
   bool done() const { return state_ == State::kDone; }
 
+  /// The completed request ended in an error response (injected fault).
+  /// Valid while done(); check before take_rdata(), which clears it.
+  bool error() const { return error_; }
+
   /// Read data of a completed request; resets the port to idle.
   u32 take_rdata() {
     assert(state_ == State::kDone);
     state_ = State::kIdle;
+    error_ = false;
     return rdata_;
   }
 
@@ -88,6 +93,7 @@ class MasterPort {
   unsigned slave_index = 0;
   unsigned remaining = 0;
   u32 rdata_ = 0;
+  bool error_ = false;
   Cycle issued_at = 0;
   Cycle granted_at = 0;
 };

@@ -11,7 +11,8 @@ void Cpu::register_metrics(telemetry::MetricsRegistry& registry,
                            std::string component) const {
   registry.counter(component, "retired", &retired_);
   registry.counter(component, "cycles", &cycles_);
-  registry.counter(std::move(component), "bus_errors", &bus_errors_);
+  registry.counter(component, "bus_errors", &bus_errors_);
+  registry.counter(std::move(component), "traps", &traps_);
 }
 
 using isa::Instr;
@@ -38,13 +39,17 @@ void Cpu::reset(Addr entry, bool start_halted) {
   fetch_discard_ = false;
   icr_ = 0;  // interrupts disabled out of reset (as on TriCore); EI enables
   biv_ = 0;
+  btv_ = 0;
   irq_stack_.clear();
   halted_ = false;
   wfi_ = start_halted;
+  trap_pending_ = false;
+  trap_class_ = 0;
   load_pending_ = false;
   store_pending_ = false;
   retired_ = 0;
   cycles_ = 0;
+  traps_ = 0;
   last_irq_prio_ = 0;
 }
 
@@ -177,9 +182,18 @@ void Cpu::try_finish_fetch(Cycle now) {
     return;
   }
   if (fetch_state_ == FetchState::kBusWait && fetch_port_.done()) {
+    const bool fetch_error = fetch_port_.error();
     const u32 rdata = fetch_port_.take_rdata();
     if (fetch_discard_) {
       fetch_discard_ = false;
+      fetch_state_ = FetchState::kIdle;
+      return;
+    }
+    if (fetch_error) {
+      // An errored instruction fetch delivers garbage; executing it
+      // stops the core, as with any undecodable word.
+      ++bus_errors_;
+      fetch_queue_.push_back(Fetched{fetch_addr_, Instr{.opcode = Opcode::kHalt}});
       fetch_state_ = FetchState::kIdle;
       return;
     }
@@ -209,6 +223,29 @@ void Cpu::take_interrupt(u8 prio, Cycle now, mcds::CoreObservation& obs) {
   redirect(biv_ + prio * isa::kVectorEntryBytes, obs);
   obs.irq_entry = true;
   obs.irq_prio = prio;
+}
+
+void Cpu::request_trap(u8 trap_class) {
+  if (halted_) return;
+  trap_pending_ = true;
+  trap_class_ = trap_class;
+}
+
+void Cpu::take_trap(mcds::CoreObservation& obs) {
+  trap_pending_ = false;
+  ++traps_;
+  obs.trap_entry = true;
+  obs.trap_class = trap_class_;
+  wfi_ = false;
+  if (btv_ == 0) {
+    // No trap handler installed: contain the error by halting.
+    halted_ = true;
+    obs.stall = StallCause::kHalted;
+    return;
+  }
+  irq_stack_.emplace_back(next_pc_, icr_);
+  icr_ &= ~isa::kIcrIeBit;  // trap entry disables interrupts; RFE restores
+  redirect(btv_ + trap_class_ * isa::kVectorEntryBytes, obs);
 }
 
 void Cpu::redirect(Addr target, mcds::CoreObservation& obs) {
@@ -399,7 +436,9 @@ u32 extend_loaded(Opcode op, u32 raw) {
 void Cpu::finish_bus_data(Cycle now, mcds::CoreObservation& obs) {
   if (!data_port_.done()) return;
   const bus::BusRequest req = data_port_.request();
+  const bool bus_error = data_port_.error();
   const u32 raw = data_port_.take_rdata();
+  if (bus_error) ++bus_errors_;
   if (store_pending_) {
     store_pending_ = false;
     return;
@@ -407,7 +446,9 @@ void Cpu::finish_bus_data(Cycle now, mcds::CoreObservation& obs) {
   assert(load_pending_);
   load_pending_ = false;
   const Instr& in = pending_load_instr_;
-  const u32 value = extend_loaded(in.opcode, raw);
+  // An errored load completes read-as-zero; detection is the safety
+  // monitor's job (it sees the fabric's error-response strobe).
+  const u32 value = bus_error ? 0 : extend_loaded(in.opcode, raw);
   if (in.opcode == Opcode::kLdA) {
     a_[in.rd] = value;
     a_ready_[in.rd] = now + 1;
@@ -442,6 +483,7 @@ u32 Cpu::read_cr(u16 cr) const {
     case CoreReg::kCcntHi: return static_cast<u32>(cycles_ >> 32);
     case CoreReg::kIcnt: return static_cast<u32>(retired_);
     case CoreReg::kIrqn: return last_irq_prio_;
+    case CoreReg::kBtv: return btv_;
     case CoreReg::kScratch0: return scratch_cr_[0];
     case CoreReg::kScratch1: return scratch_cr_[1];
   }
@@ -456,6 +498,9 @@ void Cpu::write_cr(u16 cr, u32 value) {
       break;
     case CoreReg::kBiv:
       biv_ = value;
+      break;
+    case CoreReg::kBtv:
+      btv_ = value;
       break;
     case CoreReg::kScratch0:
       scratch_cr_[0] = value;
@@ -692,6 +737,13 @@ void Cpu::step(Cycle now, mcds::CoreObservation& obs) {
 
   if (halted_) {
     obs.stall = StallCause::kHalted;
+    return;
+  }
+
+  // Trap entry wins over interrupt acceptance (uncorrectable errors are
+  // not maskable); entry consumes the cycle.
+  if (trap_pending_) {
+    take_trap(obs);
     return;
   }
 

@@ -96,8 +96,21 @@ class Cpu {
 
   u64 retired() const { return retired_; }
   u64 cycles() const { return cycles_; }
-  /// Accesses that decoded to no bus region (read-as-zero / dropped).
+  /// Accesses that decoded to no bus region (read-as-zero / dropped) or
+  /// completed with an injected error response.
   u64 bus_errors() const { return bus_errors_; }
+  /// Trap-vector entries taken (see request_trap).
+  u64 traps() const { return traps_; }
+
+  /// Request asynchronous trap entry (safety-monitor reaction to an
+  /// uncorrectable error). Taken at the start of the next step, before
+  /// interrupt acceptance: the core pushes (return PC, ICR), disables
+  /// interrupts and vectors to BTV + class * kVectorEntryBytes. With
+  /// BTV = 0 (the reset value) the core halts instead — the safe default
+  /// when no trap handler is installed.
+  void request_trap(u8 trap_class);
+  /// Immediately stop the core (safety-monitor kHaltCore reaction).
+  void force_halt() { halted_ = true; }
 
   /// Register the core's counters under `component` ("tc"/"pcp").
   void register_metrics(telemetry::MetricsRegistry& registry,
@@ -127,6 +140,7 @@ class Cpu {
 
   // -- issue machinery -------------------------------------------------
   void take_interrupt(u8 prio, Cycle now, mcds::CoreObservation& obs);
+  void take_trap(mcds::CoreObservation& obs);
   bool sources_ready(const isa::Instr& instr, Cycle now) const;
   bool dest_blocked(const isa::Instr& instr) const;
   /// Execute one instruction; returns false if it could not start
@@ -155,6 +169,7 @@ class Cpu {
   Addr next_pc_ = 0;  // PC of the next instruction in program order
   u32 icr_ = 0;
   Addr biv_ = 0;
+  Addr btv_ = 0;
   u8 last_irq_prio_ = 0;
   u32 scratch_cr_[2] = {0, 0};
   std::vector<std::pair<Addr, u32>> irq_stack_;  // (return PC, saved ICR)
@@ -182,9 +197,12 @@ class Cpu {
   // Status.
   bool halted_ = false;
   bool wfi_ = false;
+  bool trap_pending_ = false;
+  u8 trap_class_ = 0;
   u64 retired_ = 0;
   u64 cycles_ = 0;
   u64 bus_errors_ = 0;
+  u64 traps_ = 0;
 };
 
 }  // namespace audo::cpu

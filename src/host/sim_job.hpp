@@ -20,6 +20,10 @@ struct SimJobResult {
   u64 instructions = 0;
   bool halted = false;
   bool loaded = false;  // program image placed successfully
+  /// The run stopped because its cycle budget (max_cycles, or the SoC's
+  /// hard kDefaultRunBudget) ran out before the TC halted. Reported, not
+  /// thrown: a hung workload is a result, not an error.
+  bool budget_exceeded = false;
 };
 
 struct SimJob {
@@ -31,6 +35,8 @@ struct SimJob {
   /// Extra SoC setup after load. Runs on the worker thread: it must only
   /// touch the Soc it is handed (and per-job state it owns).
   std::function<void(soc::Soc&)> configure;
+  /// Cycle budget; 0 selects soc::Soc::kDefaultRunBudget so even a
+  /// livelocked workload terminates with budget_exceeded set.
   u64 max_cycles = 0;
 
   SimJobResult run() const {
@@ -47,6 +53,7 @@ struct SimJob {
     result.cycles = soc.run(max_cycles);
     result.instructions = soc.tc().retired();
     result.halted = soc.tc().halted();
+    result.budget_exceeded = !result.halted;
     return result;
   }
 };

@@ -82,7 +82,8 @@ std::optional<u16> core_reg_by_name(const std::string& name) {
       {"coreid", CoreReg::kCoreId},   {"icr", CoreReg::kIcr},
       {"biv", CoreReg::kBiv},         {"ccnt_lo", CoreReg::kCcntLo},
       {"ccnt_hi", CoreReg::kCcntHi},  {"icnt", CoreReg::kIcnt},
-      {"irqn", CoreReg::kIrqn},       {"scratch0", CoreReg::kScratch0},
+      {"irqn", CoreReg::kIrqn},       {"btv", CoreReg::kBtv},
+      {"scratch0", CoreReg::kScratch0},
       {"scratch1", CoreReg::kScratch1}};
   const auto it = kNames.find(lower(name));
   if (it == kNames.end()) return std::nullopt;
@@ -257,8 +258,14 @@ class Assembler {
   };
 
   Status fail(int line, std::string message) {
-    return error(StatusCode::kParseError,
-                 "line " + std::to_string(line) + ": " + std::move(message));
+    std::string text = "line " + std::to_string(line) + ": " + std::move(message);
+    // Echo the offending source line so multi-file/macro-generated input
+    // stays diagnosable without counting lines by hand.
+    const auto idx = static_cast<usize>(line - 1);
+    if (line >= 1 && idx < source_lines_.size() && !source_lines_[idx].empty()) {
+      text += " | " + source_lines_[idx];
+    }
+    return error(StatusCode::kParseError, std::move(text));
   }
 
   Status pass1(std::string_view source) {
@@ -268,6 +275,7 @@ class Assembler {
     bool have_section = false;
     while (std::getline(stream, raw)) {
       ++line_no;
+      source_lines_.push_back(trim(raw));  // verbatim, for fail() context
       // Strip comments.
       for (usize i = 0; i < raw.size(); ++i) {
         if (raw[i] == ';' || raw[i] == '#') {
@@ -733,6 +741,7 @@ class Assembler {
 
   std::vector<Section> sections_;
   std::vector<Statement> statements_;
+  std::vector<std::string> source_lines_;
   std::map<std::string, LabelInfo> labels_;
   std::map<std::string, i64> symbols_;
   usize current_section_ = 0;

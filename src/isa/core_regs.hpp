@@ -17,6 +17,7 @@ enum class CoreReg : u16 {
   kCcntHi = 4,   // high 32 bits
   kIcnt = 5,     // read-only retired-instruction counter, low 32 bits
   kIrqn = 6,     // read-only: priority of the most recent accepted interrupt
+  kBtv = 7,      // trap vector table base address (0 = traps halt the core)
   kScratch0 = 8, // software scratch CSFRs (monitor/RTOS use)
   kScratch1 = 9,
 };

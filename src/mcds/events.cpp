@@ -58,6 +58,12 @@ u32 event_value(const ObservationFrame& f, EventId id) {
     case EventId::kBusContention: return f.sri.contention ? 1 : 0;
     case EventId::kBusWaitingMasters: return f.sri.waiting_masters;
     case EventId::kDmaTransfer: return f.dma.transfer ? 1 : 0;
+    case EventId::kSafetyEccCorrected: return f.safety.ecc_corrected;
+    case EventId::kSafetyEccUncorrectable: return f.safety.ecc_uncorrectable;
+    case EventId::kSafetyBusError: return f.safety.bus_error ? 1 : 0;
+    case EventId::kSafetyWdtTimeout: return f.safety.wdt_timeout ? 1 : 0;
+    case EventId::kSafetyTrap: return f.safety.cpu_trap ? 1 : 0;
+    case EventId::kSafetyAlarmIrq: return f.safety.alarm_irq ? 1 : 0;
     case EventId::kEventCount: break;
   }
   return 0;
@@ -99,6 +105,12 @@ std::string_view event_name(EventId id) {
     case EventId::kBusContention: return "bus.contention";
     case EventId::kBusWaitingMasters: return "bus.waiting_masters";
     case EventId::kDmaTransfer: return "dma.transfer";
+    case EventId::kSafetyEccCorrected: return "safety.ecc.corrected";
+    case EventId::kSafetyEccUncorrectable: return "safety.ecc.uncorrectable";
+    case EventId::kSafetyBusError: return "safety.bus_error";
+    case EventId::kSafetyWdtTimeout: return "safety.wdt_timeout";
+    case EventId::kSafetyTrap: return "safety.trap";
+    case EventId::kSafetyAlarmIrq: return "safety.alarm_irq";
     case EventId::kEventCount: break;
   }
   return "?";

@@ -53,6 +53,13 @@ enum class EventId : u8 {
   kBusWaitingMasters,   // 0..N
   // DMA.
   kDmaTransfer,
+  // Safety monitor (SMU-like alarm aggregation; see src/fault/).
+  kSafetyEccCorrected,      // 0..N corrected ECC reads this cycle
+  kSafetyEccUncorrectable,  // 0..N uncorrectable ECC reads this cycle
+  kSafetyBusError,
+  kSafetyWdtTimeout,
+  kSafetyTrap,
+  kSafetyAlarmIrq,          // monitor raised its alarm interrupt
   kEventCount,
 };
 

@@ -42,6 +42,11 @@ struct CoreObservation {
   u8 irq_prio = 0;
   bool irq_exit = false;
 
+  /// The core entered its trap vector this cycle (uncorrectable error,
+  /// safety-monitor reaction, ...).
+  bool trap_entry = false;
+  u8 trap_class = 0;
+
   /// The DEBUG instruction retired this cycle — a software-placed MCDS
   /// trigger strobe (used to mark regions of interest from code).
   bool debug_marker = false;
@@ -78,6 +83,21 @@ struct DmaObservation {
   u8 channel = 0;
 };
 
+/// Safety-monitor alarms raised this cycle (fault/safety_monitor.hpp
+/// fills this; all zero when the monitor is disabled). Alarm strobes are
+/// trigger/counter inputs like any other event source.
+struct SafetyObservation {
+  u8 ecc_corrected = 0;      // corrected single-bit errors this cycle
+  u8 ecc_uncorrectable = 0;  // uncorrectable (double-bit) errors
+  bool bus_error = false;
+  bool wdt_timeout = false;
+  bool cpu_trap = false;
+  bool alarm_irq = false;    // monitor raised the NMI-style alarm IRQ
+  bool halt_request = false; // monitor halted the core this cycle
+
+  void reset() { *this = SafetyObservation{}; }
+};
+
 /// Everything observable in one clock cycle.
 struct ObservationFrame {
   Cycle cycle = 0;
@@ -86,6 +106,7 @@ struct ObservationFrame {
   bus::FabricObservation sri;
   mem::PFlash::Strobes flash;
   DmaObservation dma;
+  SafetyObservation safety;
 };
 
 }  // namespace audo::mcds

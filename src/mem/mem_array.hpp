@@ -8,6 +8,17 @@
 
 namespace audo::mem {
 
+/// Fault-injection tap on a MemArray (see fault/fault_injector.hpp).
+/// on_read may rewrite the value returned to the device (ECC syndrome
+/// evaluation); on_write observes stores so pending fault records can be
+/// scrubbed. The hook must outlive the array or be detached first.
+class MemFaultHook {
+ public:
+  virtual ~MemFaultHook() = default;
+  virtual u32 on_read(usize offset, unsigned bytes, u32 raw) = 0;
+  virtual void on_write(usize offset, unsigned bytes) = 0;
+};
+
 /// Little-endian byte array with 1/2/4-byte accessors. Out-of-range
 /// accesses are tolerated (reads return 0, writes are dropped) but
 /// counted, so buggy workload software cannot crash the simulator yet
@@ -28,6 +39,7 @@ class MemArray {
     for (unsigned i = 0; i < bytes; ++i) {
       value |= static_cast<u32>(bytes_[offset + i]) << (8 * i);
     }
+    if (hook_ != nullptr) return hook_->on_read(offset, bytes, value);
     return value;
   }
 
@@ -40,7 +52,33 @@ class MemArray {
     for (unsigned i = 0; i < bytes; ++i) {
       bytes_[offset + i] = static_cast<u8>(value >> (8 * i));
     }
+    if (hook_ != nullptr) hook_->on_write(offset, bytes);
   }
+
+  /// Host-side backdoor access: bypasses the fault hook (and the
+  /// violation counter). Fault injectors flip stored bits through poke();
+  /// state-comparison code reads through peek() so inspecting memory
+  /// cannot consume pending ECC fault records.
+  u32 peek(usize offset, unsigned bytes) const {
+    if (offset + bytes > bytes_.size()) return 0;
+    u32 value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+      value |= static_cast<u32>(bytes_[offset + i]) << (8 * i);
+    }
+    return value;
+  }
+
+  void poke(usize offset, u32 value, unsigned bytes) {
+    if (offset + bytes > bytes_.size()) return;
+    for (unsigned i = 0; i < bytes; ++i) {
+      bytes_[offset + i] = static_cast<u8>(value >> (8 * i));
+    }
+  }
+
+  /// Attach/detach a fault-injection hook. Null (the default) keeps the
+  /// access paths on a single predicted branch.
+  void set_fault_hook(MemFaultHook* hook) { hook_ = hook; }
+  MemFaultHook* fault_hook() const { return hook_; }
 
   u32 read32(usize offset) const { return read(offset, 4); }
   void write32(usize offset, u32 value) { write(offset, value, 4); }
@@ -61,6 +99,7 @@ class MemArray {
  private:
   std::vector<u8> bytes_;
   mutable u64 violations_ = 0;
+  MemFaultHook* hook_ = nullptr;
 };
 
 }  // namespace audo::mem

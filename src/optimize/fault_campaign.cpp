@@ -1,0 +1,290 @@
+#include "optimize/fault_campaign.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "fault/safety_monitor.hpp"
+#include "host/sim_pool.hpp"
+#include "mem/memory_map.hpp"
+#include "periph/sfr_bridge.hpp"
+#include "soc/soc.hpp"
+#include "telemetry/run_report.hpp"
+
+namespace audo::optimize {
+
+const char* to_string(FaultOutcome outcome) {
+  switch (outcome) {
+    case FaultOutcome::kMasked: return "masked";
+    case FaultOutcome::kCorrected: return "corrected";
+    case FaultOutcome::kDetected: return "detected";
+    case FaultOutcome::kSilentDataCorruption: return "sdc";
+    case FaultOutcome::kHang: return "hang";
+    case FaultOutcome::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+/// Digest of the architecturally-visible end state: TC register files
+/// plus the DSPR image, read through peek() so inspection cannot consume
+/// pending ECC fault records.
+u64 state_signature(soc::Soc& soc) {
+  u64 h = kFnvOffset;
+  for (unsigned i = 0; i < 16; ++i) {
+    h = fnv1a(h, u64{soc.tc().d(i)});
+    h = fnv1a(h, u64{soc.tc().a(i)});
+  }
+  const mem::MemArray& dspr = soc.dspr().array();
+  for (usize off = 0; off + 4 <= dspr.size(); off += 4) {
+    h = fnv1a(h, u64{dspr.peek(off, 4)});
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultCampaign::FaultCampaign(soc::SocConfig config, WorkloadCase workload)
+    : config_(std::move(config)), workload_(std::move(workload)) {}
+
+fault::PlanSpec FaultCampaign::plan_spec() const {
+  fault::PlanSpec spec;
+  spec.flash_bytes = config_.pflash.size;
+  spec.dspr_bytes = config_.dspr_bytes;
+  spec.pspr_bytes = config_.pspr_bytes;
+  spec.lmu_bytes = config_.lmu_bytes;
+  // Live flash footprint: highest byte the program image places there.
+  u32 image_end = 0;
+  for (const isa::Section& sec : workload_.program.sections()) {
+    if (!mem::is_pflash(sec.base, config_.pflash.size)) continue;
+    const u32 end = mem::pflash_offset(sec.base) +
+                    static_cast<u32>(sec.bytes.size());
+    image_end = std::max(image_end, end);
+  }
+  spec.flash_image_bytes = image_end;
+  // Shape of the constructed platform (slave indices, SRC ids, SFR map)
+  // is fixed by Soc's construction order; probe one instance for it.
+  soc::Soc probe(config_);
+  spec.slave_count = probe.sri().slave_count();
+  spec.irq_srcs = {probe.srcs().adc_done, probe.srcs().can_rx,
+                   probe.srcs().stm0};
+  using namespace periph::sfr;
+  spec.sfr_offsets = {kAdc + 0x00, kCrank + 0x00, kCrank + 0x04,
+                      kCan + 0x00, kStm + 0x00};
+  spec.window_begin = 1'000;
+  const u64 budget = workload_.max_cycles == 0
+                         ? soc::Soc::kDefaultRunBudget
+                         : workload_.max_cycles;
+  spec.window_end = std::max<Cycle>(spec.window_begin + 1, budget / 2);
+  spec.events_min = 1;
+  spec.events_max = 3;
+  return spec;
+}
+
+std::vector<FaultScenario> FaultCampaign::make_scenarios(
+    u64 seed, unsigned count) const {
+  const fault::PlanSpec spec = plan_spec();
+  std::vector<FaultScenario> scenarios;
+  scenarios.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    FaultScenario sc;
+    sc.seed = fnv1a(fnv1a(kFnvOffset, seed), u64{i});
+    sc.name = "rand-" + std::to_string(i);
+    sc.plan = fault::generate_plan(sc.seed, spec);
+    sc.safety = config_.safety;
+    scenarios.push_back(std::move(sc));
+  }
+  return scenarios;
+}
+
+std::vector<FaultScenario> FaultCampaign::make_demo_scenarios(
+    const DemoTargets& t) const {
+  std::vector<FaultScenario> scenarios;
+  auto flip = [&](u32 offset, u8 bits) {
+    fault::FaultEvent ev;
+    ev.at = t.at;
+    ev.kind = fault::FaultKind::kMemFlip;
+    ev.domain = fault::MemDomain::kPFlash;
+    ev.offset = offset;
+    ev.bits = bits;
+    return ev;
+  };
+
+  FaultScenario masked;
+  masked.name = "demo-masked";
+  masked.safety = config_.safety;
+  masked.plan.events.push_back(flip(t.dead_flash_offset, 1));
+  scenarios.push_back(std::move(masked));
+
+  FaultScenario corrected;
+  corrected.name = "demo-corrected";
+  corrected.safety = config_.safety;
+  corrected.plan.events.push_back(flip(t.hot_flash_offset, 1));
+  scenarios.push_back(std::move(corrected));
+
+  FaultScenario detected;
+  detected.name = "demo-detected";
+  detected.safety = config_.safety;
+  detected.plan.events.push_back(flip(t.hot_flash_offset, 2));
+  scenarios.push_back(std::move(detected));
+
+  FaultScenario sdc;
+  sdc.name = "demo-sdc";
+  sdc.safety = config_.safety;
+  sdc.safety.ecc_sram = false;  // unprotected RAM: the flip is silent
+  fault::FaultEvent ram = flip(t.live_dspr_offset, 1);
+  ram.domain = fault::MemDomain::kDspr;
+  sdc.plan.events.push_back(ram);
+  scenarios.push_back(std::move(sdc));
+
+  FaultScenario hang;
+  hang.name = "demo-hang";
+  hang.safety = config_.safety;
+  fault::FaultEvent storm;
+  storm.at = t.at;
+  storm.kind = fault::FaultKind::kIrqStorm;
+  storm.irq_src = t.storm_src;
+  storm.duration = ~Cycle{0} / 2;  // outlives any cycle budget
+  hang.plan.events.push_back(storm);
+  scenarios.push_back(std::move(hang));
+
+  return scenarios;
+}
+
+ScenarioResult FaultCampaign::run_one(const fault::FaultPlan* plan,
+                                      const fault::SafetyConfig& safety) const {
+  ScenarioResult r;
+  soc::SocConfig cfg = config_;
+  cfg.safety = safety;
+  // The injector must outlive the Soc (its ECC hooks live in the Soc's
+  // memory arrays until ~Soc detaches them).
+  fault::FaultInjector injector(plan != nullptr ? *plan : fault::FaultPlan{});
+  soc::Soc soc(cfg);
+  if (Status s = soc.load(workload_.program); !s.is_ok()) {
+    r.outcome = FaultOutcome::kHang;  // unloadable = never completes
+    return r;
+  }
+  if (workload_.configure) workload_.configure(soc);
+  if (plan != nullptr) soc.set_fault_injector(&injector);
+  soc.reset(workload_.tc_entry, workload_.pcp_entry);
+  r.cycles = soc.run(workload_.max_cycles);
+  r.halted = soc.tc().halted();
+  for (unsigned k = 0; k < fault::kNumFaultKinds; ++k) {
+    r.injected[k] = injector.injected(static_cast<fault::FaultKind>(k));
+  }
+  for (unsigned k = 0; k < fault::kNumAlarmKinds; ++k) {
+    r.alarms[k] = soc.safety().total(static_cast<fault::AlarmKind>(k));
+  }
+  r.signature = state_signature(soc);
+  return r;
+}
+
+FaultOutcome FaultCampaign::classify(const ScenarioResult& run,
+                                     const ScenarioResult& golden) {
+  if (!run.halted) return FaultOutcome::kHang;
+  const auto raised = [&](fault::AlarmKind kind) {
+    const unsigned k = static_cast<unsigned>(kind);
+    return run.alarms[k] > golden.alarms[k];
+  };
+  if (raised(fault::AlarmKind::kEccUncorrectable) ||
+      raised(fault::AlarmKind::kBusError) ||
+      raised(fault::AlarmKind::kWatchdogTimeout) ||
+      raised(fault::AlarmKind::kCpuTrap)) {
+    return FaultOutcome::kDetected;
+  }
+  if (run.signature != golden.signature) {
+    return FaultOutcome::kSilentDataCorruption;
+  }
+  if (raised(fault::AlarmKind::kEccCorrected)) return FaultOutcome::kCorrected;
+  return FaultOutcome::kMasked;
+}
+
+CampaignSummary FaultCampaign::run(
+    const std::vector<FaultScenario>& scenarios) const {
+  CampaignSummary summary;
+  // Golden reference under the campaign's base safety config; scenarios
+  // only diverge from it via their injected faults (per-scenario safety
+  // tweaks like ECC-off change nothing in a fault-free run).
+  summary.golden = run_one(nullptr, config_.safety);
+  summary.golden.name = "golden";
+
+  host::SimPool pool(jobs_);
+  summary.runs = pool.map<ScenarioResult>(
+      scenarios.size(), [&](usize i) {
+        const FaultScenario& sc = scenarios[i];
+        ScenarioResult r = run_one(&sc.plan, sc.safety);
+        r.name = sc.name;
+        r.seed = sc.seed;
+        return r;
+      });
+  for (ScenarioResult& r : summary.runs) {
+    r.outcome = classify(r, summary.golden);
+    summary.outcome_counts[static_cast<unsigned>(r.outcome)] += 1;
+  }
+  return summary;
+}
+
+u64 CampaignSummary::classification_hash() const {
+  u64 h = kFnvOffset;
+  h = fnv1a(h, golden.cycles);
+  h = fnv1a(h, golden.signature);
+  for (const ScenarioResult& r : runs) {
+    h = fnv1a(h, r.name);
+    h = fnv1a(h, static_cast<u64>(r.outcome));
+    h = fnv1a(h, r.cycles);
+    h = fnv1a(h, r.signature);
+    for (const u64 a : r.alarms) h = fnv1a(h, a);
+  }
+  return h;
+}
+
+void CampaignSummary::fill_report(telemetry::RunReport& report) const {
+  std::array<u64, fault::kNumFaultKinds> injected{};
+  std::array<u64, fault::kNumAlarmKinds> alarms{};
+  for (const ScenarioResult& r : runs) {
+    for (unsigned k = 0; k < fault::kNumFaultKinds; ++k) {
+      injected[k] += r.injected[k];
+    }
+    for (unsigned k = 0; k < fault::kNumAlarmKinds; ++k) {
+      alarms[k] += r.alarms[k];
+    }
+  }
+  report.add_fault("scenarios", runs.size());
+  for (unsigned k = 0; k < fault::kNumFaultKinds; ++k) {
+    report.add_fault(
+        std::string("injected.") + to_string(static_cast<fault::FaultKind>(k)),
+        injected[k]);
+  }
+  for (unsigned o = 0; o < kNumFaultOutcomes; ++o) {
+    report.add_fault(
+        std::string("outcome.") + to_string(static_cast<FaultOutcome>(o)),
+        outcome_counts[o]);
+  }
+  for (unsigned k = 0; k < fault::kNumAlarmKinds; ++k) {
+    report.add_alarm(to_string(static_cast<fault::AlarmKind>(k)), alarms[k]);
+  }
+}
+
+std::string CampaignSummary::format() const {
+  std::ostringstream out;
+  out << "golden: " << golden.cycles << " cycles, signature 0x" << std::hex
+      << golden.signature << std::dec << "\n";
+  for (const ScenarioResult& r : runs) {
+    out << "  " << r.name << ": " << to_string(r.outcome) << " (" << r.cycles
+        << " cycles";
+    u64 alarm_total = 0;
+    for (const u64 a : r.alarms) alarm_total += a;
+    if (alarm_total > 0) out << ", " << alarm_total << " alarms";
+    out << ")\n";
+  }
+  out << "outcomes:";
+  for (unsigned o = 0; o < kNumFaultOutcomes; ++o) {
+    out << " " << to_string(static_cast<FaultOutcome>(o)) << "="
+        << outcome_counts[o];
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace audo::optimize

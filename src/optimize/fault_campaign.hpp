@@ -1,0 +1,132 @@
+// Parallel fault-injection campaigns: sweep N seeded fault scenarios of
+// one workload through the SimPool and classify each run against a
+// fault-free golden run — the robustness counterpart of the §6
+// architecture sweep, using the same "each job owns its Soc" determinism
+// contract so campaign classifications are bit-identical for any --jobs.
+//
+// Outcome taxonomy (precedence top to bottom):
+//  * hang       — the TC never halted within the cycle budget (livelock,
+//    runaway interrupt load, corrupted control flow that spins);
+//  * detected   — a safety mechanism flagged the fault: uncorrectable
+//    ECC, bus error, watchdog timeout or trap alarms above golden;
+//  * silent-data-corruption — no alarm, but the final architectural
+//    state (registers + DSPR image) differs from golden. This includes
+//    corrupt-but-never-consumed words (latent faults) and runs whose
+//    timing was perturbed enough to change state left in memory;
+//  * corrected  — ECC corrected every consumed flip; state matches;
+//  * masked     — the fault was never consumed at all (dead code /
+//    stale data / scrubbed by an overwrite).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "fault/safety.hpp"
+#include "optimize/evaluator.hpp"
+#include "soc/soc_config.hpp"
+
+namespace audo::telemetry {
+struct RunReport;
+}
+
+namespace audo::optimize {
+
+enum class FaultOutcome : u8 {
+  kMasked = 0,
+  kCorrected,
+  kDetected,
+  kSilentDataCorruption,
+  kHang,
+  kCount,
+};
+inline constexpr unsigned kNumFaultOutcomes =
+    static_cast<unsigned>(FaultOutcome::kCount);
+const char* to_string(FaultOutcome outcome);
+
+/// One campaign entry: a fault plan plus the safety configuration it
+/// runs under (so a single campaign can compare ECC-on vs ECC-off).
+struct FaultScenario {
+  std::string name;
+  u64 seed = 0;
+  fault::FaultPlan plan;
+  fault::SafetyConfig safety;
+};
+
+struct ScenarioResult {
+  std::string name;
+  u64 seed = 0;
+  FaultOutcome outcome = FaultOutcome::kMasked;
+  u64 cycles = 0;
+  bool halted = false;
+  u64 signature = 0;  // FNV-1a over final d/a registers + DSPR image
+  std::array<u64, fault::kNumFaultKinds> injected{};
+  std::array<u64, fault::kNumAlarmKinds> alarms{};
+};
+
+struct CampaignSummary {
+  ScenarioResult golden;  // fault-free reference (outcome forced kMasked)
+  std::vector<ScenarioResult> runs;
+  std::array<u64, kNumFaultOutcomes> outcome_counts{};
+
+  /// Stable digest of every run's (name, outcome, cycles, signature,
+  /// alarms) — the value the jobs-independence test pins.
+  u64 classification_hash() const;
+
+  /// Fill the report's faults/alarms sections: injected counts by kind,
+  /// outcome tallies, and alarm totals summed over all runs.
+  void fill_report(telemetry::RunReport& report) const;
+
+  std::string format() const;
+};
+
+/// Campaign driver for one (SoC configuration, workload) pair.
+class FaultCampaign {
+ public:
+  FaultCampaign(soc::SocConfig config, WorkloadCase workload);
+
+  /// Host workers; same contract as ArchitectureEvaluator::set_jobs —
+  /// any value produces identical results in identical order.
+  void set_jobs(unsigned jobs) { jobs_ = jobs; }
+  unsigned jobs() const { return jobs_; }
+
+  /// Random campaign: `count` scenarios with per-scenario seeds derived
+  /// from `seed`, plans drawn from the platform-shaped PlanSpec.
+  std::vector<FaultScenario> make_scenarios(u64 seed, unsigned count) const;
+
+  /// Hand-aimed targets for the five-outcome demo campaign.
+  struct DemoTargets {
+    u32 hot_flash_offset = 0;   // flash bytes the workload executes
+    u32 dead_flash_offset = 0;  // flash bytes it never touches
+    u32 live_dspr_offset = 0;   // DSPR word left live at halt
+    unsigned storm_src = 0;     // enabled high-rate interrupt source
+    Cycle at = 2'000;           // injection cycle
+  };
+
+  /// One scenario per outcome class, in taxonomy order (masked,
+  /// corrected, detected, sdc, hang).
+  std::vector<FaultScenario> make_demo_scenarios(const DemoTargets& t) const;
+
+  /// Run the golden reference plus every scenario (parallel across
+  /// jobs()) and classify.
+  CampaignSummary run(const std::vector<FaultScenario>& scenarios) const;
+
+  /// The generator shape used by make_scenarios (exposed for tests).
+  fault::PlanSpec plan_spec() const;
+
+  const soc::SocConfig& config() const { return config_; }
+  const WorkloadCase& workload() const { return workload_; }
+
+ private:
+  ScenarioResult run_one(const fault::FaultPlan* plan,
+                         const fault::SafetyConfig& safety) const;
+  static FaultOutcome classify(const ScenarioResult& run,
+                               const ScenarioResult& golden);
+
+  soc::SocConfig config_;
+  WorkloadCase workload_;
+  unsigned jobs_ = 1;
+};
+
+}  // namespace audo::optimize

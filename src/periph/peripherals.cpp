@@ -63,6 +63,7 @@ u32 Watchdog::read_sfr(u32 offset) {
   switch (offset) {
     case 0x00: return remaining_;
     case 0x04: return period_;
+    case 0x08: return window_;
     default: return 0;
   }
 }
@@ -70,11 +71,25 @@ u32 Watchdog::read_sfr(u32 offset) {
 void Watchdog::write_sfr(u32 offset, u32 value) {
   switch (offset) {
     case 0x00:
-      if (value == kServiceKey) remaining_ = period_;
+      if (value != kServiceKey) {
+        ++bad_services_;
+        break;
+      }
+      if (period_ != 0 && window_ != 0 && remaining_ > window_) {
+        // Serviced before the window opened: a violation, handled like
+        // a timeout so a runaway fast loop cannot keep the dog quiet.
+        ++early_services_;
+        ++timeouts_;
+        router_->post(src_timeout_);
+      }
+      remaining_ = period_;
       break;
     case 0x04:
       period_ = value;
       remaining_ = value;
+      break;
+    case 0x08:
+      window_ = value;
       break;
     default:
       break;

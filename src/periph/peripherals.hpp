@@ -38,9 +38,17 @@ class Stm final : public SfrDevice {
   u32 ctrl_ = 0;
 };
 
-/// Window watchdog. SFRs: 0x00 SERVICE (write 0x5AFE), 0x04 PERIOD.
-/// A missed service posts the timeout SRC — the §5 trigger demo "events
-/// not happening in a defined time window" watches this class of failure.
+/// Window watchdog. SFRs: 0x00 SERVICE (write 0x5AFE), 0x04 PERIOD,
+/// 0x08 WINDOW. A missed service posts the timeout SRC — the §5 trigger
+/// demo "events not happening in a defined time window" watches this
+/// class of failure.
+///
+/// WINDOW = 0 (reset value) keeps the classic always-open behaviour: a
+/// correctly-keyed service at any time restarts the period. A non-zero
+/// WINDOW opens the service window only once `remaining_` has counted
+/// down to <= WINDOW; servicing earlier is a violation and is treated
+/// like a timeout (counted, SRC posted, period restarted). Writes with
+/// the wrong key are ignored but counted in bad_services().
 class Watchdog final : public SfrDevice {
  public:
   Watchdog(IrqRouter* router, unsigned src_timeout)
@@ -51,14 +59,19 @@ class Watchdog final : public SfrDevice {
   void write_sfr(u32 offset, u32 value) override;
 
   u64 timeouts() const { return timeouts_; }
+  u64 early_services() const { return early_services_; }
+  u64 bad_services() const { return bad_services_; }
   static constexpr u32 kServiceKey = 0x5AFE;
 
  private:
   IrqRouter* router_;
   unsigned src_timeout_;
   u32 period_ = 0;  // 0 = disabled
+  u32 window_ = 0;  // 0 = always-open (classic) service window
   u32 remaining_ = 0;
   u64 timeouts_ = 0;
+  u64 early_services_ = 0;
+  u64 bad_services_ = 0;
 };
 
 /// Crank-wheel model: a 60-2 trigger wheel driving tooth interrupts.

@@ -1,6 +1,7 @@
 // The peripheral bridge: routes SFR-space bus transactions to devices.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -38,16 +39,26 @@ class PeriphBridge final : public bus::BusSlave {
           r.device->write_sfr(offset - r.offset, req.wdata);
           return 0;
         }
-        return r.device->read_sfr(offset - r.offset);
+        const u32 value = r.device->read_sfr(offset - r.offset);
+        return faults_.empty() ? value : apply_sfr_fault(offset, value);
       }
     }
     ++unmapped_;
     return 0;
   }
 
+  /// Fault injection: the next `reads` reads of the SFR at `offset`
+  /// (from kPeriphBase) return `value` instead of the device's answer.
+  /// The device's read side effects still occur (the register is read,
+  /// the returned data is corrupted on the way back).
+  void inject_sfr_fault(u32 offset, u32 value, u64 reads) {
+    faults_.push_back(SfrFault{offset, value, reads});
+  }
+
   std::string_view name() const override { return "PBridge"; }
 
   u64 unmapped_accesses() const { return unmapped_; }
+  u64 faulted_reads() const { return faulted_reads_; }
 
  private:
   struct Range {
@@ -56,9 +67,29 @@ class PeriphBridge final : public bus::BusSlave {
     SfrDevice* device;
   };
 
+  struct SfrFault {
+    u32 offset;
+    u32 value;
+    u64 reads_left;
+  };
+
+  u32 apply_sfr_fault(u32 offset, u32 value) {
+    for (usize i = 0; i < faults_.size(); ++i) {
+      SfrFault& f = faults_[i];
+      if (f.offset != offset) continue;
+      ++faulted_reads_;
+      const u32 stuck = f.value;
+      if (--f.reads_left == 0) faults_.erase(faults_.begin() + static_cast<std::ptrdiff_t>(i));
+      return stuck;
+    }
+    return value;
+  }
+
   unsigned latency_;
   std::vector<Range> ranges_;
+  std::vector<SfrFault> faults_;
   u64 unmapped_ = 0;
+  u64 faulted_reads_ = 0;
 };
 
 /// Canonical SFR window offsets (from kPeriphBase) used by the SoC.

@@ -1,5 +1,8 @@
 #include "soc/soc.hpp"
 
+#include <algorithm>
+
+#include "fault/fault_injector.hpp"
 #include "mem/memory_map.hpp"
 #include "soc/tracer.hpp"
 #include "telemetry/host_profiler.hpp"
@@ -18,6 +21,7 @@ SrcIds make_srcs(periph::IrqRouter& router, unsigned dma_channels) {
   s.can_rx = router.add_source("can.rx");
   s.can_tx = router.add_source("can.tx");
   s.wdt_timeout = router.add_source("wdt.timeout");
+  s.smu_alarm = router.add_source("smu.alarm");
   for (unsigned i = 0; i < dma_channels; ++i) {
     s.dma_done.push_back(router.add_source("dma.done." + std::to_string(i)));
   }
@@ -45,7 +49,8 @@ Soc::Soc(const SocConfig& config)
              &irq_router_, srcs_.crank_tooth, srcs_.crank_sync),
       adc_(periph::Adc::Config{}, &irq_router_, srcs_.adc_done),
       can_(periph::CanLite::Config{}, &irq_router_, srcs_.can_rx, srcs_.can_tx),
-      dma_(config.dma_channels, &sri_, &irq_router_) {
+      dma_(config.dma_channels, &sri_, &irq_router_),
+      monitor_(config.safety) {
   assert(config.valid());
 
   // --- bus fabric ----------------------------------------------------
@@ -125,6 +130,27 @@ Soc::Soc(const SocConfig& config)
     pcp_env.irq = &irq_router_.pcp_view();
     pcp_ = std::make_unique<cpu::Cpu>(pcp_cfg, pcp_env);
   }
+
+  monitor_.bind(&irq_router_, srcs_.smu_alarm, tc_.get(), &watchdog_);
+}
+
+Soc::~Soc() { set_fault_injector(nullptr); }
+
+void Soc::set_fault_injector(fault::FaultInjector* injector) {
+  if (injector_ != nullptr) injector_->unbind();
+  injector_ = injector;
+  if (injector_ == nullptr) return;
+  fault::FaultInjector::Targets t;
+  t.pflash = &pflash_.array();
+  t.dspr = &dspr_.array();
+  t.pspr = &pspr_.array();
+  t.lmu = &lmu_.array();
+  t.bus = &sri_;
+  t.bridge = &bridge_;
+  t.irq = &irq_router_;
+  t.monitor = &monitor_;
+  t.safety = config_.safety;
+  injector_->bind(t);
 }
 
 Status Soc::load(const isa::Program& program) {
@@ -195,9 +221,14 @@ void Soc::step() {
   frame_.cycle = now;
   frame_.tc.reset();
   frame_.pcp.reset();
+  frame_.safety.reset();
 
   using telemetry::StepPhase;
   if (probe_ != nullptr) probe_->begin_cycle();
+
+  // Phase 0: scheduled faults land before anything samples state, so an
+  // event "at cycle N" is visible to every component during cycle N.
+  if (injector_ != nullptr) injector_->step(now);
 
   // Phase 1: peripherals (may post interrupts visible to cores this cycle).
   if (probe_ != nullptr) probe_->begin(StepPhase::kPeripherals);
@@ -236,6 +267,7 @@ void Soc::step() {
   frame_.sri = sri_.observation();
   frame_.flash = pflash_.strobes();
   frame_.dma = dma_.observation();
+  if (monitor_.enabled()) frame_.safety = monitor_.step_cycle(now, frame_);
   if (tracer_ != nullptr) tracer_->observe(frame_);
   if (probe_ != nullptr) probe_->end(StepPhase::kObserve);
 }
@@ -263,11 +295,15 @@ void Soc::register_metrics(telemetry::MetricsRegistry& registry) const {
   sri_.register_metrics(registry, "sri");
   irq_router_.register_metrics(registry, "irq");
   dma_.register_metrics(registry, "dma");
+  monitor_.register_metrics(registry, "safety");
+  if (injector_ != nullptr) injector_->register_metrics(registry, "fault");
 }
 
 u64 Soc::run(u64 max_cycles) {
+  const u64 budget =
+      max_cycles == 0 ? kDefaultRunBudget : std::min(max_cycles, kDefaultRunBudget);
   u64 steps = 0;
-  while (steps < max_cycles && !tc_->halted()) {
+  while (steps < budget && !tc_->halted()) {
     step();
     ++steps;
   }

@@ -12,6 +12,7 @@
 #include "cache/cache.hpp"
 #include "common/status.hpp"
 #include "cpu/cpu.hpp"
+#include "fault/safety_monitor.hpp"
 #include "isa/decode_cache.hpp"
 #include "isa/program.hpp"
 #include "mcds/observation.hpp"
@@ -29,6 +30,10 @@ class MetricsRegistry;
 class PhaseProbe;
 }
 
+namespace audo::fault {
+class FaultInjector;
+}
+
 namespace audo::soc {
 
 class SocTracer;
@@ -43,12 +48,14 @@ struct SrcIds {
   unsigned can_rx = 0;
   unsigned can_tx = 0;
   unsigned wdt_timeout = 0;
+  unsigned smu_alarm = 0;
   std::vector<unsigned> dma_done;
 };
 
 class Soc {
  public:
   explicit Soc(const SocConfig& config);
+  ~Soc();
 
   Soc(const Soc&) = delete;
   Soc& operator=(const Soc&) = delete;
@@ -65,8 +72,14 @@ class Soc {
   /// Advance one clock cycle and publish the observation frame.
   void step();
 
+  /// Hard ceiling on run(): even a caller asking for "unbounded"
+  /// execution terminates — fault campaigns rely on this to turn
+  /// livelocked runs into a reportable outcome rather than a hang.
+  static constexpr u64 kDefaultRunBudget = 200'000'000;
+
   /// Run until the TC halts or `max_cycles` elapse; returns cycles run.
-  u64 run(u64 max_cycles);
+  /// `max_cycles` = 0 selects kDefaultRunBudget.
+  u64 run(u64 max_cycles = 0);
 
   Cycle cycle() const { return cycle_; }
   const mcds::ObservationFrame& frame() const { return frame_; }
@@ -96,6 +109,15 @@ class Soc {
   periph::CanLite& can() { return can_; }
   periph::Watchdog& watchdog() { return watchdog_; }
   periph::PeriphBridge& bridge() { return bridge_; }
+  fault::SafetyMonitor& safety() { return monitor_; }
+  const fault::SafetyMonitor& safety() const { return monitor_; }
+
+  /// Attach a fault injector: binds it to the memories, fabric, bridge
+  /// and monitor, and steps it at the top of every cycle. The injector
+  /// must outlive the SoC or be detached with nullptr first (detaching
+  /// also unhooks its ECC domains from the memory arrays).
+  void set_fault_injector(fault::FaultInjector* injector);
+  fault::FaultInjector* fault_injector() { return injector_; }
 
   /// Host acceleration: predecoded program image consulted by the cores'
   /// fetch path. On by default; lookups are validated against the word
@@ -157,6 +179,9 @@ class Soc {
 
   std::unique_ptr<cpu::Cpu> tc_;
   std::unique_ptr<cpu::Cpu> pcp_;
+
+  fault::SafetyMonitor monitor_;
+  fault::FaultInjector* injector_ = nullptr;
 
   isa::DecodeCache decode_cache_;
   bool decode_cache_enabled_ = true;

@@ -11,6 +11,7 @@
 #include "cache/cache.hpp"
 #include "common/bits.hpp"
 #include "common/types.hpp"
+#include "fault/safety.hpp"
 #include "mem/dflash.hpp"
 #include "mem/pflash.hpp"
 
@@ -49,6 +50,11 @@ struct SocConfig {
 
   /// Scratchpad-as-bus-slave latency for non-owning masters.
   unsigned spr_slave_latency = 2;
+
+  /// Safety-mechanism model: ECC coverage and SMU-like alarm reactions
+  /// (src/fault). Defaults are record-only, so fault-free runs are
+  /// cycle-identical with and without the monitor.
+  fault::SafetyConfig safety;
 
   bool valid() const {
     return icache.valid() && dcache.valid() && tc_issue_width >= 1 &&
@@ -90,6 +96,7 @@ struct SocConfig {
     h = fnv1a(h, u64{dma_channels});
     h = fnv1a(h, static_cast<u64>(arbitration));
     h = fnv1a(h, u64{spr_slave_latency});
+    h = safety.fingerprint(h);
     return h;
   }
 };

@@ -32,6 +32,7 @@ SocTracer::SocTracer(Options options)
         std::string("SRI ") + bus::to_string(static_cast<bus::MasterId>(m)));
   }
   dma_track_ = timeline_.add_track("DMA");
+  safety_track_ = timeline_.add_track("Safety");
   eec_track_ = timeline_.add_track("EEC");
 }
 
@@ -107,6 +108,19 @@ void SocTracer::observe(const mcds::ObservationFrame& frame) {
   if (frame.dma.transfer) {
     timeline_.instant(dma_track_, channel_name(frame.dma.channel), now);
   }
+
+  // Safety alarms are rare; one instant per alarm kind per cycle.
+  const mcds::SafetyObservation& safety = frame.safety;
+  if (safety.ecc_corrected > 0) {
+    timeline_.instant(safety_track_, "ecc corrected", now);
+  }
+  if (safety.ecc_uncorrectable > 0) {
+    timeline_.instant(safety_track_, "ecc uncorrectable", now);
+  }
+  if (safety.bus_error) timeline_.instant(safety_track_, "bus error", now);
+  if (safety.wdt_timeout) timeline_.instant(safety_track_, "wdt timeout", now);
+  if (safety.cpu_trap) timeline_.instant(safety_track_, "trap", now);
+  if (safety.alarm_irq) timeline_.instant(safety_track_, "alarm irq", now);
 
   // Counter-series accumulation.
   ++interval_cycles_;

@@ -8,6 +8,8 @@
 //    wait span (issue → grant) and a transfer span (grant → completion)
 //    per transaction, named after the addressed slave;
 //  * "DMA"                           — per-channel transfer instants;
+//  * "Safety"                        — alarm instants from the safety
+//    monitor (ECC events, bus errors, watchdog timeouts, traps);
 //  * "EEC"                           — trace-message drops;
 //  * counter series — TC IPC, flash buffer hit rates, SRI contention,
 //    EMEM fill level and trace-message volume, sampled every
@@ -84,6 +86,7 @@ class SocTracer {
   CoreState pcp_;
   std::array<telemetry::Timeline::TrackId, bus::kNumMasters> bus_tracks_{};
   telemetry::Timeline::TrackId dma_track_ = 0;
+  telemetry::Timeline::TrackId safety_track_ = 0;
   telemetry::Timeline::TrackId eec_track_ = 0;
   std::vector<std::string> slave_names_;
 

@@ -80,6 +80,18 @@ std::string RunReport::to_json() const {
   w.end_array();
   w.end_object();  // host
 
+  // Always present (empty for fault-free runs) so consumers can key on
+  // them unconditionally.
+  w.key("faults");
+  w.begin_object();
+  for (const auto& [name, value] : faults) w.kv(name, value);
+  w.end_object();
+
+  w.key("alarms");
+  w.begin_object();
+  for (const auto& [name, value] : alarms) w.kv(name, value);
+  w.end_object();
+
   w.key("extras");
   w.begin_object();
   for (const auto& [name, value] : extras) w.kv(name, value);

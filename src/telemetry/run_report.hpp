@@ -43,6 +43,13 @@ struct RunReport {
   };
   std::vector<PhaseEntry> host_phases;
 
+  // ---- fault-injection accounting (empty objects for fault-free runs) --
+  /// Injected-fault counts by kind ("mem_flip", "irq_storm", ...) plus
+  /// campaign outcome tallies ("outcome.masked", ...).
+  std::vector<std::pair<std::string, u64>> faults;
+  /// Safety-monitor alarm totals by kind ("ecc_corrected", ...).
+  std::vector<std::pair<std::string, u64>> alarms;
+
   // ---- freeform bench-specific extras ----
   std::vector<std::pair<std::string, double>> extras;
 
@@ -51,6 +58,14 @@ struct RunReport {
 
   void add_extra(std::string name, double value) {
     extras.emplace_back(std::move(name), value);
+  }
+
+  void add_fault(std::string name, u64 value) {
+    faults.emplace_back(std::move(name), value);
+  }
+
+  void add_alarm(std::string name, u64 value) {
+    alarms.emplace_back(std::move(name), value);
   }
 
   std::string to_json() const;

@@ -254,5 +254,31 @@ TEST(SimJob, RunsProgramAndReportsLoadFailure) {
   EXPECT_EQ(bad.cycles, 0u);
 }
 
+TEST(SimJob, BudgetExhaustionIsReportedNotThrown) {
+  // An infinite loop must come back as a result, not hang the pool.
+  auto spin = isa::assemble(test::pspr_text("loop:\n    j loop\n"));
+  ASSERT_TRUE(spin.is_ok());
+
+  host::SimJob job;
+  job.config = test::small_config();
+  job.program = &spin.value();
+  job.tc_entry = spin.value().entry();
+  job.max_cycles = 5'000;
+  const host::SimJobResult r = job.run();
+  EXPECT_TRUE(r.loaded);
+  EXPECT_FALSE(r.halted);
+  EXPECT_TRUE(r.budget_exceeded);
+  EXPECT_EQ(r.cycles, 5'000u);
+
+  // A halting program does not trip the flag.
+  auto halts = isa::assemble(test::pspr_text("    halt\n"));
+  ASSERT_TRUE(halts.is_ok());
+  job.program = &halts.value();
+  job.tc_entry = halts.value().entry();
+  const host::SimJobResult ok = job.run();
+  EXPECT_TRUE(ok.halted);
+  EXPECT_FALSE(ok.budget_exceeded);
+}
+
 }  // namespace
 }  // namespace audo

@@ -247,6 +247,23 @@ TEST(Assembler, ErrorsMentionLineNumbers) {
       << prog.status().message();
 }
 
+TEST(Assembler, ErrorsQuoteTheOffendingSourceText) {
+  auto prog = assemble("    .text 0x0\n    nop\n    frobnicate d9, [q0]\n");
+  ASSERT_FALSE(prog.is_ok());
+  const std::string msg = prog.status().message();
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  // The raw offending line rides along after the description.
+  EXPECT_NE(msg.find("frobnicate d9, [q0]"), std::string::npos) << msg;
+}
+
+TEST(Assembler, OperandErrorsQuoteTheirLineToo) {
+  auto prog = assemble("    .text 0x0\n    movd d0, 0x99999\n    halt\n");
+  ASSERT_FALSE(prog.is_ok());
+  const std::string msg = prog.status().message();
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("movd d0, 0x99999"), std::string::npos) << msg;
+}
+
 
 TEST(Assembler, ExpressionEdgeCases) {
   auto prog = assemble(R"(

@@ -99,6 +99,72 @@ TEST(Watchdog, WrongKeyDoesNotService) {
   EXPECT_EQ(wdt.timeouts(), 1u);
 }
 
+TEST(Watchdog, WindowRejectsEarlyService) {
+  IrqRouter router;
+  const unsigned src = router.add_source("wdt");
+  router.configure(src, 1, IrqTarget::kTc);
+  Watchdog wdt(&router, src);
+  wdt.write_sfr(0x04, 100);  // period
+  wdt.write_sfr(0x08, 40);   // window: service legal only in the last 40
+  EXPECT_EQ(wdt.read_sfr(0x08), 40u);
+  for (Cycle now = 1; now <= 30; ++now) wdt.step(now);
+  // remaining = 70 > window: too early -> violation alarm, not a service.
+  wdt.write_sfr(0x00, Watchdog::kServiceKey);
+  EXPECT_EQ(wdt.early_services(), 1u);
+  EXPECT_EQ(wdt.timeouts(), 1u);
+  EXPECT_EQ(router.node(src).posted, 1u);
+}
+
+TEST(Watchdog, WindowAcceptsInWindowService) {
+  IrqRouter router;
+  const unsigned src = router.add_source("wdt");
+  router.configure(src, 1, IrqTarget::kTc);
+  Watchdog wdt(&router, src);
+  wdt.write_sfr(0x04, 100);
+  wdt.write_sfr(0x08, 40);
+  // Service every 80 cycles starting at 70: the counter is at 30, then
+  // 20, when the write lands — always inside the 40-cycle window and
+  // never allowed to reach 0.
+  for (Cycle now = 1; now <= 350; ++now) {
+    wdt.step(now);
+    if (now % 80 == 70) wdt.write_sfr(0x00, Watchdog::kServiceKey);
+  }
+  EXPECT_EQ(wdt.early_services(), 0u);
+  EXPECT_EQ(wdt.timeouts(), 0u);
+  EXPECT_EQ(router.node(src).posted, 0u);
+}
+
+TEST(Watchdog, WrongMagicWordIsCountedAndDoesNotReload) {
+  IrqRouter router;
+  const unsigned src = router.add_source("wdt");
+  router.configure(src, 1, IrqTarget::kTc);
+  Watchdog wdt(&router, src);
+  wdt.write_sfr(0x04, 50);
+  for (Cycle now = 1; now <= 49; ++now) {
+    wdt.step(now);
+    wdt.write_sfr(0x00, 0xDEAD);  // wrong magic word every cycle
+  }
+  EXPECT_EQ(wdt.timeouts(), 0u);
+  wdt.step(50);  // counter was never reloaded
+  EXPECT_EQ(wdt.timeouts(), 1u);
+  EXPECT_EQ(wdt.bad_services(), 49u);
+  EXPECT_EQ(wdt.early_services(), 0u);
+}
+
+TEST(Watchdog, TimeoutIrqIsDeliveredAtConfiguredPriority) {
+  IrqRouter router;
+  const unsigned src = router.add_source("wdt");
+  router.configure(src, 11, IrqTarget::kTc);
+  Watchdog wdt(&router, src);
+  wdt.write_sfr(0x04, 25);  // late service: never serviced at all
+  for (Cycle now = 1; now <= 25; ++now) wdt.step(now);
+  EXPECT_EQ(wdt.timeouts(), 1u);
+  ASSERT_TRUE(router.tc_view().pending().has_value());
+  EXPECT_EQ(router.tc_view().pending(), 11);
+  router.tc_view().acknowledge(11);
+  EXPECT_EQ(router.node(src).serviced, 1u);
+}
+
 TEST(CrankWheel, ToothAndSyncPattern) {
   IrqRouter router;
   const unsigned tooth = router.add_source("tooth");

@@ -1,0 +1,180 @@
+// audo-faultcamp: parallel fault-injection campaigns over the engine
+// workload. Runs a fault-free golden reference, then N seeded fault
+// scenarios through the SimPool, and classifies every run as
+// masked / corrected / detected / sdc / hang.
+//
+//   audo-faultcamp [options]
+//     --scenarios N     random scenarios to generate (default 16)
+//     --seed S          campaign seed (default 1)
+//     --jobs N          host threads (0 = hardware; default 0)
+//     --cycles N        per-run cycle budget (default 400000)
+//     --bg N            engine background iterations to completion
+//                       (default 300)
+//     --demo            run the five hand-aimed outcome-class scenarios
+//                       instead of (or in addition to) the random set
+//     --no-ecc-sram     disable the RAM ECC model for random scenarios
+//     --report FILE     write a structured RunReport JSON
+#include <cstdio>
+#include <cstring>
+
+#include "host/sim_pool.hpp"
+#include "mem/memory_map.hpp"
+#include "optimize/fault_campaign.hpp"
+#include "soc/soc.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
+#include "workload/engine.hpp"
+
+using namespace audo;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: audo-faultcamp [--scenarios N] [--seed S] [--jobs N]\n"
+               "       [--cycles N] [--bg N] [--demo] [--no-ecc-sram]\n"
+               "       [--report FILE]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned scenarios = 16;
+  u64 seed = 1;
+  unsigned jobs = 0;
+  u64 cycles = 400'000;
+  u32 bg_iterations = 300;
+  bool demo = false;
+  bool ecc_sram = true;
+  const char* report_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--scenarios") == 0) {
+      scenarios = static_cast<unsigned>(std::strtoul(next_value(), nullptr, 0));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      seed = std::strtoull(next_value(), nullptr, 0);
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(next_value(), nullptr, 0));
+    } else if (std::strcmp(arg, "--cycles") == 0) {
+      cycles = std::strtoull(next_value(), nullptr, 0);
+    } else if (std::strcmp(arg, "--bg") == 0) {
+      bg_iterations = static_cast<u32>(std::strtoul(next_value(), nullptr, 0));
+    } else if (std::strcmp(arg, "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(arg, "--no-ecc-sram") == 0) {
+      ecc_sram = false;
+    } else if (std::strcmp(arg, "--report") == 0) {
+      report_path = next_value();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      usage();
+      return 2;
+    }
+  }
+
+  workload::EngineOptions opt;
+  opt.halt_after_bg = bg_iterations;
+  auto engine = workload::build_engine_workload(opt);
+  if (!engine.is_ok()) {
+    std::fprintf(stderr, "engine workload: %s\n",
+                 engine.status().to_string().c_str());
+    return 1;
+  }
+
+  soc::SocConfig chip;
+  chip.safety.ecc_sram = ecc_sram;
+
+  optimize::WorkloadCase wc;
+  wc.name = "engine";
+  wc.program = engine.value().program;
+  wc.tc_entry = engine.value().tc_entry;
+  wc.pcp_entry = engine.value().pcp_entry;
+  wc.configure = [options = engine.value().options](soc::Soc& soc) {
+    workload::configure_engine(soc, options);
+  };
+  wc.max_cycles = cycles;
+
+  optimize::FaultCampaign campaign(chip, std::move(wc));
+  campaign.set_jobs(jobs);
+
+  std::vector<optimize::FaultScenario> plan;
+  if (demo) {
+    optimize::FaultCampaign::DemoTargets targets;
+    const Addr bg = engine.value().program.symbol_addr("_bg_loop").value();
+    targets.hot_flash_offset = mem::pflash_offset(bg);
+    targets.dead_flash_offset = chip.pflash.size - 0x100;
+    targets.live_dspr_offset = chip.dspr_bytes - 0x40;
+    soc::Soc probe(chip);
+    targets.storm_src = probe.srcs().adc_done;
+    auto demos = campaign.make_demo_scenarios(targets);
+    plan.insert(plan.end(), demos.begin(), demos.end());
+  }
+  if (scenarios > 0) {
+    auto random = campaign.make_scenarios(seed, scenarios);
+    plan.insert(plan.end(), random.begin(), random.end());
+  }
+  if (plan.empty()) {
+    std::fprintf(stderr, "nothing to run (use --scenarios or --demo)\n");
+    return 2;
+  }
+
+  telemetry::HostProfiler host;
+  host.start(0);
+  const optimize::CampaignSummary summary = campaign.run(plan);
+  u64 total_cycles = summary.golden.cycles;
+  for (const optimize::ScenarioResult& r : summary.runs) {
+    total_cycles += r.cycles;
+  }
+  host.stop(total_cycles);
+
+  std::printf("%s", summary.format().c_str());
+  std::printf("(%zu runs, %u jobs, %.2fs, classification 0x%llx)\n",
+              summary.runs.size() + 1,
+              jobs == 0 ? host::SimPool::hardware_jobs() : jobs,
+              host.wall_seconds(),
+              static_cast<unsigned long long>(summary.classification_hash()));
+
+  if (report_path != nullptr) {
+    telemetry::RunReport report;
+    report.bench = "audo_faultcamp";
+    report.config_name = chip.name;
+    report.config_fingerprint = chip.fingerprint();
+    report.seed = seed;
+    report.cycles = total_cycles;
+    report.jobs = jobs == 0 ? host::SimPool::hardware_jobs() : jobs;
+    report.set_host(host);
+    // Component metrics come from one instrumented fault-free run (the
+    // campaign's workers are transient and keep no registries).
+    soc::Soc golden(chip);
+    if (workload::install_engine(golden, engine.value()).is_ok()) {
+      telemetry::MetricsRegistry registry;
+      golden.register_metrics(registry);
+      golden.run(cycles);
+      report.instructions = golden.tc().retired();
+      report.sim_ipc = golden.cycle() > 0
+                           ? static_cast<double>(golden.tc().retired()) /
+                                 static_cast<double>(golden.cycle())
+                           : 0.0;
+      report.metrics = registry.collect(golden.cycle());
+    }
+    summary.fill_report(report);
+    report.add_extra("classification_hash",
+                     static_cast<double>(summary.classification_hash()));
+    if (Status s = report.write(report_path); !s.is_ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", report_path,
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("run report: %s\n", report_path);
+  }
+  return 0;
+}
