@@ -30,8 +30,17 @@ struct BenchArgs {
   /// Host workers for config sweeps; defaults to hardware concurrency.
   /// Any value produces bit-identical results (see host/sim_pool.hpp).
   unsigned jobs = host::SimPool::hardware_jobs();
+  /// --no-fast-forward: step every idle cycle instead of skipping
+  /// quiescent stretches. Bit-identical either way (the flag exists for
+  /// cross-checking exactly that); apply via `args.apply(config)`.
+  bool fast_forward = true;
   std::string report_path;    // --report <path>: RunReport JSON
   std::string perfetto_path;  // --perfetto <path>: Chrome trace JSON
+
+  /// Copy the host-side knobs this CLI controls into a SoC config.
+  void apply(soc::SocConfig& config) const {
+    config.fast_forward = fast_forward;
+  }
 
   bool telemetry_requested() const {
     return !report_path.empty() || !perfetto_path.empty();
@@ -40,14 +49,16 @@ struct BenchArgs {
 
 inline void print_usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--cycles N] [--seed N] [--jobs N] [--report PATH] "
-               "[--perfetto PATH]\n"
+               "usage: %s [--cycles N] [--seed N] [--jobs N] "
+               "[--no-fast-forward] [--report PATH] [--perfetto PATH]\n"
                "  --cycles N       override the bench's simulated-cycle "
                "budget\n"
                "  --seed N         workload seed (recorded in the report)\n"
                "  --jobs N         host threads for config sweeps "
                "(default: hardware concurrency; results are identical "
                "for any N)\n"
+               "  --no-fast-forward  step every idle cycle instead of "
+               "skipping quiescent stretches (bit-identical, slower)\n"
                "  --report PATH    write a structured RunReport JSON\n"
                "  --perfetto PATH  write a Chrome/Perfetto trace JSON\n",
                argv0);
@@ -75,6 +86,8 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.jobs = static_cast<unsigned>(
           std::strtoul(value_of(i, a), nullptr, 0));
       if (args.jobs == 0) args.jobs = host::SimPool::hardware_jobs();
+    } else if (a == "--no-fast-forward") {
+      args.fast_forward = false;
     } else if (a == "--report") {
       args.report_path = value_of(i, a);
     } else if (a == "--perfetto") {
@@ -173,6 +186,15 @@ class BenchTelemetry {
                                 : 0.0;
       report_.metrics = registry_.collect(end);
       report_.set_host(profiler_);
+      report_.fast_forward_enabled = soc_->config().fast_forward;
+      const soc::FastForwardStats& ff = soc_->ff_stats();
+      report_.ff_skipped_cycles = ff.skipped_cycles;
+      report_.ff_wakeups = ff.wakeups;
+      for (unsigned s = 0; s < soc::kNumWakeSources; ++s) {
+        if (ff.wake_counts[s] == 0) continue;
+        report_.add_wake_source(soc::to_string(static_cast<soc::WakeSource>(s)),
+                                ff.wake_counts[s]);
+      }
       if (Status s = report_.write(args_.report_path); s.is_ok()) {
         std::printf("run report: %s (%zu metrics, %zu components, "
                     "%.0f sim cycles/s)\n",

@@ -82,6 +82,65 @@ void BM_SocSimulationDecodeCache(benchmark::State& state) {
 }
 BENCHMARK(BM_SocSimulationDecodeCache)->Arg(1)->Arg(0);
 
+// The quiescence fast-forward on its natural prey: an event-driven
+// engine build whose background parks in WFI, so nearly every cycle is
+// skipped O(1) instead of stepped. items/sec here is *simulated*
+// cycles/sec and should dwarf BM_SocSimulation.
+void BM_SocIdleFastForward(benchmark::State& state) {
+  workload::EngineOptions opt;
+  opt.crank_time_scale = 50;
+  opt.idle_background = true;
+  auto w = workload::build_engine_workload(opt);
+  if (!w.is_ok()) {
+    state.SkipWithError("engine build failed");
+    return;
+  }
+  soc::Soc soc{soc::SocConfig{}};  // fast_forward defaults on
+  (void)workload::install_engine(soc, w.value());
+  constexpr u64 kChunk = 100'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soc.run(kChunk));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(kChunk));
+  state.SetLabel("simulated cycles/sec = items/sec");
+}
+BENCHMARK(BM_SocIdleFastForward);
+
+// The other side of that bargain: a dense compute loop that never goes
+// quiescent, run through Soc::run with fast-forward on (the default).
+// The per-cycle quiescence probe is the only thing the feature adds to
+// this path, so this number must stay within noise of the seed.
+void BM_SocDenseKernelNoRegression(benchmark::State& state) {
+  auto program = isa::assemble(R"(
+    .text 0xC8000000
+main:
+    movd d0, 0
+    movd d1, 1
+loop:
+    add  d0, d0, d1
+    shli d2, d0, 3
+    xor  d3, d2, d0
+    or   d1, d3, d1
+    j    loop
+)");
+  if (!program.is_ok()) {
+    state.SkipWithError("assembly failed");
+    return;
+  }
+  soc::Soc soc{soc::SocConfig{}};
+  (void)soc.load(program.value());
+  soc.reset(program.value().entry());
+  constexpr u64 kChunk = 100'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soc.run(kChunk));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(kChunk));
+  state.SetLabel("simulated cycles/sec = items/sec");
+}
+BENCHMARK(BM_SocDenseKernelNoRegression);
+
 void BM_TraceEncode(benchmark::State& state) {
   mcds::TraceEncoder encoder;
   mcds::TraceMessage sync;
@@ -171,9 +230,9 @@ BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): peel off the trisim-shared
-// flags (--cycles/--seed/--jobs/--report/--perfetto) so a harness can
-// pass one uniform command line to every bench binary; everything else
-// goes to google-benchmark unchanged.
+// flags (--cycles/--seed/--jobs/--report/--perfetto, plus the valueless
+// --no-fast-forward) so a harness can pass one uniform command line to
+// every bench binary; everything else goes to google-benchmark unchanged.
 int main(int argc, char** argv) {
   std::vector<char*> own_argv{argv[0]};
   std::vector<char*> bm_argv{argv[0]};
@@ -183,6 +242,8 @@ int main(int argc, char** argv) {
         a == "--report" || a == "--perfetto") {
       own_argv.push_back(argv[i]);
       if (i + 1 < argc) own_argv.push_back(argv[++i]);
+    } else if (a == "--no-fast-forward") {
+      own_argv.push_back(argv[i]);
     } else {
       bm_argv.push_back(argv[i]);
     }
@@ -206,7 +267,9 @@ int main(int argc, char** argv) {
     opt.crank_time_scale = 80;
     auto w = audo::workload::build_engine_workload(opt);
     if (w.is_ok()) {
-      audo::soc::Soc soc{audo::soc::SocConfig{}};
+      audo::soc::SocConfig config;
+      args.apply(config);
+      audo::soc::Soc soc{config};
       (void)audo::workload::install_engine(soc, w.value());
       telemetry.attach(soc);
       telemetry.start();

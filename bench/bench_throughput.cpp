@@ -7,6 +7,10 @@
 //      serially and with --jobs workers: wall-clock for each plus a
 //      bit-identity check that the parallel sweep returned exactly the
 //      serial result.
+//   3. The idle fast-forward path (SocConfig::fast_forward) on an
+//      event-driven engine build that parks in WFI between interrupts:
+//      wall-clock with the skip on vs off plus a bit-identity check on
+//      the final cycle/instruction counts.
 //
 // Output is the normal human-readable text plus `THROUGHPUT key=value`
 // lines; tools/bench_throughput.py parses those into BENCH_throughput.json
@@ -81,7 +85,9 @@ int main(int argc, char** argv) {
   // --- 1. single-run cycles/sec, decode cache on vs off ---------------
   auto single_run_cps = [&](bool decode_cache) {
     auto w = default_engine();
-    soc::Soc soc{soc::SocConfig{}};
+    soc::SocConfig config;
+    args.apply(config);
+    soc::Soc soc{config};
     soc.set_decode_cache_enabled(decode_cache);
     if (Status s = workload::install_engine(soc, w); !s.is_ok()) {
       std::fprintf(stderr, "install failed: %s\n", s.to_string().c_str());
@@ -120,6 +126,67 @@ int main(int argc, char** argv) {
               parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
               identical ? "bit-identical to serial" : "MISMATCH");
 
+  // --- 3. idle-heavy workload, fast-forward on vs off -----------------
+  const u64 ff_cycles = args.cycles != 0 ? args.cycles : 3'000'000;
+  struct FfOutcome {
+    double seconds = 0.0;
+    u64 cycles = 0;
+    u64 instructions = 0;
+    bool halted = false;
+    u64 skipped = 0;
+    u64 wakeups = 0;
+  };
+  auto ff_run = [&](bool fast_forward) {
+    workload::EngineOptions opt;
+    opt.rpm = 3000;
+    opt.crank_time_scale = 50;
+    opt.idle_background = true;  // WFI between interrupts (see engine.hpp)
+    auto w = workload::build_engine_workload(opt);
+    if (!w.is_ok()) {
+      std::fprintf(stderr, "engine build failed: %s\n",
+                   w.status().to_string().c_str());
+      std::exit(1);
+    }
+    soc::SocConfig config;
+    config.fast_forward = fast_forward;
+    soc::Soc soc{config};
+    if (Status s = workload::install_engine(soc, w.value()); !s.is_ok()) {
+      std::fprintf(stderr, "install failed: %s\n", s.to_string().c_str());
+      std::exit(1);
+    }
+    telemetry::HostProfiler host;
+    host.start(soc.cycle());
+    soc.run(ff_cycles);
+    host.stop(soc.cycle());
+    FfOutcome out;
+    out.seconds = host.wall_seconds();
+    out.cycles = soc.cycle();
+    out.instructions = soc.tc().retired();
+    out.halted = soc.tc().halted();
+    out.skipped = soc.ff_stats().skipped_cycles;
+    out.wakeups = soc.ff_stats().wakeups;
+    return out;
+  };
+  const FfOutcome ff_on = ff_run(true);
+  const FfOutcome ff_off = ff_run(false);
+  const bool ff_identical = ff_on.cycles == ff_off.cycles &&
+                            ff_on.instructions == ff_off.instructions &&
+                            ff_on.halted == ff_off.halted;
+  const double ff_speedup =
+      ff_on.seconds > 0.0 ? ff_off.seconds / ff_on.seconds : 0.0;
+  std::printf("\nidle fast-forward (%llu cycles, event-driven engine, "
+              "%.0f%% skipped):\n"
+              "  fast-forward on:  %8.3f s\n"
+              "  fast-forward off: %8.3f s (%.1fx)\n"
+              "  results: %s\n",
+              static_cast<unsigned long long>(ff_cycles),
+              ff_on.cycles > 0
+                  ? 100.0 * static_cast<double>(ff_on.skipped) /
+                        static_cast<double>(ff_on.cycles)
+                  : 0.0,
+              ff_on.seconds, ff_off.seconds, ff_speedup,
+              ff_identical ? "bit-identical to stepped" : "MISMATCH");
+
   // Machine-readable tail for tools/bench_throughput.py.
   std::printf("\nTHROUGHPUT single_run_cycles=%llu\n",
               static_cast<unsigned long long>(cycles));
@@ -131,11 +198,22 @@ int main(int argc, char** argv) {
   std::printf("THROUGHPUT hardware_jobs=%u\n",
               host::SimPool::hardware_jobs());
   std::printf("THROUGHPUT sweep_identical=%d\n", identical ? 1 : 0);
+  std::printf("THROUGHPUT ff_cycles=%llu\n",
+              static_cast<unsigned long long>(ff_cycles));
+  std::printf("THROUGHPUT ff_on_seconds=%.4f\n", ff_on.seconds);
+  std::printf("THROUGHPUT ff_off_seconds=%.4f\n", ff_off.seconds);
+  std::printf("THROUGHPUT ff_skipped_cycles=%llu\n",
+              static_cast<unsigned long long>(ff_on.skipped));
+  std::printf("THROUGHPUT ff_wakeups=%llu\n",
+              static_cast<unsigned long long>(ff_on.wakeups));
+  std::printf("THROUGHPUT ff_identical=%d\n", ff_identical ? 1 : 0);
 
   // Optional RunReport on one representative engine run.
   if (telemetry.enabled()) {
     auto w = default_engine();
-    soc::Soc soc{soc::SocConfig{}};
+    soc::SocConfig config;
+    args.apply(config);
+    soc::Soc soc{config};
     (void)workload::install_engine(soc, w);
     telemetry.attach(soc);
     telemetry.start();
@@ -144,7 +222,8 @@ int main(int argc, char** argv) {
     telemetry.add_extra("single_run_cache_off_cps", cps_off);
     telemetry.add_extra("sweep_speedup",
                         parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+    telemetry.add_extra("ff_speedup", ff_speedup);
     telemetry.finish();
   }
-  return identical ? 0 : 1;
+  return identical && ff_identical ? 0 : 1;
 }

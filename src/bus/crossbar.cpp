@@ -82,6 +82,16 @@ bool Crossbar::issue(MasterPort& port, const BusRequest& req, Cycle now) {
   return true;
 }
 
+bool Crossbar::idle() const {
+  for (const MasterPort* port : pending_) {
+    if (port != nullptr) return false;
+  }
+  for (const SlaveState& state : slave_state_) {
+    if (state.busy) return false;
+  }
+  return true;
+}
+
 void Crossbar::step(Cycle now) {
   observation_.clear();
 

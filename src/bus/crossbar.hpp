@@ -116,6 +116,11 @@ class Crossbar {
   /// ones, then arbitrate and grant new ones.
   void step(Cycle now);
 
+  /// True when nothing is in flight anywhere on the fabric: no master
+  /// waiting or granted, no slave serving a transaction. A step() in this
+  /// state only clears the (already empty) observation.
+  bool idle() const;
+
   const FabricObservation& observation() const { return observation_; }
   const SlaveStats& slave_stats(unsigned slave) const {
     return stats_.at(slave);

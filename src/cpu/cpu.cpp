@@ -725,6 +725,33 @@ bool Cpu::execute(const Fetched& f, Cycle now, mcds::CoreObservation& obs,
 }
 
 // --------------------------------------------------------------------------
+// Quiescence (idle fast-forward support).
+
+bool Cpu::irq_acceptable(u8 prio) const {
+  const u8 ccpn =
+      static_cast<u8>((icr_ & isa::kIcrCcpnMask) >> isa::kIcrCcpnShift);
+  return (icr_ & isa::kIcrIeBit) != 0 && prio > ccpn;
+}
+
+bool Cpu::quiescent() const {
+  if (!halted_ && !wfi_) return false;
+  // Drained front end and data side: nothing in flight that a step()
+  // could complete or retire.
+  if (fetch_state_ != FetchState::kIdle || fetch_discard_) return false;
+  if (load_pending_ || store_pending_) return false;
+  if (!fetch_port_.idle() || !data_port_.idle()) return false;
+  if (halted_) return true;  // halted cores ignore traps and interrupts
+  if (trap_pending_) return false;
+  if (env_.irq != nullptr) {
+    if (const auto prio = env_.irq->pending();
+        prio.has_value() && irq_acceptable(*prio)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
 // One clock cycle.
 
 void Cpu::step(Cycle now, mcds::CoreObservation& obs) {

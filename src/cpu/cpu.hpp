@@ -88,6 +88,22 @@ class Cpu {
   bool halted() const { return halted_; }
   bool waiting() const { return wfi_; }
 
+  /// True when the next step() would only count time: the core is parked
+  /// (WFI or halted) with the fetch and data paths drained and — for a
+  /// WFI core — no pending trap and no acceptable interrupt. While this
+  /// holds the core can be bulk-advanced with skip() instead of stepping.
+  bool quiescent() const;
+
+  /// Bulk-advance a quiescent core by `n` idle cycles. Only the cycle
+  /// counter moves; quiescent() guarantees a per-cycle step() would have
+  /// mutated nothing else.
+  void skip(u64 n) { cycles_ += n; }
+
+  /// Would a service request of `prio` be accepted right now (interrupts
+  /// enabled and prio above the current CCPN)? Used by the SoC's
+  /// idle-deadlock scan over enabled SRC nodes.
+  bool irq_acceptable(u8 prio) const;
+
   u32 d(unsigned i) const { return d_.at(i); }
   u32 a(unsigned i) const { return a_.at(i); }
   void set_d(unsigned i, u32 v) { d_.at(i) = v; }

@@ -1,5 +1,6 @@
 #include "ed/emulation_device.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "soc/tracer.hpp"
@@ -68,12 +69,53 @@ void EmulationDevice::register_metrics(
 
 u64 EmulationDevice::run(u64 max_cycles) {
   u64 steps = 0;
+  // Fast-forward applies on the device level too, but the EEC bounds the
+  // windows: skips stop short of periodic syncs and counter samples so
+  // those land in normally observed cycles. Stream-drain mode accumulates
+  // a fractional DAP budget every cycle, which has no O(1) replay — the
+  // device falls back to stepping there.
+  const bool fast_forward =
+      soc_.config().fast_forward && !config_.stream_drain;
   // A pending MCDS break (OCDS debug halt) pauses the device until the
   // tool clears it — run() returns immediately, like a hit breakpoint.
   while (steps < max_cycles && !soc_.tc().halted() &&
          !mcds_.break_requested()) {
     step();
     ++steps;
+    if (!fast_forward || steps >= max_cycles) continue;
+    if (!soc_.tc().waiting() || !soc_.quiescent()) continue;
+    const Cycle from = soc_.cycle();
+    soc::WakeSource source = soc::WakeSource::kBudget;
+    const Cycle next = soc_.next_activity_cycle(&source);
+    if (next <= from + 1) continue;
+    u64 n = next - from - 1;
+    if (n >= max_cycles - steps) {
+      n = max_cycles - steps;
+      source = soc::WakeSource::kBudget;
+    }
+    // The frame a parked product chip publishes on every idle cycle.
+    mcds::ObservationFrame idle;
+    idle.cycle = from;
+    idle.tc.present = true;
+    idle.tc.stall = soc_.tc().halted() ? mcds::StallCause::kHalted
+                                       : mcds::StallCause::kWfi;
+    if (cpu::Cpu* pcp = soc_.pcp(); pcp != nullptr) {
+      idle.pcp.present = true;
+      idle.pcp.stall = pcp->halted() ? mcds::StallCause::kHalted
+                                     : mcds::StallCause::kWfi;
+    }
+    if (const u64 mcds_limit = mcds_.idle_skip_limit(idle); mcds_limit < n) {
+      n = mcds_limit;
+      source = soc::WakeSource::kMcds;
+    }
+    if (n == 0) continue;
+    soc_.skip_idle(n, source);
+    mcds_.skip_idle(idle, n);
+    if (soc::SocTracer* tracer = soc_.tracer(); tracer != nullptr) {
+      tracer->skip_idle_eec(from, from + n, emem_.occupancy_bytes(),
+                            emem_.total_pushed_messages());
+    }
+    steps += n;
   }
   return steps;
 }

@@ -258,6 +258,17 @@ void FaultInjector::step(Cycle now) {
   }
 }
 
+Cycle FaultInjector::next_activity_cycle(Cycle now) const {
+  Cycle next = ~Cycle{0};
+  if (next_ < plan_.events.size()) {
+    // Events are cycle-sorted and step(now) drained everything <= now.
+    next = std::max(plan_.events[next_].at, now + 1);
+  }
+  // An active storm posts its source again on the very next cycle.
+  if (!storms_.empty()) next = std::min(next, now + 1);
+  return next;
+}
+
 u64 FaultInjector::total_injected() const {
   u64 total = 0;
   for (const u64 v : injected_) total += v;

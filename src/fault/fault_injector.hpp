@@ -170,6 +170,14 @@ class FaultInjector {
   /// storms. Called at the top of Soc::step().
   void step(Cycle now);
 
+  /// Earliest future cycle whose step() fires an event or re-posts a
+  /// storm; ~Cycle{0} when the plan is exhausted and no storm is active.
+  Cycle next_activity_cycle(Cycle now) const;
+
+  /// No events left to fire and no storm running — the injector can never
+  /// wake the system again (idle-deadlock scan).
+  bool exhausted() const { return next_ >= plan_.events.size() && storms_.empty(); }
+
   u64 injected(FaultKind kind) const {
     return injected_[static_cast<unsigned>(kind)];
   }

@@ -24,6 +24,10 @@ struct SimJobResult {
   /// hard kDefaultRunBudget) ran out before the TC halted. Reported, not
   /// thrown: a hung workload is a result, not an error.
   bool budget_exceeded = false;
+  /// The run stopped because the SoC went quiescent (TC parked in WFI)
+  /// with no enabled wake source left — detected immediately instead of
+  /// burning the whole cycle budget (see soc::Soc::idle_deadlock()).
+  bool idle_deadlock = false;
 };
 
 struct SimJob {
@@ -53,7 +57,8 @@ struct SimJob {
     result.cycles = soc.run(max_cycles);
     result.instructions = soc.tc().retired();
     result.halted = soc.tc().halted();
-    result.budget_exceeded = !result.halted;
+    result.idle_deadlock = soc.idle_deadlock();
+    result.budget_exceeded = !result.halted && !result.idle_deadlock;
     return result;
   }
 };

@@ -1,5 +1,6 @@
 #include "mcds/counters.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace audo::mcds {
@@ -93,6 +94,45 @@ void CounterBank::step(const ObservationFrame& frame,
     while (g.basis_acc >= g.config.resolution) {
       g.basis_acc -= g.config.resolution;
       emit_sample(g, static_cast<unsigned>(i), frame.cycle);
+    }
+  }
+}
+
+u64 CounterBank::idle_skip_limit(const ObservationFrame& idle_frame) const {
+  u64 limit = ~u64{0};
+  for (const Group& g : groups_) {
+    if (!g.armed) continue;
+    const u32 v = event_value(idle_frame, g.config.basis);
+    if (v == 0) continue;  // basis does not advance on idle cycles
+    // Stop before basis_acc reaches the resolution: the sample (and any
+    // threshold-flag update) must happen in a normally stepped cycle.
+    const u64 room = g.config.resolution > g.basis_acc
+                         ? (g.config.resolution - 1 - g.basis_acc) / v
+                         : 0;
+    limit = std::min(limit, room);
+  }
+  return limit;
+}
+
+void CounterBank::skip_idle(const ObservationFrame& idle_frame,
+                            const std::vector<bool>* comparator_hits, u64 n) {
+  // Stepped idle cycles would have cleared any samples left over from the
+  // preceding cycle.
+  samples_.clear();
+  for (Group& g : groups_) {
+    if (!g.armed) continue;
+    // u32 wrap-around matches n repeated single-cycle additions.
+    g.basis_acc += static_cast<u32>(n * event_value(idle_frame, g.config.basis));
+    for (usize c = 0; c < g.accs.size(); ++c) {
+      const RateCounterConfig& counter = g.config.counters[c];
+      if (counter.qualifier.has_value()) {
+        const unsigned q = *counter.qualifier;
+        if (comparator_hits == nullptr || q >= comparator_hits->size() ||
+            !(*comparator_hits)[q]) {
+          continue;
+        }
+      }
+      g.accs[c] += static_cast<u32>(n * event_value(idle_frame, counter.event));
     }
   }
 }

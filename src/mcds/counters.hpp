@@ -82,6 +82,18 @@ class CounterBank {
   /// the beginning of each step.
   const std::vector<RateSample>& samples() const { return samples_; }
 
+  /// How many consecutive repetitions of `idle_frame` could be absorbed
+  /// without any armed group reaching its resolution (i.e. without a
+  /// sample or threshold-flag update). 0 means the next cycle must be
+  /// stepped; ~0 means counters impose no bound.
+  u64 idle_skip_limit(const ObservationFrame& idle_frame) const;
+
+  /// Bulk-accumulate `n` repetitions of `idle_frame` — exactly what `n`
+  /// step() calls would have accumulated, provided `n` is within
+  /// idle_skip_limit() so no sample boundary is crossed.
+  void skip_idle(const ObservationFrame& idle_frame,
+                 const std::vector<bool>* comparator_hits, u64 n);
+
   /// Current threshold flags (index via flag_index).
   const std::vector<bool>& flags() const { return flags_; }
 

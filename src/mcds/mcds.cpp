@@ -1,5 +1,7 @@
 #include "mcds/mcds.hpp"
 
+#include <algorithm>
+
 #include "telemetry/metrics.hpp"
 
 namespace audo::mcds {
@@ -101,6 +103,54 @@ void Mcds::flush(Cycle now) {
   if (config_.trace_pcp && pending_instrs_[1] > 0) {
     emit_sync(MsgSource::kPcpCore, now);
   }
+}
+
+u64 Mcds::idle_skip_limit(const ObservationFrame& idle_frame) {
+  evaluate_comparators(config_.comparators, idle_frame, comparator_hits_);
+  TriggerContext ctx;
+  ctx.frame = &idle_frame;
+  ctx.comparator_hits = &comparator_hits_;
+  ctx.counter_flags = &counters_.flags();
+  ctx.state = fsm_.state();
+
+  // Any FSM transition or action equation that fires on an idle frame
+  // would fire on every skipped cycle — those cycles must be stepped.
+  // (Equations on always-on events like kCycles or kTcStalled land here.)
+  for (const Transition& t : config_.fsm.transitions) {
+    if (t.from == ctx.state && evaluate(t.guard, ctx)) return 0;
+  }
+  for (const ActionBinding& binding : config_.actions) {
+    if (binding.action == TriggerAction::kNone) continue;
+    if (evaluate(binding.condition, ctx)) return 0;
+  }
+
+  u64 limit = ~u64{0};
+  const bool trace_live = trace_enabled_ && !trace_frozen_ && sink_ != nullptr;
+  const bool any_core_trace =
+      config_.program_trace || config_.cycle_accurate || config_.data_trace;
+  if (trace_live && any_core_trace) {
+    // A first-anchor sync is still pending: it emits on the very next
+    // observed cycle.
+    if (!anchored_[0] && next_pc_hint_[0] != 0) return 0;
+    if (config_.trace_pcp && idle_frame.pcp.present && !anchored_[1] &&
+        next_pc_hint_[1] != 0) {
+      return 0;
+    }
+    // Stop before the periodic sync so the sync message (and the
+    // next_sync_ reschedule) happens in a normally observed cycle.
+    const Cycle now = idle_frame.cycle;
+    if (next_sync_ <= now + 1) return 0;
+    limit = std::min(limit, next_sync_ - now - 1);
+  }
+  return std::min(limit, counters_.idle_skip_limit(idle_frame));
+}
+
+void Mcds::skip_idle(const ObservationFrame& idle_frame, u64 n) {
+  // Within an idle_skip_limit() window, idle frames leave the trigger
+  // network, anchors, hints and message stream untouched: only the
+  // counter bank accumulates.
+  evaluate_comparators(config_.comparators, idle_frame, comparator_hits_);
+  counters_.skip_idle(idle_frame, &comparator_hits_, n);
 }
 
 void Mcds::observe(const ObservationFrame& frame) {

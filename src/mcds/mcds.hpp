@@ -78,6 +78,20 @@ class Mcds {
   /// Consume one observation frame (one clock cycle).
   void observe(const ObservationFrame& frame);
 
+  /// How many consecutive repetitions of `idle_frame` (a quiescent SoC
+  /// cycle; `idle_frame.cycle` = the last cycle already observed) could be
+  /// absorbed without observable effect: no trigger transition or action,
+  /// no trace message, no periodic sync, no counter sample. 0 means the
+  /// next cycle must be observed normally. Evaluates the comparators on
+  /// the idle frame as a side effect (they are recomputed from scratch on
+  /// every observe, so this cannot skew later cycles).
+  u64 idle_skip_limit(const ObservationFrame& idle_frame);
+
+  /// Bulk-absorb `n` repetitions of `idle_frame` in O(1): counter bases
+  /// and event accumulators advance exactly as `n` observe() calls would
+  /// have advanced them. `n` must come from idle_skip_limit().
+  void skip_idle(const ObservationFrame& idle_frame, u64 n);
+
   /// Emit final sync messages carrying the outstanding instruction counts
   /// (end-of-measurement flush before a trace download).
   void flush(Cycle now);

@@ -66,6 +66,14 @@ class PFlash {
   /// crossbar step so grant-time latency sampling sees the current cycle.
   void tick(Cycle now);
 
+  /// The flash never acts on its own: array occupancy and prefetch-shadow
+  /// deadlines (`array_free_at_`, BufferEntry::available_at) are absolute
+  /// cycles sampled on the next access, so idle time passes for free.
+  Cycle next_activity_cycle(Cycle) const { return ~Cycle{0}; }
+  /// Bulk-advance over idle cycles: tick() only samples `now` and clears
+  /// strobes, both of which the resume-cycle tick() redoes.
+  void skip(u64) {}
+
   bus::BusSlave& code_port() { return code_port_; }
   bus::BusSlave& data_port() { return data_port_; }
 

@@ -50,6 +50,15 @@ bool DmaController::channel_idle(unsigned ch) const {
   return !in_flight && (c.remaining == 0 || !c.enabled);
 }
 
+bool DmaController::quiescent() const {
+  if (phase_ != Phase::kIdle || !port_.idle()) return false;
+  if (router_ != nullptr && router_->dma_view().pending()) return false;
+  for (const Channel& c : channels_) {
+    if (channel_ready(c)) return false;
+  }
+  return true;
+}
+
 bool DmaController::channel_ready(const Channel& c) const {
   if (!c.enabled || c.remaining == 0) return false;
   if (c.config.units_per_trigger == 0) return true;  // free-running

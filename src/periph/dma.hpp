@@ -61,6 +61,12 @@ class DmaController final : public SfrDevice {
 
   void step(Cycle now);
 
+  /// True when a step() would do nothing: no unit in flight, no ready
+  /// channel to arbitrate and no router trigger waiting. A quiescent DMA
+  /// schedules no future work by itself, so it has no next-activity
+  /// cycle — only an interrupt-router trigger or SFR write restarts it.
+  bool quiescent() const;
+
   const mcds::DmaObservation& observation() const { return observation_; }
   const ChannelStats& stats(unsigned ch) const { return channels_.at(ch).stats; }
   unsigned channel_count() const { return static_cast<unsigned>(channels_.size()); }

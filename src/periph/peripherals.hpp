@@ -15,6 +15,10 @@
 
 namespace audo::periph {
 
+/// next_activity_cycle() result for "never": the component has no
+/// autonomous future event scheduled.
+inline constexpr Cycle kNoActivity = ~Cycle{0};
+
 /// Free-running system timer with two compare channels.
 /// SFRs: 0x00 TIM_LO (ro), 0x04 TIM_HI (ro), 0x08 CMP0, 0x0C CMP1,
 /// 0x10 CTRL (bit0/1: compare enable; compares auto-rearm by +CMPn period).
@@ -26,6 +30,12 @@ class Stm final : public SfrDevice {
   void step(Cycle now);
   u32 read_sfr(u32 offset) override;
   void write_sfr(u32 offset, u32 value) override;
+
+  /// Earliest future cycle (> now) whose step() could post an interrupt.
+  Cycle next_activity_cycle(Cycle now) const;
+  /// Bulk-advance over `n` idle cycles (caller guarantees no compare
+  /// fires inside the window; see next_activity_cycle()).
+  void skip(u64 n) { counter_ += n; }
 
   u64 counter() const { return counter_; }
 
@@ -57,6 +67,16 @@ class Watchdog final : public SfrDevice {
   void step(Cycle now);
   u32 read_sfr(u32 offset) override;
   void write_sfr(u32 offset, u32 value) override;
+
+  /// Earliest future cycle whose step() could time out; kNoActivity when
+  /// the watchdog is disabled.
+  Cycle next_activity_cycle(Cycle now) const;
+  /// Bulk-advance over `n` idle cycles (n < remaining ticks to timeout).
+  void skip(u64 n) {
+    if (period_ != 0) remaining_ -= static_cast<u32>(n);
+  }
+  /// Disabled watchdogs never wake an idle system (idle-deadlock scan).
+  bool enabled() const { return period_ != 0; }
 
   u64 timeouts() const { return timeouts_; }
   u64 early_services() const { return early_services_; }
@@ -102,6 +122,12 @@ class CrankWheel final : public SfrDevice {
   void step(Cycle now);
   u32 read_sfr(u32 offset) override;
   void write_sfr(u32 offset, u32 value) override;
+
+  /// Cycle of the next tooth position (always finite: the wheel spins
+  /// whether or not anyone listens).
+  Cycle next_activity_cycle(Cycle now) const { return now + countdown_; }
+  /// Bulk-advance over `n` idle cycles (n < countdown to the next tooth).
+  void skip(u64 n) { countdown_ -= n; }
 
   void set_rpm(u32 rpm) {
     rpm_ = rpm == 0 ? 1 : rpm;
@@ -150,6 +176,13 @@ class Adc final : public SfrDevice {
   u32 read_sfr(u32 offset) override;
   void write_sfr(u32 offset, u32 value) override;
 
+  /// Earliest future cycle whose step() starts or completes a conversion;
+  /// kNoActivity when auto-trigger is off and no conversion is in flight.
+  Cycle next_activity_cycle(Cycle now) const;
+  /// Bulk-advance over `n` idle cycles. Deadlines are absolute, so only
+  /// the last-step bookkeeping moves.
+  void skip(u64 n) { last_step_ += n; }
+
   u32 last_result() const { return result_; }
   u64 conversions() const { return conversions_; }
 
@@ -189,6 +222,12 @@ class CanLite final : public SfrDevice {
   void step(Cycle now);
   u32 read_sfr(u32 offset) override;
   void write_sfr(u32 offset, u32 value) override;
+
+  /// Earliest future cycle whose step() delivers an RX frame or finishes
+  /// a TX; kNoActivity when RX is off and no TX is serializing.
+  Cycle next_activity_cycle(Cycle now) const;
+  /// Bulk-advance over `n` idle cycles (deadlines are absolute).
+  void skip(u64 n) { last_step_ += n; }
 
   u64 rx_frames() const { return rx_frames_; }
   u64 rx_overruns() const { return rx_overruns_; }

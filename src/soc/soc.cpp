@@ -9,6 +9,22 @@
 #include "telemetry/metrics.hpp"
 
 namespace audo::soc {
+
+const char* to_string(WakeSource source) {
+  switch (source) {
+    case WakeSource::kStm: return "stm";
+    case WakeSource::kWatchdog: return "wdt";
+    case WakeSource::kCrank: return "crank";
+    case WakeSource::kAdc: return "adc";
+    case WakeSource::kCan: return "can";
+    case WakeSource::kFault: return "fault";
+    case WakeSource::kMcds: return "mcds";
+    case WakeSource::kBudget: return "budget";
+    case WakeSource::kCount: break;
+  }
+  return "?";
+}
+
 namespace {
 
 SrcIds make_srcs(periph::IrqRouter& router, unsigned dma_channels) {
@@ -195,6 +211,8 @@ Status Soc::load(const isa::Program& program) {
 void Soc::reset(Addr tc_entry, Addr pcp_entry) {
   cycle_ = 0;
   frame_ = mcds::ObservationFrame{};
+  ff_stats_ = FastForwardStats{};
+  idle_deadlock_ = false;
   tc_->reset(tc_entry);
   if (pcp_ != nullptr) {
     // With no PCP program (entry 0) the PCP parks in WFI; with one, its
@@ -297,15 +315,123 @@ void Soc::register_metrics(telemetry::MetricsRegistry& registry) const {
   dma_.register_metrics(registry, "dma");
   monitor_.register_metrics(registry, "safety");
   if (injector_ != nullptr) injector_->register_metrics(registry, "fault");
+  registry.counter("sim", "ff.skipped_cycles", &ff_stats_.skipped_cycles);
+  registry.counter("sim", "ff.wakeups", &ff_stats_.wakeups);
+  for (unsigned s = 0; s < kNumWakeSources; ++s) {
+    registry.counter("sim",
+                     std::string("ff.wake.") +
+                         to_string(static_cast<WakeSource>(s)),
+                     &ff_stats_.wake_counts[s]);
+  }
+}
+
+bool Soc::quiescent() const {
+  if (!tc_->quiescent()) return false;
+  if (pcp_ != nullptr && !pcp_->quiescent()) return false;
+  if (!dma_.quiescent()) return false;
+  return sri_.idle();
+}
+
+Cycle Soc::next_activity_cycle(WakeSource* source) const {
+  Cycle best = periph::kNoActivity;
+  WakeSource who = WakeSource::kBudget;
+  const auto consider = [&](Cycle at, WakeSource src) {
+    if (at < best) {
+      best = at;
+      who = src;
+    }
+  };
+  consider(stm_.next_activity_cycle(cycle_), WakeSource::kStm);
+  consider(watchdog_.next_activity_cycle(cycle_), WakeSource::kWatchdog);
+  consider(crank_.next_activity_cycle(cycle_), WakeSource::kCrank);
+  consider(adc_.next_activity_cycle(cycle_), WakeSource::kAdc);
+  consider(can_.next_activity_cycle(cycle_), WakeSource::kCan);
+  // PFlash is time-passive (next_activity_cycle is the sentinel) and the
+  // crossbar/DMA are empty by the quiescent() precondition, so neither
+  // contributes a candidate.
+  if (injector_ != nullptr) {
+    consider(injector_->next_activity_cycle(cycle_), WakeSource::kFault);
+  }
+  if (source != nullptr) *source = who;
+  return best;
+}
+
+void Soc::skip_idle(u64 n, WakeSource source) {
+  stm_.skip(n);
+  watchdog_.skip(n);
+  crank_.skip(n);
+  adc_.skip(n);
+  can_.skip(n);
+  pflash_.skip(n);
+  tc_->skip(n);
+  if (pcp_ != nullptr) pcp_->skip(n);
+  if (tracer_ != nullptr) tracer_->skip_idle(cycle_, cycle_ + n);
+  cycle_ += n;
+  ff_stats_.skipped_cycles += n;
+  ff_stats_.wakeups += 1;
+  ff_stats_.wake_counts[static_cast<unsigned>(source)] += 1;
+}
+
+bool Soc::wake_impossible() const {
+  if (injector_ != nullptr && !injector_->exhausted()) return false;
+  if (watchdog_.enabled()) return false;
+  // A wake needs an enabled service-request node whose delivery would do
+  // something: trigger a DMA channel, or interrupt a core whose ICR
+  // accepts the priority. CCPN/IE only change under executed instructions,
+  // so for parked cores this scan is stable until an actual wake.
+  for (unsigned s = 0; s < irq_router_.source_count(); ++s) {
+    const periph::IrqRouter::SrcNode& node = irq_router_.node(s);
+    if (!node.enabled || node.priority == 0) continue;
+    switch (node.target) {
+      case periph::IrqTarget::kDma:
+        return false;  // a trigger re-arms a DMA channel
+      case periph::IrqTarget::kTc:
+        if (tc_->irq_acceptable(node.priority)) return false;
+        break;
+      case periph::IrqTarget::kPcp:
+        if (pcp_ != nullptr && !pcp_->halted() &&
+            pcp_->irq_acceptable(node.priority)) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
 }
 
 u64 Soc::run(u64 max_cycles) {
   const u64 budget =
       max_cycles == 0 ? kDefaultRunBudget : std::min(max_cycles, kDefaultRunBudget);
+  idle_deadlock_ = false;
   u64 steps = 0;
   while (steps < budget && !tc_->halted()) {
     step();
     ++steps;
+    // Idle handling. The waiting() check keeps the dense-execution path to
+    // one predicted branch; quiescent() then confirms that every pipeline,
+    // port and DMA unit has actually drained.
+    if (!tc_->waiting() || !quiescent()) continue;
+    if (wake_impossible()) {
+      // WFI park with nothing left that could ever wake the SoC: stepping
+      // on would only burn the budget. Checked in both fast-forward modes
+      // so the reported cycle count never depends on the mode.
+      idle_deadlock_ = true;
+      break;
+    }
+    if (!config_.fast_forward || steps >= budget) continue;
+    WakeSource source = WakeSource::kBudget;
+    const Cycle next = next_activity_cycle(&source);
+    // next_activity_cycle() returns > cycle_; skip up to (not including)
+    // the wake cycle, which is then stepped normally so the wake event
+    // replays exactly as in cycle-by-cycle mode.
+    u64 idle = next == periph::kNoActivity ? budget - steps : next - cycle_ - 1;
+    if (idle == 0) continue;
+    if (idle >= budget - steps) {
+      idle = budget - steps;
+      source = WakeSource::kBudget;
+    }
+    skip_idle(idle, source);
+    steps += idle;
   }
   return steps;
 }

@@ -5,6 +5,7 @@
 // the unchanged product chip.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -37,6 +38,30 @@ class FaultInjector;
 namespace audo::soc {
 
 class SocTracer;
+
+/// What ended an idle fast-forward window: the component whose scheduled
+/// activity bounded the skip, or the run budget expiring first.
+enum class WakeSource : u8 {
+  kStm,
+  kWatchdog,
+  kCrank,
+  kAdc,
+  kCan,
+  kFault,
+  kMcds,    // EEC bounded the window (periodic sync / counter sample)
+  kBudget,  // the run budget expired before the next activity
+  kCount,
+};
+inline constexpr unsigned kNumWakeSources =
+    static_cast<unsigned>(WakeSource::kCount);
+const char* to_string(WakeSource source);
+
+/// Cumulative idle fast-forward accounting (see SocConfig::fast_forward).
+struct FastForwardStats {
+  u64 skipped_cycles = 0;  // cycles jumped over instead of stepped
+  u64 wakeups = 0;         // skip windows taken
+  std::array<u64, kNumWakeSources> wake_counts{};
+};
 
 /// Service-request node ids wired at construction.
 struct SrcIds {
@@ -78,8 +103,41 @@ class Soc {
   static constexpr u64 kDefaultRunBudget = 200'000'000;
 
   /// Run until the TC halts or `max_cycles` elapse; returns cycles run.
-  /// `max_cycles` = 0 selects kDefaultRunBudget.
+  /// `max_cycles` = 0 selects kDefaultRunBudget. With
+  /// SocConfig::fast_forward (the default) idle stretches are jumped in
+  /// O(1) — bit-identical to stepping them — and a WFI park with no
+  /// enabled wake source returns immediately with idle_deadlock() set
+  /// (in both modes) instead of burning the budget.
   u64 run(u64 max_cycles = 0);
+
+  // ---- quiescence & idle fast-forward --------------------------------
+
+  /// True when the next step() would only pass time: both cores parked
+  /// (WFI/halted) with drained pipelines, no DMA unit in flight or ready,
+  /// and an empty bus fabric. Peripheral timers keep counting; their next
+  /// event bounds the skippable window.
+  bool quiescent() const;
+
+  /// Earliest future cycle at which any time-driven component does
+  /// something (peripheral compare/deadline, crank tooth, scheduled
+  /// fault). `source`, if non-null, receives the component that owns the
+  /// minimum.
+  Cycle next_activity_cycle(WakeSource* source = nullptr) const;
+
+  /// Bulk-advance a quiescent SoC by `n` cycles in O(1): every relative
+  /// counter and deadline moves exactly as `n` idle step() calls would
+  /// have moved it, and the tracer's sampling schedule is replayed.
+  /// Callers must keep `n` below the distance to next_activity_cycle().
+  /// `source` labels what bounded the window in ff_stats().
+  void skip_idle(u64 n, WakeSource source = WakeSource::kBudget);
+
+  /// The last run() ended because the SoC went quiescent with no enabled
+  /// wake source left (WFI park forever): no pending fault events, no
+  /// armed watchdog, and no enabled interrupt a core or the DMA would
+  /// accept. Detected in both fast-forward modes.
+  bool idle_deadlock() const { return idle_deadlock_; }
+
+  const FastForwardStats& ff_stats() const { return ff_stats_; }
 
   Cycle cycle() const { return cycle_; }
   const mcds::ObservationFrame& frame() const { return frame_; }
@@ -186,8 +244,15 @@ class Soc {
   isa::DecodeCache decode_cache_;
   bool decode_cache_enabled_ = true;
 
+  /// Provably no wake source can ever fire again (idle-deadlock scan);
+  /// call only while quiescent() holds.
+  bool wake_impossible() const;
+
   Cycle cycle_ = 0;
   mcds::ObservationFrame frame_;
+
+  FastForwardStats ff_stats_;
+  bool idle_deadlock_ = false;
 
   SocTracer* tracer_ = nullptr;
   telemetry::PhaseProbe* probe_ = nullptr;

@@ -56,6 +56,14 @@ struct SocConfig {
   /// cycle-identical with and without the monitor.
   fault::SafetyConfig safety;
 
+  /// Host acceleration: when the whole SoC is quiescent, Soc::run jumps
+  /// over the idle cycles to the next scheduled activity instead of
+  /// stepping through them. Bit-identical to cycle-by-cycle execution
+  /// (every counter, deadline and trace timestamp advances exactly as if
+  /// each cycle had been stepped), so — like the decode cache — it is a
+  /// host knob, deliberately excluded from fingerprint().
+  bool fast_forward = true;
+
   bool valid() const {
     return icache.valid() && dcache.valid() && tc_issue_width >= 1 &&
            tc_issue_width <= 3 && pflash.size > 0;

@@ -1,5 +1,6 @@
 #include "soc/tracer.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace audo::soc {
@@ -160,6 +161,37 @@ void SocTracer::sample_counters(Cycle now) {
   interval_data_acc_ = 0;
   interval_data_hit_ = 0;
   interval_contention_ = 0;
+}
+
+void SocTracer::skip_idle(Cycle from, Cycle to) {
+  // Idle frames add one interval cycle each and zero to every other
+  // accumulator, so only the sampling schedule needs replaying: emit a
+  // sample at every schedule point inside the window, then account the
+  // tail cycles into the running interval.
+  Cycle counted_to = from;
+  while (true) {
+    const Cycle s = std::max<Cycle>(next_sample_, counted_to + 1);
+    if (s > to) break;
+    interval_cycles_ += s - counted_to;
+    counted_to = s;
+    sample_counters(s);
+    next_sample_ = s + options_.counter_interval;
+  }
+  interval_cycles_ += to - counted_to;
+}
+
+void SocTracer::skip_idle_eec(Cycle from, Cycle to, usize emem_occupancy_bytes,
+                              u64 trace_messages) {
+  while (true) {
+    const Cycle s = std::max<Cycle>(next_eec_sample_, from + 1);
+    if (s > to) break;
+    timeline_.counter("EMEM fill bytes", s,
+                      static_cast<double>(emem_occupancy_bytes));
+    timeline_.counter("trace msgs", s,
+                      static_cast<double>(trace_messages - last_trace_messages_));
+    last_trace_messages_ = trace_messages;
+    next_eec_sample_ = s + options_.counter_interval;
+  }
 }
 
 void SocTracer::observe_eec(Cycle now, usize emem_occupancy_bytes,

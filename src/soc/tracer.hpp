@@ -52,6 +52,20 @@ class SocTracer {
   void observe_eec(Cycle now, usize emem_occupancy_bytes, u64 trace_messages,
                    u64 dropped_messages);
 
+  /// Bulk-advance over an idle window (cycles `from`+1 .. `to` inclusive,
+  /// all quiescent): replays the counter-sampling schedule exactly as if
+  /// each idle frame had been observed — identical sample cycles, identical
+  /// zero-valued series — while the open WFI pipeline span simply extends
+  /// into one aggregated idle span. Called by Soc::skip_idle().
+  void skip_idle(Cycle from, Cycle to);
+
+  /// EEC-side counterpart for the Emulation Device's fast-forward path:
+  /// replays the EEC sampling schedule over the idle window with the
+  /// (constant) occupancy and cumulative message count. Drop counts cannot
+  /// change while the SoC is quiescent, so no instants are emitted.
+  void skip_idle_eec(Cycle from, Cycle to, usize emem_occupancy_bytes,
+                     u64 trace_messages);
+
   /// Close all open spans and flush pending counters; call once after the
   /// run, before exporting.
   void finish(Cycle now);

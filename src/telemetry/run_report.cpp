@@ -38,6 +38,16 @@ std::string RunReport::to_json() const {
   w.kv("instructions", instructions);
   w.kv("ipc", sim_ipc);
   w.kv("jobs", jobs);
+  w.key("fast_forward");
+  w.begin_object();
+  w.kv("enabled", fast_forward_enabled);
+  w.kv("skipped_cycles", ff_skipped_cycles);
+  w.kv("wakeups", ff_wakeups);
+  w.key("wake_sources");
+  w.begin_object();
+  for (const auto& [name, value] : ff_wake_sources) w.kv(name, value);
+  w.end_object();
+  w.end_object();  // fast_forward
   w.end_object();
 
   // Metrics grouped per component: { "tc": {"retired": N, ...}, ... }.

@@ -29,6 +29,14 @@ struct RunReport {
   double sim_ipc = 0.0;
   u64 jobs = 1;  // host worker threads used for sweeps (--jobs)
 
+  // ---- idle fast-forward (SocConfig::fast_forward) ----
+  bool fast_forward_enabled = false;
+  u64 ff_skipped_cycles = 0;  // cycles jumped over instead of stepped
+  u64 ff_wakeups = 0;         // skip windows taken
+  /// Per-wake-source window counts ("crank", "stm", ...), in the order
+  /// the caller added them.
+  std::vector<std::pair<std::string, u64>> ff_wake_sources;
+
   // ---- component metrics (registry snapshot) ----
   MetricsSnapshot metrics;
 
@@ -66,6 +74,10 @@ struct RunReport {
 
   void add_alarm(std::string name, u64 value) {
     alarms.emplace_back(std::move(name), value);
+  }
+
+  void add_wake_source(std::string name, u64 value) {
+    ff_wake_sources.emplace_back(std::move(name), value);
   }
 
   std::string to_json() const;

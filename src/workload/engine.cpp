@@ -115,29 +115,46 @@ Result<EngineWorkload> build_engine_workload(const EngineOptions& opt) {
   a.op("ei");
 
   a.label("_bg_loop");
-  a.op("call  diag_checksum");
-  a.li("d0", periph::Watchdog::kServiceKey);
-  a.op("st.w  d0, [a14+" + std::to_string(kWdtService) + "]");
-  // Journal every 2^k iterations.
-  a.op("ld.w  d0, [a15+" + off("bg_iter") + "]");
-  a.op("addi  d0, d0, 1");
-  a.op("st.w  d0, [a15+" + off("bg_iter") + "]");
-  a.op("andi  d1, d0, " + std::to_string(journal_mask));
-  a.op("jnz   d1, _bg_no_journal");
-  a.op("call  eeprom_write");
-  a.label("_bg_no_journal");
-  if (opt.halt_after_bg != 0) {
-    a.op("ld.w  d0, [a15+" + off("bg_iter") + "]");
-    a.li("d1", opt.halt_after_bg);
-    a.op("jlt   d0, d1, _bg_loop");
-    a.op("halt");
-  } else if (opt.halt_after_revs != 0) {
-    a.op("ld.w  d0, [a15+" + off("rev_count") + "]");
-    a.li("d1", opt.halt_after_revs);
-    a.op("jlt   d0, d1, _bg_loop");
-    a.op("halt");
+  if (opt.idle_background) {
+    assert(opt.wdt_period == 0 &&
+           "idle_background leaves the watchdog unserviced");
+    // Event-driven shape: all work lives in the ISRs; the TC parks in
+    // WFI between interrupts and only re-checks the completion
+    // criterion after each wake.
+    a.op("wfi");
+    if (opt.halt_after_revs != 0) {
+      a.op("ld.w  d0, [a15+" + off("rev_count") + "]");
+      a.li("d1", opt.halt_after_revs);
+      a.op("jlt   d0, d1, _bg_loop");
+      a.op("halt");
+    } else {
+      a.op("j     _bg_loop");
+    }
   } else {
-    a.op("j     _bg_loop");
+    a.op("call  diag_checksum");
+    a.li("d0", periph::Watchdog::kServiceKey);
+    a.op("st.w  d0, [a14+" + std::to_string(kWdtService) + "]");
+    // Journal every 2^k iterations.
+    a.op("ld.w  d0, [a15+" + off("bg_iter") + "]");
+    a.op("addi  d0, d0, 1");
+    a.op("st.w  d0, [a15+" + off("bg_iter") + "]");
+    a.op("andi  d1, d0, " + std::to_string(journal_mask));
+    a.op("jnz   d1, _bg_no_journal");
+    a.op("call  eeprom_write");
+    a.label("_bg_no_journal");
+    if (opt.halt_after_bg != 0) {
+      a.op("ld.w  d0, [a15+" + off("bg_iter") + "]");
+      a.li("d1", opt.halt_after_bg);
+      a.op("jlt   d0, d1, _bg_loop");
+      a.op("halt");
+    } else if (opt.halt_after_revs != 0) {
+      a.op("ld.w  d0, [a15+" + off("rev_count") + "]");
+      a.li("d1", opt.halt_after_revs);
+      a.op("jlt   d0, d1, _bg_loop");
+      a.op("halt");
+    } else {
+      a.op("j     _bg_loop");
+    }
   }
 
   // ---- background subroutines ----

@@ -53,6 +53,14 @@ struct EngineOptions {
   /// criterion (cycles-to-N-revolutions is crank-bound and insensitive
   /// to CPU speed; use this for architecture comparisons).
   u32 halt_after_bg = 0;
+  /// Replace the background loop (diagnostics + watchdog service +
+  /// journal) with a WFI park: all work happens in the ISRs and the TC
+  /// idles between interrupts. This is the idle-heavy shape real
+  /// event-driven ECU firmware has between crank teeth, and the shape
+  /// the SoC fast-forward path (soc/soc.hpp) accelerates. Requires
+  /// wdt_period == 0 (nothing services the watchdog) and ignores
+  /// halt_after_bg (there are no background iterations).
+  bool idle_background = false;
 
   // ---- environment ----
   u32 rpm = 3000;

@@ -13,6 +13,8 @@
 //     --demo            run the five hand-aimed outcome-class scenarios
 //                       instead of (or in addition to) the random set
 //     --no-ecc-sram     disable the RAM ECC model for random scenarios
+//     --no-fast-forward step every idle cycle instead of skipping
+//                       quiescent stretches (bit-identical, slower)
 //     --report FILE     write a structured RunReport JSON
 #include <cstdio>
 #include <cstring>
@@ -34,7 +36,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: audo-faultcamp [--scenarios N] [--seed S] [--jobs N]\n"
                "       [--cycles N] [--bg N] [--demo] [--no-ecc-sram]\n"
-               "       [--report FILE]\n");
+               "       [--no-fast-forward] [--report FILE]\n");
 }
 
 }  // namespace
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
   u32 bg_iterations = 300;
   bool demo = false;
   bool ecc_sram = true;
+  bool fast_forward = true;
   const char* report_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -72,6 +75,8 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (std::strcmp(arg, "--no-ecc-sram") == 0) {
       ecc_sram = false;
+    } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
+      fast_forward = false;
     } else if (std::strcmp(arg, "--report") == 0) {
       report_path = next_value();
     } else {
@@ -92,6 +97,7 @@ int main(int argc, char** argv) {
 
   soc::SocConfig chip;
   chip.safety.ecc_sram = ecc_sram;
+  chip.fast_forward = fast_forward;
 
   optimize::WorkloadCase wc;
   wc.name = "engine";
@@ -165,6 +171,15 @@ int main(int argc, char** argv) {
                                  static_cast<double>(golden.cycle())
                            : 0.0;
       report.metrics = registry.collect(golden.cycle());
+      report.fast_forward_enabled = golden.config().fast_forward;
+      report.ff_skipped_cycles = golden.ff_stats().skipped_cycles;
+      report.ff_wakeups = golden.ff_stats().wakeups;
+      for (unsigned s = 0; s < soc::kNumWakeSources; ++s) {
+        if (golden.ff_stats().wake_counts[s] == 0) continue;
+        report.add_wake_source(
+            soc::to_string(static_cast<soc::WakeSource>(s)),
+            golden.ff_stats().wake_counts[s]);
+      }
     }
     summary.fill_report(report);
     report.add_extra("classification_hash",

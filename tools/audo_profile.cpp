@@ -19,6 +19,8 @@
 //     --emem-kib N        trace memory size (default 384 usable)
 //     --jobs N            host threads (recorded in the report; a single
 //                         profiling run is inherently serial)
+//     --no-fast-forward   step every idle cycle instead of skipping
+//                         quiescent stretches (bit-identical, slower)
 //     --report FILE       write a structured RunReport JSON
 //     --perfetto FILE     write a Chrome/Perfetto trace JSON
 #include <cstdio>
@@ -48,7 +50,8 @@ void usage() {
                "       [--functions] [--listing N] [--series-csv FILE]\n"
                "       [--events-csv FILE] [--no-icache] [--no-dcache]\n"
                "       [--flash-ws N] [--emem-kib N] [--jobs N]\n"
-               "       [--report FILE] [--perfetto FILE]\n");
+               "       [--no-fast-forward] [--report FILE] "
+               "[--perfetto FILE]\n");
 }
 
 bool write_file(const char* path, const std::string& content) {
@@ -117,6 +120,8 @@ int main(int argc, char** argv) {
       report_path = next_value();
     } else if (std::strcmp(arg, "--perfetto") == 0) {
       perfetto_path = next_value();
+    } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
+      chip.fast_forward = false;
     } else if (std::strcmp(arg, "--no-icache") == 0) {
       chip.icache.enabled = false;
     } else if (std::strcmp(arg, "--no-dcache") == 0) {
@@ -244,6 +249,14 @@ int main(int argc, char** argv) {
     report.jobs = jobs;
     report.metrics = registry.collect(soc.cycle());
     report.set_host(host);
+    report.fast_forward_enabled = soc.config().fast_forward;
+    report.ff_skipped_cycles = soc.ff_stats().skipped_cycles;
+    report.ff_wakeups = soc.ff_stats().wakeups;
+    for (unsigned s = 0; s < soc::kNumWakeSources; ++s) {
+      if (soc.ff_stats().wake_counts[s] == 0) continue;
+      report.add_wake_source(soc::to_string(static_cast<soc::WakeSource>(s)),
+                             soc.ff_stats().wake_counts[s]);
+    }
     report.add_extra("trace_messages",
                      static_cast<double>(result.trace_messages));
     report.add_extra("bytes_per_kcycle", result.bytes_per_kcycle);

@@ -10,7 +10,9 @@ Checks applied:
   - sweep speedup >= --min-speedup, but only when the host actually has
     enough cores for the requested job count — on a 1- or 2-core CI
     runner a 4-job >=2x target is physically impossible, so the check is
-    recorded as "skipped" instead of failing the build.
+    recorded as "skipped" instead of failing the build;
+  - the idle fast-forward run must be bit-identical to the stepped one
+    and >= --min-ff-speedup faster (single-process, so no core gate).
 
 Usage:
   tools/bench_throughput.py --bench build/bench/bench_throughput \
@@ -49,6 +51,8 @@ def main():
                     help="single-run cycle budget (0 = bench default)")
     ap.add_argument("--min-speedup", type=float, default=2.0,
                     help="required sweep speedup when cores allow")
+    ap.add_argument("--min-ff-speedup", type=float, default=2.0,
+                    help="required idle fast-forward speedup")
     args = ap.parse_args()
 
     cmd = [args.bench, "--jobs", str(args.jobs)]
@@ -63,6 +67,7 @@ def main():
         "single_run_cache_on_cps", "single_run_cache_off_cps",
         "sweep_serial_seconds", "sweep_parallel_seconds", "sweep_jobs",
         "hardware_jobs", "sweep_identical",
+        "ff_on_seconds", "ff_off_seconds", "ff_identical",
     ]
     missing = [k for k in required if k not in values]
     if proc.returncode != 0 or missing:
@@ -77,15 +82,23 @@ def main():
     sweep_jobs = int(values["sweep_jobs"])
     identical = values["sweep_identical"] == 1
 
+    ff_on_s = values["ff_on_seconds"]
+    ff_off_s = values["ff_off_seconds"]
+    ff_speedup = ff_off_s / ff_on_s if ff_on_s > 0 else 0.0
+    ff_identical = values["ff_identical"] == 1
+
     # The speedup criterion only makes sense when the host can actually
     # run the requested workers in parallel.
     enough_cores = hardware_jobs >= sweep_jobs and sweep_jobs >= 2
     speedup_ok = speedup >= args.min_speedup
+    ff_speedup_ok = ff_speedup >= args.min_ff_speedup
     checks = {
         "sweep_identical": "pass" if identical else "fail",
         "sweep_speedup": ("pass" if speedup_ok else "fail")
                          if enough_cores else "skipped (host has %d cores "
                          "for a %d-job sweep)" % (hardware_jobs, sweep_jobs),
+        "ff_identical": "pass" if ff_identical else "fail",
+        "ff_speedup": "pass" if ff_speedup_ok else "fail",
     }
 
     report = {
@@ -104,13 +117,24 @@ def main():
             "identical_to_serial": identical,
             "min_speedup_required": args.min_speedup,
         },
+        "fast_forward": {
+            "cycles": int(values.get("ff_cycles", 0)),
+            "on_seconds": ff_on_s,
+            "off_seconds": ff_off_s,
+            "speedup": ff_speedup,
+            "skipped_cycles": int(values.get("ff_skipped_cycles", 0)),
+            "wakeups": int(values.get("ff_wakeups", 0)),
+            "identical_to_stepped": ff_identical,
+            "min_speedup_required": args.min_ff_speedup,
+        },
         "checks": checks,
     }
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
-    print("wrote %s (sweep speedup %.2fx at %d jobs, checks: %s)"
-          % (args.out, speedup, sweep_jobs, checks))
+    print("wrote %s (sweep speedup %.2fx at %d jobs, fast-forward "
+          "speedup %.2fx, checks: %s)"
+          % (args.out, speedup, sweep_jobs, ff_speedup, checks))
 
     if not identical:
         print("FAIL: parallel sweep diverged from serial", file=sys.stderr)
@@ -118,6 +142,14 @@ def main():
     if enough_cores and not speedup_ok:
         print("FAIL: sweep speedup %.2fx < required %.2fx"
               % (speedup, args.min_speedup), file=sys.stderr)
+        return 1
+    if not ff_identical:
+        print("FAIL: fast-forward run diverged from stepped run",
+              file=sys.stderr)
+        return 1
+    if not ff_speedup_ok:
+        print("FAIL: fast-forward speedup %.2fx < required %.2fx"
+              % (ff_speedup, args.min_ff_speedup), file=sys.stderr)
         return 1
     return 0
 
