@@ -23,6 +23,7 @@ unsigned Crossbar::add_slave(BusSlave* slave) {
   slaves_.push_back(slave);
   slave_state_.emplace_back();
   stats_.emplace_back();
+  interference_.resize(slaves_.size() * kNumMasters * kNumMasters, 0);
   return static_cast<unsigned>(slaves_.size() - 1);
 }
 
@@ -94,6 +95,18 @@ bool Crossbar::idle() const {
 
 void Crossbar::step(Cycle now) {
   observation_.clear();
+  blocked_by_.fill(MasterId::kCount);
+  blocked_slave_.fill(0xFF);
+
+  // A master-cycle spent blocked: the request stays kWaiting past this
+  // cycle's arbitration while `holder` occupies (or wins) the slave.
+  auto record_blocked = [&](const MasterPort* waiter, MasterId holder,
+                            unsigned s) {
+    const auto w = static_cast<unsigned>(waiter->request_.master);
+    blocked_by_[w] = holder;
+    blocked_slave_[w] = static_cast<u8>(s);
+    interference_[interference_index(w, static_cast<unsigned>(holder), s)]++;
+  };
 
   // One service cycle for slave `s`: decrement the active transaction and
   // complete it when the latency has elapsed. The grant cycle itself is a
@@ -146,10 +159,11 @@ void Crossbar::step(Cycle now) {
     SlaveState& state = slave_state_[s];
 
     unsigned waiting = 0;
+    std::array<MasterPort*, kNumMasters> waiters{};
     for (MasterPort* port : pending_) {
       if (port != nullptr && port->state_ == MasterPort::State::kWaiting &&
           port->slave_index == s) {
-        ++waiting;
+        waiters[waiting++] = port;
         stats_[s].wait_cycles++;
       }
     }
@@ -160,7 +174,13 @@ void Crossbar::step(Cycle now) {
       observation_.contention = true;
       stats_[s].contention_cycles++;
     }
-    if (state.busy) continue;  // slave occupied; nobody can be granted
+    if (state.busy) {  // slave occupied; nobody can be granted
+      const MasterId holder = state.active_port->request_.master;
+      for (unsigned i = 0; i < waiting; ++i) {
+        record_blocked(waiters[i], holder, s);
+      }
+      continue;
+    }
 
     // Pick a winner.
     MasterPort* winner = nullptr;
@@ -189,6 +209,12 @@ void Crossbar::step(Cycle now) {
       }
     }
     assert(winner != nullptr);
+    // Losers of this cycle's arbitration are blocked by the winner.
+    for (unsigned i = 0; i < waiting; ++i) {
+      if (waiters[i] != winner) {
+        record_blocked(waiters[i], winner->request_.master, s);
+      }
+    }
 
     const unsigned latency = std::max(1u, slaves_[s]->start_access(winner->request_));
     winner->state_ = MasterPort::State::kActive;

@@ -92,7 +92,10 @@ struct SlaveStats {
 class Crossbar {
  public:
   explicit Crossbar(ArbitrationPolicy policy = ArbitrationPolicy::kFixedPriority)
-      : policy_(policy) {}
+      : policy_(policy) {
+    blocked_by_.fill(MasterId::kCount);
+    blocked_slave_.fill(0xFF);
+  }
 
   /// Register a slave; returns its index for region mapping.
   unsigned add_slave(BusSlave* slave);
@@ -149,7 +152,39 @@ class Crossbar {
   void register_metrics(telemetry::MetricsRegistry& registry,
                         std::string_view component) const;
 
+  // ---- interference matrix (stall attribution, DESIGN.md) -----------
+  //
+  // Cycles master `waiter` spent blocked on `slave` while `holder`
+  // occupied it. A master-cycle counts as blocked when its request is
+  // still kWaiting after arbitration — the grant cycle itself is not
+  // blocked (the port turns kActive). The holder is the slave's active
+  // master, or this cycle's grant winner when the slave was free but
+  // arbitration was lost.
+
+  /// Accumulated blocked cycles for one (waiter, holder, slave) triple.
+  u64 interference(MasterId waiter, MasterId holder, unsigned slave) const {
+    return interference_[interference_index(static_cast<unsigned>(waiter),
+                                            static_cast<unsigned>(holder),
+                                            slave)];
+  }
+
+  /// Who blocked `master` in the step() that just ran (kCount = master
+  /// was not blocked this cycle). Input to the SoC attribution walk.
+  MasterId blocked_by(MasterId master) const {
+    return blocked_by_[static_cast<unsigned>(master)];
+  }
+  /// Slave index `master` was blocked on this cycle (0xFF = none).
+  u8 blocked_slave(MasterId master) const {
+    return blocked_slave_[static_cast<unsigned>(master)];
+  }
+
  private:
+  usize interference_index(unsigned waiter, unsigned holder,
+                           unsigned slave) const {
+    return (static_cast<usize>(slave) * kNumMasters + waiter) * kNumMasters +
+           holder;
+  }
+
   struct SlaveState {
     bool busy = false;
     MasterPort* active_port = nullptr;
@@ -168,6 +203,13 @@ class Crossbar {
   // Ports currently waiting or active, one slot per master (a master has
   // at most one outstanding request on this fabric).
   std::array<MasterPort*, kNumMasters> pending_{};
+
+  // Interference matrix, [slave][waiter][holder] flattened; grows by one
+  // kNumMasters x kNumMasters block per add_slave().
+  std::vector<u64> interference_;
+  // Per-cycle blocking info, rewritten by every step().
+  std::array<MasterId, kNumMasters> blocked_by_{};
+  std::array<u8, kNumMasters> blocked_slave_{};
 
   FabricObservation observation_;
 };

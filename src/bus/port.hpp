@@ -86,6 +86,14 @@ class MasterPort {
 
   const BusRequest& request() const { return request_; }
 
+  /// Whether the port is waiting for a grant (vs. being served). Valid
+  /// while busy(); stall-attribution input.
+  bool waiting_grant() const { return state_ == State::kWaiting; }
+
+  /// Slave index the outstanding request decoded to. Valid while busy()
+  /// or done(); stall-attribution input.
+  unsigned slave() const { return slave_index; }
+
  private:
   friend class Crossbar;
   State state_ = State::kIdle;

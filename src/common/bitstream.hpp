@@ -58,11 +58,18 @@ class BitReader {
  public:
   explicit BitReader(const std::vector<u8>& bytes) : bytes_(&bytes) {}
 
+  /// Reads past the end return the bits gathered so far (zero-filled)
+  /// and latch overrun() instead of touching out-of-range memory, so a
+  /// truncated stream is a reportable decode error in release builds
+  /// rather than undefined behaviour.
   u64 read(unsigned count) {
     assert(count >= 1 && count <= 64);
     u64 value = 0;
     for (unsigned i = 0; i < count; ++i) {
-      assert(!exhausted());
+      if (exhausted()) {
+        overrun_ = true;
+        return value;
+      }
       const u8 byte = (*bytes_)[pos_ / 8];
       const bool bit = (byte >> (pos_ % 8)) & 1;
       if (bit) value |= u64{1} << i;
@@ -89,10 +96,13 @@ class BitReader {
   bool remaining_less_than(unsigned count) const {
     return pos_ + count > bytes_->size() * 8;
   }
+  /// A read() ran past the end of the stream.
+  bool overrun() const { return overrun_; }
 
  private:
   const std::vector<u8>* bytes_;
   u64 pos_ = 0;
+  bool overrun_ = false;
 };
 
 }  // namespace audo

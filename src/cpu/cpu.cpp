@@ -850,6 +850,21 @@ void Cpu::step(Cycle now, mcds::CoreObservation& obs) {
   }
 
   obs.retired = static_cast<u8>(issued);
+  // Stall-symptom precedence (deterministic; asserted by the
+  // StallAttribution.SymptomPrecedence test): when several causes
+  // coincide in one zero-issue cycle, exactly one symptom is reported:
+  //   kHalted > trap entry > irq entry > kWfi   (early returns above),
+  // then for an ordinary issue stall:
+  //   1. kIFetch only when the fetch queue is EMPTY. With instructions
+  //      queued, a concurrent fetch miss is *not* the stall — the oldest
+  //      queued instruction's back-end hazard is, so a coinciding
+  //      kIFetch + kLoadUse cycle reports kLoadUse.
+  //   2. For that oldest instruction, kLoadUse (a source or destination
+  //      register waiting on an in-flight bus load — the kFar scoreboard
+  //      sentinel) outranks kExecLatency (finite-latency producer).
+  //   3. kLsPortBusy when its execution could not start structurally.
+  //   4. kExecLatency as the defensive default for any other zero-issue
+  //      cycle with a non-empty queue.
   if (issued == 0) {
     obs.stall = fetch_queue_.empty() ? StallCause::kIFetch : stall;
     if (!fetch_queue_.empty() && stall == StallCause::kNone) {

@@ -138,6 +138,18 @@ class Cpu {
 
   const CpuConfig& config() const { return config_; }
 
+  // Read-only views of the bus ports for the SoC stall-attribution walk
+  // (DESIGN.md, "Stall attribution & interference matrix"): given the
+  // symptom in CoreObservation::stall, the walk inspects the matching
+  // port to find which slave the stalled transaction targets and whether
+  // it is still waiting for a grant or being served.
+  const bus::MasterPort& fetch_port() const { return fetch_port_; }
+  const bus::MasterPort& data_port() const { return data_port_; }
+  /// True when the in-flight instruction fetch goes over the bus
+  /// (I-cache refill or uncached code) rather than a local scratchpad /
+  /// cache-hit path.
+  bool fetch_on_bus() const { return fetch_state_ == FetchState::kBusWait; }
+
  private:
   struct Fetched {
     Addr pc;

@@ -93,17 +93,9 @@ u64 EmulationDevice::run(u64 max_cycles) {
       n = max_cycles - steps;
       source = soc::WakeSource::kBudget;
     }
-    // The frame a parked product chip publishes on every idle cycle.
-    mcds::ObservationFrame idle;
-    idle.cycle = from;
-    idle.tc.present = true;
-    idle.tc.stall = soc_.tc().halted() ? mcds::StallCause::kHalted
-                                       : mcds::StallCause::kWfi;
-    if (cpu::Cpu* pcp = soc_.pcp(); pcp != nullptr) {
-      idle.pcp.present = true;
-      idle.pcp.stall = pcp->halted() ? mcds::StallCause::kHalted
-                                     : mcds::StallCause::kWfi;
-    }
+    // The frame a parked product chip publishes on every idle cycle
+    // (cores parked with kWfi/kHalted symptom and root, nothing else).
+    const mcds::ObservationFrame idle = soc_.make_idle_frame();
     if (const u64 mcds_limit = mcds_.idle_skip_limit(idle); mcds_limit < n) {
       n = mcds_limit;
       source = soc::WakeSource::kMcds;

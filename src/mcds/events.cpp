@@ -15,9 +15,29 @@ const char* to_string(StallCause cause) {
   return "?";
 }
 
+const char* to_string(StallRootCause cause) {
+  switch (cause) {
+    case StallRootCause::kNone: return "issue";
+    case StallRootCause::kFrontend: return "frontend";
+    case StallRootCause::kExec: return "exec";
+    case StallRootCause::kFlashBuffer: return "flash-buffer";
+    case StallRootCause::kFlashRead: return "flash-read";
+    case StallRootCause::kFlashPortConflict: return "flash-conflict";
+    case StallRootCause::kBusArbitration: return "bus-arb";
+    case StallRootCause::kBusSlaveBusy: return "bus-busy";
+    case StallRootCause::kWfi: return "wfi";
+    case StallRootCause::kHalted: return "halted";
+    case StallRootCause::kCount: break;
+  }
+  return "?";
+}
+
 u32 event_value(const ObservationFrame& f, EventId id) {
   const CoreObservation& tc = f.tc;
   const CoreObservation& pcp = f.pcp;
+  const auto tc_root = [&](StallRootCause root) -> u32 {
+    return (tc.present && tc.attr.root == root) ? 1 : 0;
+  };
   switch (id) {
     case EventId::kNone: return 0;
     case EventId::kCycles: return 1;
@@ -42,6 +62,20 @@ u32 event_value(const ObservationFrame& f, EventId id) {
     case EventId::kTcIrqEntry: return tc.irq_entry ? 1 : 0;
     case EventId::kTcIrqExit: return tc.irq_exit ? 1 : 0;
     case EventId::kTcDiscontinuity: return tc.discontinuity ? 1 : 0;
+    case EventId::kTcStallRootFrontend:
+      return tc_root(StallRootCause::kFrontend);
+    case EventId::kTcStallRootExec: return tc_root(StallRootCause::kExec);
+    case EventId::kTcStallRootFlashBuffer:
+      return tc_root(StallRootCause::kFlashBuffer);
+    case EventId::kTcStallRootFlashRead:
+      return tc_root(StallRootCause::kFlashRead);
+    case EventId::kTcStallRootFlashConflict:
+      return tc_root(StallRootCause::kFlashPortConflict);
+    case EventId::kTcStallRootBusArb:
+      return tc_root(StallRootCause::kBusArbitration);
+    case EventId::kTcStallRootBusBusy:
+      return tc_root(StallRootCause::kBusSlaveBusy);
+    case EventId::kTcStallRootWfi: return tc_root(StallRootCause::kWfi);
     case EventId::kPcpRetired: return pcp.retired;
     case EventId::kPcpStalled:
       return (pcp.present && pcp.retired == 0 &&
@@ -92,6 +126,15 @@ std::string_view event_name(EventId id) {
     case EventId::kTcIrqEntry: return "tc.irq.entry";
     case EventId::kTcIrqExit: return "tc.irq.exit";
     case EventId::kTcDiscontinuity: return "tc.discontinuity";
+    case EventId::kTcStallRootFrontend: return "tc.stall.root.frontend";
+    case EventId::kTcStallRootExec: return "tc.stall.root.exec";
+    case EventId::kTcStallRootFlashBuffer: return "tc.stall.root.flash_buffer";
+    case EventId::kTcStallRootFlashRead: return "tc.stall.root.flash_read";
+    case EventId::kTcStallRootFlashConflict:
+      return "tc.stall.root.flash_conflict";
+    case EventId::kTcStallRootBusArb: return "tc.stall.root.bus_arb";
+    case EventId::kTcStallRootBusBusy: return "tc.stall.root.bus_busy";
+    case EventId::kTcStallRootWfi: return "tc.stall.root.wfi";
     case EventId::kPcpRetired: return "pcp.retired";
     case EventId::kPcpStalled: return "pcp.stalled";
     case EventId::kPcpIrqEntry: return "pcp.irq.entry";

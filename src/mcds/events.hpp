@@ -36,6 +36,16 @@ enum class EventId : u8 {
   kTcIrqEntry,
   kTcIrqExit,
   kTcDiscontinuity,     // taken branches + irq entries
+  // Stall root causes (cross-layer attribution walk; one strobe per
+  // StallRootCause bucket of the TC's per-cycle StallAttribution).
+  kTcStallRootFrontend,
+  kTcStallRootExec,
+  kTcStallRootFlashBuffer,
+  kTcStallRootFlashRead,
+  kTcStallRootFlashConflict,
+  kTcStallRootBusArb,
+  kTcStallRootBusBusy,
+  kTcStallRootWfi,
   // PCP.
   kPcpRetired,
   kPcpStalled,

@@ -27,12 +27,53 @@ enum class StallCause : u8 {
 
 const char* to_string(StallCause cause);
 
+/// *Why* the stall symptom happened — the result of walking the
+/// responsible outstanding transaction through cache → PFlash →
+/// crossbar (see DESIGN.md, "Stall attribution & interference matrix").
+/// Exactly one root cause is assigned per present-core cycle (kNone when
+/// instructions issued), so per-core bucket sums are conservative and
+/// complete: they add up to the core's total cycles.
+enum class StallRootCause : u8 {
+  kNone = 0,           // instructions issued this cycle
+  kFrontend,           // local fetch/decode bubble (redirect, PSPR fetch,
+                       // irq/trap entry cycle)
+  kExec,               // core-internal latency (EX chain, load writeback)
+  kFlashBuffer,        // flash access served from a read/prefetch buffer
+  kFlashRead,          // flash array line fetch (read-buffer miss)
+  kFlashPortConflict,  // code-vs-data port conflict on the flash array
+  kBusArbitration,     // waiting for a crossbar grant (lost arbitration)
+  kBusSlaveBusy,       // granted: a non-flash slave is serving the access
+  kWfi,                // parked waiting for interrupt
+  kHalted,
+  kCount,
+};
+inline constexpr unsigned kNumStallRootCauses =
+    static_cast<unsigned>(StallRootCause::kCount);
+
+const char* to_string(StallRootCause cause);
+
+/// Full per-cycle stall attribution: the core-side symptom plus the
+/// cross-layer root cause, and — when the root is a lost arbitration —
+/// which master held the slave the core was waiting for.
+struct StallAttribution {
+  static constexpr u8 kNoSlave = 0xFF;
+
+  StallCause symptom = StallCause::kNone;
+  StallRootCause root = StallRootCause::kNone;
+  /// Master occupying the blocking slave (kCount = none recorded).
+  bus::MasterId blocking_master = bus::MasterId::kCount;
+  /// Crossbar slave index the stalled transaction targets (kNoSlave =
+  /// the stall never reached the fabric).
+  u8 blocking_slave = kNoSlave;
+};
+
 /// One core's activity in one cycle.
 struct CoreObservation {
   bool present = false;  // core exists in this SoC configuration
   u8 retired = 0;        // instructions retired this cycle (0..3)
   Addr retire_pc = 0;    // PC of the last instruction retired this cycle
   StallCause stall = StallCause::kNone;
+  StallAttribution attr;  // filled by the Soc attribution walk (phase 4)
 
   // Program-flow discontinuity (taken branch, call, return, irq entry).
   bool discontinuity = false;

@@ -145,7 +145,11 @@ Result<std::vector<TraceMessage>> TraceDecoder::decode(
       return error(StatusCode::kDecodeError, "bad message kind");
     }
     msg.kind = static_cast<MsgKind>(kind_raw);
-    msg.source = static_cast<MsgSource>(r.read(kSourceBits));
+    const u64 source_raw = r.read(kSourceBits);
+    if (source_raw > static_cast<u64>(MsgSource::kChip)) {
+      return error(StatusCode::kDecodeError, "bad message source");
+    }
+    msg.source = static_cast<MsgSource>(source_raw);
     Anchor& core_anchor = anchors[static_cast<unsigned>(msg.source)];
 
     auto read_timestamp = [&]() -> Cycle {
@@ -214,6 +218,12 @@ Result<std::vector<TraceMessage>> TraceDecoder::decode(
       case MsgKind::kOverflow:
         msg.cycle = read_timestamp();
         break;
+    }
+    // A unit shorter than its own encoding (corrupted EMEM dump, partial
+    // DAP download) zero-fills the missing fields and latches the
+    // reader's overrun flag — surface it rather than emit garbage.
+    if (r.overrun()) {
+      return error(StatusCode::kDecodeError, "truncated trace unit");
     }
     out.push_back(std::move(msg));
   }

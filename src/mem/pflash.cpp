@@ -82,6 +82,7 @@ PFlash::BufferEntry& PFlash::Port::victim() {
 
 void PFlash::Port::invalidate() {
   for (BufferEntry& e : buffers_) e = BufferEntry{};
+  access_class_ = AccessClass::kNone;
 }
 
 unsigned PFlash::Port::start_access(const bus::BusRequest& req) {
@@ -91,6 +92,7 @@ unsigned PFlash::Port::start_access(const bus::BusRequest& req) {
     // Flash programming over the bus is a command sequence outside this
     // model's scope; drop the write but make it visible in stats.
     st.illegal_writes++;
+    access_class_ = AccessClass::kBufferHit;  // single-cycle service
     return 1;
   }
   const u32 line = f.line_of(req.addr);
@@ -106,6 +108,7 @@ unsigned PFlash::Port::start_access(const bus::BusRequest& req) {
   if (BufferEntry* hit = find(line)) {
     // Buffer hit: single cycle, or the remaining in-flight time for a
     // prefetched line still being read from the array.
+    access_class_ = AccessClass::kBufferHit;
     latency = 1;
     if (hit->available_at > f.now_) {
       latency = static_cast<unsigned>(hit->available_at - f.now_) + 1;
@@ -123,6 +126,8 @@ unsigned PFlash::Port::start_access(const bus::BusRequest& req) {
       f.strobes_.data_buffer_hit = true;
     }
   } else {
+    access_class_ = f.array_free_at_ > f.now_ ? AccessClass::kConflict
+                                              : AccessClass::kArrayFetch;
     const Cycle done = f.reserve_array();
     latency = static_cast<unsigned>(done - f.now_) + 1;
     BufferEntry& slot = victim();

@@ -60,6 +60,17 @@ class PFlash {
     bool array_conflict = false;
   };
 
+  /// How the most recent access granted on a port is being served — the
+  /// flash-side input to the SoC stall-attribution walk (DESIGN.md,
+  /// "Stall attribution & interference matrix"). Valid from grant until
+  /// the next grant on the same port.
+  enum class AccessClass : u8 {
+    kNone = 0,     // no access granted on this port yet
+    kBufferHit,    // read/prefetch buffer hit (incl. in-flight prefetch)
+    kArrayFetch,   // buffer miss: array line fetch at full wait states
+    kConflict,     // buffer miss delayed by the other port's array use
+  };
+
   explicit PFlash(const PFlashConfig& config);
 
   /// Advance internal time; must be called once per cycle *before* the
@@ -76,6 +87,13 @@ class PFlash {
 
   bus::BusSlave& code_port() { return code_port_; }
   bus::BusSlave& data_port() { return data_port_; }
+
+  /// Service class of the transaction most recently granted on a port
+  /// (code_port when `code`); the attribution walk refines "stalled on
+  /// the flash slave" into buffer-hit / array-fetch / port-conflict.
+  AccessClass access_class(bool code) const {
+    return code ? code_port_.access_class_ : data_port_.access_class_;
+  }
 
   MemArray& array() { return array_; }
   const MemArray& array() const { return array_; }
@@ -120,6 +138,7 @@ class PFlash {
     bool is_code_;
     std::vector<BufferEntry> buffers_;
     std::string name_;
+    AccessClass access_class_ = AccessClass::kNone;
   };
 
   u32 line_of(Addr addr) const;

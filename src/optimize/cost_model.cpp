@@ -1,8 +1,48 @@
 #include "optimize/cost_model.hpp"
 
+#include <algorithm>
+
 #include "common/bits.hpp"
 
 namespace audo::optimize {
+
+MeasuredContention MeasuredContention::from_fabric(const bus::Crossbar& fabric,
+                                                  u64 run_cycles) {
+  MeasuredContention m;
+  m.run_cycles = run_cycles;
+  for (unsigned s = 0; s < fabric.slave_count(); ++s) {
+    u64 slave_total = 0;
+    for (unsigned w = 0; w < bus::kNumMasters; ++w) {
+      for (unsigned h = 0; h < bus::kNumMasters; ++h) {
+        slave_total += fabric.interference(static_cast<bus::MasterId>(w),
+                                           static_cast<bus::MasterId>(h), s);
+      }
+    }
+    if (slave_total == 0) continue;
+    m.per_slave.emplace_back(std::string(fabric.slave_name(s)), slave_total);
+    m.blocked_cycles_total += slave_total;
+  }
+  return m;
+}
+
+double CostModel::contention_speedup_bound(const MeasuredContention& m) const {
+  // Amdahl: removing the blocked fraction of the run leaves 1 - f of the
+  // original time. Blocked master-cycles can overlap in a cycle, so cap
+  // the recoverable fraction below 1.
+  const double f = std::min(m.blocked_fraction(), 0.95);
+  return 1.0 / (1.0 - f);
+}
+
+double CostModel::contention_gain_per_cost(const MeasuredContention& m,
+                                           double recovered_fraction,
+                                           double area_delta_au) const {
+  const double f =
+      std::min(m.blocked_fraction() * recovered_fraction, 0.95);
+  const double gain_percent = (1.0 / (1.0 - f) - 1.0) * 100.0;
+  if (area_delta_au > 0.0) return gain_percent / (area_delta_au / 100.0);
+  // Same free-option convention as ArchitectureEvaluator rankings.
+  return gain_percent >= 0.0 ? gain_percent * 1000.0 : gain_percent;
+}
 
 double CostModel::cache_area(const cache::CacheConfig& cache) const {
   if (!cache.enabled) return 0.0;

@@ -102,4 +102,64 @@ std::string messages_to_csv(const std::vector<mcds::TraceMessage>& messages) {
   return out;
 }
 
+std::string interference_to_text(const bus::Crossbar& fabric) {
+  std::string out;
+  char buf[160];
+  bool any = false;
+  for (unsigned s = 0; s < fabric.slave_count(); ++s) {
+    // Does this slave have any blocked cycles at all?
+    u64 slave_total = 0;
+    for (unsigned w = 0; w < bus::kNumMasters; ++w) {
+      for (unsigned h = 0; h < bus::kNumMasters; ++h) {
+        slave_total += fabric.interference(static_cast<bus::MasterId>(w),
+                                           static_cast<bus::MasterId>(h), s);
+      }
+    }
+    if (slave_total == 0) continue;
+    any = true;
+    std::snprintf(buf, sizeof buf, "%s (%llu blocked master-cycles)\n",
+                  std::string(fabric.slave_name(s)).c_str(),
+                  static_cast<unsigned long long>(slave_total));
+    out += buf;
+    std::snprintf(buf, sizeof buf, "  %-12s %-12s %12s\n", "waiter",
+                  "holder", "cycles");
+    out += buf;
+    for (unsigned w = 0; w < bus::kNumMasters; ++w) {
+      for (unsigned h = 0; h < bus::kNumMasters; ++h) {
+        const u64 c = fabric.interference(static_cast<bus::MasterId>(w),
+                                          static_cast<bus::MasterId>(h), s);
+        if (c == 0) continue;
+        std::snprintf(buf, sizeof buf, "  %-12s %-12s %12llu\n",
+                      bus::to_string(static_cast<bus::MasterId>(w)),
+                      bus::to_string(static_cast<bus::MasterId>(h)),
+                      static_cast<unsigned long long>(c));
+        out += buf;
+      }
+    }
+  }
+  if (!any) out = "no bus contention recorded\n";
+  return out;
+}
+
+std::string interference_to_csv(const bus::Crossbar& fabric) {
+  std::string out = "slave,waiter,holder,blocked_cycles\n";
+  char buf[160];
+  for (unsigned s = 0; s < fabric.slave_count(); ++s) {
+    for (unsigned w = 0; w < bus::kNumMasters; ++w) {
+      for (unsigned h = 0; h < bus::kNumMasters; ++h) {
+        const u64 c = fabric.interference(static_cast<bus::MasterId>(w),
+                                          static_cast<bus::MasterId>(h), s);
+        if (c == 0) continue;
+        std::snprintf(buf, sizeof buf, "%s,%s,%s,%llu\n",
+                      std::string(fabric.slave_name(s)).c_str(),
+                      bus::to_string(static_cast<bus::MasterId>(w)),
+                      bus::to_string(static_cast<bus::MasterId>(h)),
+                      static_cast<unsigned long long>(c));
+        out += buf;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace audo::profiling

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "bus/crossbar.hpp"
 #include "mcds/trace.hpp"
 #include "profiling/timeseries.hpp"
 
@@ -19,5 +20,15 @@ std::string series_to_csv(const std::vector<RateSeries>& series);
 /// One decoded message per line:
 /// `cycle,source,kind,field1=value1,...` — greppable raw-event export.
 std::string messages_to_csv(const std::vector<mcds::TraceMessage>& messages);
+
+/// Master×slave interference matrix (bus::Crossbar::interference) as a
+/// fixed-width table: one section per contended slave, one row per
+/// (waiter, holder) pair with nonzero blocked cycles. Empty matrix →
+/// a single "no contention" line.
+std::string interference_to_text(const bus::Crossbar& fabric);
+
+/// Same matrix, machine-readable: `slave,waiter,holder,blocked_cycles`
+/// rows for every nonzero cell.
+std::string interference_to_csv(const bus::Crossbar& fabric);
 
 }  // namespace audo::profiling

@@ -9,6 +9,7 @@ mcds::McdsConfig build_mcds_config(const SessionOptions& options,
   if (options.standard_rates) {
     groups = standard_groups(options.resolution);
   }
+  if (options.cpi_stacks) groups.push_back(stall_root_group(options.resolution));
   for (const auto& g : options.extra_groups) groups.push_back(g);
 
   mcds::McdsConfig config;
@@ -29,7 +30,16 @@ mcds::McdsConfig build_mcds_config(const SessionOptions& options,
 
 ProfilingSession::ProfilingSession(const soc::SocConfig& soc_config,
                                    const SessionOptions& options)
-    : ed_(soc_config, build_mcds_config(options, groups_), options.ed) {}
+    : cpi_stacks_(options.cpi_stacks),
+      ed_(soc_config, build_mcds_config(options, groups_), options.ed) {}
+
+Status ProfilingSession::load(const isa::Program& program) {
+  if (cpi_stacks_) {
+    cpi_builder_ = std::make_unique<CpiStackBuilder>(isa::SymbolMap(program));
+    ed_.soc().set_frame_observer(cpi_builder_.get());
+  }
+  return ed_.load(program);
+}
 
 SessionResult ProfilingSession::run(u64 max_cycles) {
   SessionResult result;
@@ -50,6 +60,12 @@ SessionResult ProfilingSession::run(u64 max_cycles) {
       result.cycles == 0 ? 0.0
                          : 1000.0 * static_cast<double>(result.trace_bytes) /
                                static_cast<double>(result.cycles);
+
+  result.tc_stall_totals = ed_.soc().tc_stall_totals();
+  if (cpi_builder_ != nullptr) {
+    result.cpi_stacks = cpi_builder_->stacks();
+    result.cpi_total = cpi_builder_->total();
+  }
 
   auto decoded = ed_.download_trace();
   if (decoded.is_ok()) {

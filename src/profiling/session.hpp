@@ -7,9 +7,11 @@
 // workflow as one object.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "ed/emulation_device.hpp"
+#include "profiling/cpi_stack.hpp"
 #include "profiling/spec.hpp"
 #include "profiling/timeseries.hpp"
 
@@ -30,6 +32,12 @@ struct SessionOptions {
   bool irq_trace = false;
   bool cycle_accurate = false;
   u32 sync_interval_cycles = 4096;
+
+  /// Build per-function CPI stacks from the per-cycle stall attribution
+  /// and add the "stall" root-cause counter group to the MCDS spec. Off
+  /// by default so the default trace stream is byte-identical to
+  /// sessions predating stall attribution.
+  bool cpi_stacks = false;
 
   std::vector<mcds::Comparator> comparators;
   std::vector<mcds::ActionBinding> actions;
@@ -53,6 +61,13 @@ struct SessionResult {
   /// Average trace bandwidth in bytes per thousand CPU cycles.
   double bytes_per_kcycle = 0.0;
 
+  /// Per-function CPI stacks (SessionOptions::cpi_stacks; empty
+  /// otherwise), sorted by cycles descending, plus their sum.
+  std::vector<CpiStackEntry> cpi_stacks;
+  CpiStackEntry cpi_total;
+  /// Cumulative TC stall-attribution buckets (always filled).
+  soc::StallTotals tc_stall_totals;
+
   const RateSeries* find_series(std::string_view name) const {
     for (const RateSeries& s : series) {
       if (s.name == name) return &s;
@@ -66,7 +81,9 @@ class ProfilingSession {
   ProfilingSession(const soc::SocConfig& soc_config,
                    const SessionOptions& options);
 
-  Status load(const isa::Program& program) { return ed_.load(program); }
+  /// Loads the image; with SessionOptions::cpi_stacks this also builds
+  /// the symbol map and attaches the CPI-stack builder to the SoC.
+  Status load(const isa::Program& program);
   void reset(Addr tc_entry, Addr pcp_entry = 0) {
     ed_.reset(tc_entry, pcp_entry);
   }
@@ -78,10 +95,14 @@ class ProfilingSession {
   const std::vector<mcds::CounterGroupConfig>& groups() const {
     return groups_;
   }
+  /// Attached CPI-stack builder (null unless cpi_stacks was set).
+  const CpiStackBuilder* cpi_builder() const { return cpi_builder_.get(); }
 
  private:
+  bool cpi_stacks_ = false;
   std::vector<mcds::CounterGroupConfig> groups_;
   ed::EmulationDevice ed_;
+  std::unique_ptr<CpiStackBuilder> cpi_builder_;
 };
 
 }  // namespace audo::profiling

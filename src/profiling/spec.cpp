@@ -78,6 +78,24 @@ mcds::CounterGroupConfig chip_event_group(u32 resolution) {
   return g;
 }
 
+mcds::CounterGroupConfig stall_root_group(u32 resolution) {
+  CounterGroupConfig g;
+  g.name = "stall";
+  g.basis = EventId::kCycles;
+  g.resolution = resolution;
+  g.counters = {
+      RateCounterConfig{EventId::kTcStallRootFrontend, {}, {}},
+      RateCounterConfig{EventId::kTcStallRootExec, {}, {}},
+      RateCounterConfig{EventId::kTcStallRootFlashBuffer, {}, {}},
+      RateCounterConfig{EventId::kTcStallRootFlashRead, {}, {}},
+      RateCounterConfig{EventId::kTcStallRootFlashConflict, {}, {}},
+      RateCounterConfig{EventId::kTcStallRootBusArb, {}, {}},
+      RateCounterConfig{EventId::kTcStallRootBusBusy, {}, {}},
+      RateCounterConfig{EventId::kTcStallRootWfi, {}, {}},
+  };
+  return g;
+}
+
 std::vector<mcds::CounterGroupConfig> standard_groups(u32 resolution) {
   return {
       ipc_group(resolution),

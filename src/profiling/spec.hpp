@@ -41,6 +41,13 @@ mcds::CounterGroupConfig system_rate_group(u32 resolution);
 /// activity, flash port conflicts, bus contention, DMA transfers.
 mcds::CounterGroupConfig chip_event_group(u32 resolution);
 
+/// Attributed TC stall root causes per `resolution` clock cycles — one
+/// counter per tc.stall.root.* event (frontend, exec, the flash service
+/// classes, bus arbitration/busy, wfi). The rate-series counterpart of
+/// the CPI stacks; not part of standard_groups() so the default trace
+/// stream is unchanged (SessionOptions::cpi_stacks adds it).
+mcds::CounterGroupConfig stall_root_group(u32 resolution);
+
 /// The full §5 parameter set, measured in parallel.
 std::vector<mcds::CounterGroupConfig> standard_groups(u32 resolution);
 

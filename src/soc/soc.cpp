@@ -70,8 +70,8 @@ Soc::Soc(const SocConfig& config)
   assert(config.valid());
 
   // --- bus fabric ----------------------------------------------------
-  const unsigned s_fcode = sri_.add_slave(&pflash_.code_port());
-  const unsigned s_fdata = sri_.add_slave(&pflash_.data_port());
+  const unsigned s_fcode = s_fcode_ = sri_.add_slave(&pflash_.code_port());
+  const unsigned s_fdata = s_fdata_ = sri_.add_slave(&pflash_.data_port());
   const unsigned s_dflash = sri_.add_slave(&dflash_);
   const unsigned s_lmu = sri_.add_slave(&lmu_);
   const unsigned s_bridge = sri_.add_slave(&bridge_);
@@ -212,6 +212,8 @@ void Soc::reset(Addr tc_entry, Addr pcp_entry) {
   cycle_ = 0;
   frame_ = mcds::ObservationFrame{};
   ff_stats_ = FastForwardStats{};
+  tc_stall_totals_ = StallTotals{};
+  pcp_stall_totals_ = StallTotals{};
   idle_deadlock_ = false;
   tc_->reset(tc_entry);
   if (pcp_ != nullptr) {
@@ -280,14 +282,109 @@ void Soc::step() {
   sri_.step(now);
   if (probe_ != nullptr) probe_->end(StepPhase::kBus);
 
-  // Phase 4: publish the observation frame.
+  // Phase 4: publish the observation frame. The attribution walk runs
+  // after sri_.step so port states and the crossbar's per-cycle blocking
+  // record reflect this cycle's post-arbitration truth.
   if (probe_ != nullptr) probe_->begin(StepPhase::kObserve);
   frame_.sri = sri_.observation();
   frame_.flash = pflash_.strobes();
   frame_.dma = dma_.observation();
+  attribute_core_stall(*tc_, frame_.tc, tc_stall_totals_);
+  if (pcp_ != nullptr) {
+    attribute_core_stall(*pcp_, frame_.pcp, pcp_stall_totals_);
+  }
   if (monitor_.enabled()) frame_.safety = monitor_.step_cycle(now, frame_);
   if (tracer_ != nullptr) tracer_->observe(frame_);
+  if (observer_ != nullptr) observer_->observe(frame_);
   if (probe_ != nullptr) probe_->end(StepPhase::kObserve);
+}
+
+void Soc::attribute_core_stall(const cpu::Cpu& cpu, mcds::CoreObservation& obs,
+                               StallTotals& totals) {
+  using mcds::StallCause;
+  using mcds::StallRootCause;
+  mcds::StallAttribution& attr = obs.attr;
+  attr.symptom = obs.stall;
+  attr.blocking_master = bus::MasterId::kCount;
+  attr.blocking_slave = mcds::StallAttribution::kNoSlave;
+
+  // Walk the responsible outstanding transaction: port waiting for a
+  // grant -> lost arbitration (and the crossbar recorded to whom); port
+  // being served -> the slave's service is the cost, refined for the two
+  // flash ports into buffer-hit / array-read / port-conflict via the
+  // flash's per-port access class. A stall with no bus transaction is a
+  // core-local bubble (`fallback`).
+  const auto walk_port = [&](const bus::MasterPort& port, bool on_bus,
+                             StallRootCause fallback) {
+    if (!on_bus || (!port.busy() && !port.done())) return fallback;
+    const unsigned s = port.slave();
+    attr.blocking_slave = static_cast<u8>(s);
+    if (port.waiting_grant()) {
+      attr.blocking_master = sri_.blocked_by(port.request().master);
+      return StallRootCause::kBusArbitration;
+    }
+    if (s == s_fcode_ || s == s_fdata_) {
+      switch (pflash_.access_class(s == s_fcode_)) {
+        case mem::PFlash::AccessClass::kConflict:
+          return StallRootCause::kFlashPortConflict;
+        case mem::PFlash::AccessClass::kBufferHit:
+          return StallRootCause::kFlashBuffer;
+        default:
+          return StallRootCause::kFlashRead;
+      }
+    }
+    return StallRootCause::kBusSlaveBusy;
+  };
+
+  StallRootCause root = StallRootCause::kNone;
+  if (obs.retired == 0) {
+    switch (obs.stall) {
+      case StallCause::kHalted:
+        root = StallRootCause::kHalted;
+        break;
+      case StallCause::kWfi:
+        root = StallRootCause::kWfi;
+        break;
+      case StallCause::kNone:
+        // Zero-issue cycle without a symptom: irq/trap entry consumed it.
+        root = StallRootCause::kFrontend;
+        break;
+      case StallCause::kExecLatency:
+        root = StallRootCause::kExec;
+        break;
+      case StallCause::kIFetch:
+        root = walk_port(cpu.fetch_port(), cpu.fetch_on_bus(),
+                         StallRootCause::kFrontend);
+        break;
+      case StallCause::kLoadUse:
+      case StallCause::kLsPortBusy:
+        root = walk_port(cpu.data_port(), /*on_bus=*/true,
+                         StallRootCause::kExec);
+        break;
+    }
+  }
+  attr.root = root;
+  totals.cycles[static_cast<unsigned>(root)]++;
+}
+
+mcds::ObservationFrame Soc::make_idle_frame() const {
+  using mcds::StallCause;
+  using mcds::StallRootCause;
+  mcds::ObservationFrame idle;
+  idle.cycle = cycle_;
+  idle.tc.present = true;
+  idle.tc.stall = tc_->halted() ? StallCause::kHalted : StallCause::kWfi;
+  idle.tc.attr.symptom = idle.tc.stall;
+  idle.tc.attr.root =
+      tc_->halted() ? StallRootCause::kHalted : StallRootCause::kWfi;
+  if (pcp_ != nullptr) {
+    idle.pcp.present = true;
+    idle.pcp.stall = pcp_->halted() ? StallCause::kHalted : StallCause::kWfi;
+    idle.pcp.attr.symptom = idle.pcp.stall;
+    idle.pcp.attr.root =
+        pcp_->halted() ? StallRootCause::kHalted : StallRootCause::kWfi;
+  }
+  return idle;
 }
 
 void Soc::set_tracer(SocTracer* tracer) {
@@ -302,8 +399,21 @@ void Soc::set_tracer(SocTracer* tracer) {
 }
 
 void Soc::register_metrics(telemetry::MetricsRegistry& registry) const {
+  const auto stall_metrics = [&registry](const char* component,
+                                         const StallTotals& totals) {
+    for (unsigned r = 0; r < mcds::kNumStallRootCauses; ++r) {
+      registry.counter(component,
+                       std::string("stall.") +
+                           mcds::to_string(static_cast<mcds::StallRootCause>(r)),
+                       &totals.cycles[r]);
+    }
+  };
   tc_->register_metrics(registry, "tc");
-  if (pcp_ != nullptr) pcp_->register_metrics(registry, "pcp");
+  stall_metrics("tc", tc_stall_totals_);
+  if (pcp_ != nullptr) {
+    pcp_->register_metrics(registry, "pcp");
+    stall_metrics("pcp", pcp_stall_totals_);
+  }
   icache_.register_metrics(registry, "icache");
   dcache_.register_metrics(registry, "dcache");
   pflash_.register_metrics(registry, "pflash");
@@ -365,7 +475,18 @@ void Soc::skip_idle(u64 n, WakeSource source) {
   pflash_.skip(n);
   tc_->skip(n);
   if (pcp_ != nullptr) pcp_->skip(n);
+  // Attribution: each skipped cycle is exactly a parked-core cycle, so
+  // the totals advance as n idle step()s would have advanced them.
+  tc_stall_totals_.cycles[static_cast<unsigned>(
+      tc_->halted() ? mcds::StallRootCause::kHalted
+                    : mcds::StallRootCause::kWfi)] += n;
+  if (pcp_ != nullptr) {
+    pcp_stall_totals_.cycles[static_cast<unsigned>(
+        pcp_->halted() ? mcds::StallRootCause::kHalted
+                       : mcds::StallRootCause::kWfi)] += n;
+  }
   if (tracer_ != nullptr) tracer_->skip_idle(cycle_, cycle_ + n);
+  if (observer_ != nullptr) observer_->skip_idle(make_idle_frame(), n);
   cycle_ += n;
   ff_stats_.skipped_cycles += n;
   ff_stats_.wakeups += 1;

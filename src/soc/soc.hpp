@@ -39,6 +39,34 @@ namespace audo::soc {
 
 class SocTracer;
 
+/// Per-cycle frame consumer attached to the Soc (e.g. the CPI-stack
+/// builder). Unlike the tracer, observers also get an explicit bulk
+/// notification for fast-forwarded idle windows so their aggregates stay
+/// bit-identical to stepping every cycle.
+class FrameObserver {
+ public:
+  virtual ~FrameObserver() = default;
+  /// One stepped cycle; `frame` is the fully published observation.
+  virtual void observe(const mcds::ObservationFrame& frame) = 0;
+  /// `n` skipped idle cycles, each equivalent to observing `idle`.
+  virtual void skip_idle(const mcds::ObservationFrame& idle, u64 n) = 0;
+};
+
+/// Cumulative per-core stall-attribution buckets (one counter per
+/// mcds::StallRootCause, kNone = cycles with issue). The buckets
+/// partition the core's cycles: their sum equals cpu::Cpu::cycles().
+struct StallTotals {
+  std::array<u64, mcds::kNumStallRootCauses> cycles{};
+  u64 total() const {
+    u64 sum = 0;
+    for (const u64 c : cycles) sum += c;
+    return sum;
+  }
+  u64 operator[](mcds::StallRootCause root) const {
+    return cycles[static_cast<unsigned>(root)];
+  }
+};
+
 /// What ended an idle fast-forward window: the component whose scheduled
 /// activity bounded the skip, or the run budget expiring first.
 enum class WakeSource : u8 {
@@ -147,8 +175,10 @@ class Soc {
   cpu::Cpu& tc() { return *tc_; }
   const cpu::Cpu& tc() const { return *tc_; }
   cpu::Cpu* pcp() { return pcp_.get(); }
+  const cpu::Cpu* pcp() const { return pcp_.get(); }
 
   bus::Crossbar& sri() { return sri_; }
+  const bus::Crossbar& sri() const { return sri_; }
   mem::PFlash& pflash() { return pflash_; }
   mem::DFlashSlave& dflash() { return dflash_; }
   mem::Scratchpad& dspr() { return dspr_; }
@@ -197,6 +227,28 @@ class Soc {
   /// names for bus-span labels. Pass nullptr to detach.
   void set_tracer(SocTracer* tracer);
   SocTracer* tracer() { return tracer_; }
+
+  /// Attach a per-cycle frame observer (CPI-stack builder). Receives the
+  /// published frame after every step() and a bulk notification for each
+  /// fast-forwarded idle window. Pass nullptr to detach.
+  void set_frame_observer(FrameObserver* observer) { observer_ = observer; }
+  FrameObserver* frame_observer() { return observer_; }
+
+  // ---- stall attribution (DESIGN.md, "Stall attribution & interference
+  // matrix") ----------------------------------------------------------
+
+  /// Cumulative root-cause buckets per core. The kNone bucket counts
+  /// cycles with issue, kWfi/kHalted the parked cycles (fast-forwarded
+  /// idle windows land there in bulk), so the buckets always sum to the
+  /// core's cycle count.
+  const StallTotals& tc_stall_totals() const { return tc_stall_totals_; }
+  const StallTotals& pcp_stall_totals() const { return pcp_stall_totals_; }
+
+  /// The observation frame a skipped idle cycle is equivalent to: cores
+  /// parked (kWfi/kHalted, attributed likewise), empty fabric, no
+  /// strobes. Used by the fast-forward paths (EmulationDevice, frame
+  /// observers) so idle windows feed triggers/counters bit-identically.
+  mcds::ObservationFrame make_idle_frame() const;
 
   /// Attach a host phase profiler timing each step() phase.
   void set_phase_probe(telemetry::PhaseProbe* probe) { probe_ = probe; }
@@ -248,13 +300,29 @@ class Soc {
   /// call only while quiescent() holds.
   bool wake_impossible() const;
 
+  /// Phase-4 attribution walk: refine the core's stall symptom into a
+  /// root cause by inspecting the responsible port, the flash service
+  /// class and the crossbar's per-cycle blocking record, then bump the
+  /// core's totals bucket.
+  void attribute_core_stall(const cpu::Cpu& cpu, mcds::CoreObservation& obs,
+                            StallTotals& totals);
+
   Cycle cycle_ = 0;
   mcds::ObservationFrame frame_;
+
+  // Flash slave indices on the SRI (the walk refines stalls on these two
+  // via PFlash::access_class).
+  unsigned s_fcode_ = 0;
+  unsigned s_fdata_ = 0;
+
+  StallTotals tc_stall_totals_;
+  StallTotals pcp_stall_totals_;
 
   FastForwardStats ff_stats_;
   bool idle_deadlock_ = false;
 
   SocTracer* tracer_ = nullptr;
+  FrameObserver* observer_ = nullptr;
   telemetry::PhaseProbe* probe_ = nullptr;
 };
 

@@ -131,6 +131,14 @@ void SocTracer::observe(const mcds::ObservationFrame& frame) {
   interval_data_acc_ += frame.flash.data_access ? 1 : 0;
   interval_data_hit_ += frame.flash.data_buffer_hit ? 1 : 0;
   interval_contention_ += frame.sri.contention ? 1 : 0;
+  {
+    using mcds::StallRootCause;
+    const StallRootCause root = frame.tc.attr.root;
+    if (root >= StallRootCause::kFrontend &&
+        root <= StallRootCause::kBusSlaveBusy) {
+      interval_stall_root_[static_cast<unsigned>(root)]++;
+    }
+  }
   if (now >= next_sample_) {
     sample_counters(now);
     next_sample_ = now + options_.counter_interval;
@@ -154,6 +162,17 @@ void SocTracer::sample_counters(Cycle now) {
   }
   timeline_.counter("SRI contention", now,
                     static_cast<double>(interval_contention_) / cycles);
+  // One counter track per attributed stall root cause (fraction of the
+  // interval's cycles lost to it). Tracks appear only once the cause
+  // first occurs, so undisturbed runs keep their track count.
+  for (unsigned r = static_cast<unsigned>(mcds::StallRootCause::kFrontend);
+       r <= static_cast<unsigned>(mcds::StallRootCause::kBusSlaveBusy); ++r) {
+    if (interval_stall_root_[r] == 0) continue;
+    timeline_.counter(
+        std::string("TC stall ") +
+            mcds::to_string(static_cast<mcds::StallRootCause>(r)),
+        now, static_cast<double>(interval_stall_root_[r]) / cycles);
+  }
   interval_cycles_ = 0;
   interval_retired_ = 0;
   interval_code_acc_ = 0;
@@ -161,6 +180,7 @@ void SocTracer::sample_counters(Cycle now) {
   interval_data_acc_ = 0;
   interval_data_hit_ = 0;
   interval_contention_ = 0;
+  interval_stall_root_.fill(0);
 }
 
 void SocTracer::skip_idle(Cycle from, Cycle to) {

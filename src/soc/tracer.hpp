@@ -113,6 +113,10 @@ class SocTracer {
   u64 interval_data_acc_ = 0;
   u64 interval_data_hit_ = 0;
   u64 interval_contention_ = 0;
+  // TC stall root causes (kFrontend..kBusSlaveBusy only: parked cycles
+  // are excluded so fast-forwarded idle windows — which contribute only
+  // interval_cycles_ — replay bit-identically to stepping them).
+  std::array<u64, mcds::kNumStallRootCauses> interval_stall_root_{};
 
   // EEC-side deltas.
   Cycle next_eec_sample_ = 0;

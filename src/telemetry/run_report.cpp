@@ -102,6 +102,28 @@ std::string RunReport::to_json() const {
   for (const auto& [name, value] : alarms) w.kv(name, value);
   w.end_object();
 
+  w.key("stall_attribution");
+  w.begin_object();
+  for (const StallAttributionBlock& block : stall_attribution) {
+    w.key(block.core);
+    w.begin_object();
+    for (const auto& [bucket, value] : block.buckets) w.kv(bucket, value);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("interference_matrix");
+  w.begin_array();
+  for (const InterferenceEntry& e : interference_matrix) {
+    w.begin_object();
+    w.kv("slave", e.slave);
+    w.kv("waiter", e.waiter);
+    w.kv("holder", e.holder);
+    w.kv("cycles", e.cycles);
+    w.end_object();
+  }
+  w.end_array();
+
   w.key("extras");
   w.begin_object();
   for (const auto& [name, value] : extras) w.kv(name, value);

@@ -58,6 +58,26 @@ struct RunReport {
   /// Safety-monitor alarm totals by kind ("ecc_corrected", ...).
   std::vector<std::pair<std::string, u64>> alarms;
 
+  // ---- stall attribution (per-core root-cause buckets) & master×slave
+  // interference matrix (both always present; empty for runs that never
+  // sampled them) -----------------------------------------------------
+  struct StallAttributionBlock {
+    std::string core;  // "tc", "pcp"
+    /// Root-cause bucket name ("issue", "frontend", ...) -> cycles.
+    std::vector<std::pair<std::string, u64>> buckets;
+  };
+  std::vector<StallAttributionBlock> stall_attribution;
+
+  /// One nonzero interference cell: cycles `waiter` spent blocked on
+  /// `slave` while `holder` occupied it.
+  struct InterferenceEntry {
+    std::string slave;
+    std::string waiter;
+    std::string holder;
+    u64 cycles = 0;
+  };
+  std::vector<InterferenceEntry> interference_matrix;
+
   // ---- freeform bench-specific extras ----
   std::vector<std::pair<std::string, double>> extras;
 
@@ -78,6 +98,26 @@ struct RunReport {
 
   void add_wake_source(std::string name, u64 value) {
     ff_wake_sources.emplace_back(std::move(name), value);
+  }
+
+  /// Append one root-cause bucket under `core`, creating the per-core
+  /// block on first use.
+  void add_stall_bucket(const std::string& core, std::string bucket,
+                        u64 cycles) {
+    for (StallAttributionBlock& b : stall_attribution) {
+      if (b.core == core) {
+        b.buckets.emplace_back(std::move(bucket), cycles);
+        return;
+      }
+    }
+    stall_attribution.push_back(
+        StallAttributionBlock{core, {{std::move(bucket), cycles}}});
+  }
+
+  void add_interference(std::string slave, std::string waiter,
+                        std::string holder, u64 cycles) {
+    interference_matrix.push_back(InterferenceEntry{
+        std::move(slave), std::move(waiter), std::move(holder), cycles});
   }
 
   std::string to_json() const;

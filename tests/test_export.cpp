@@ -39,6 +39,45 @@ TEST(Export, SeriesCsvShapeAndForwardFill) {
   EXPECT_NE(lines[3].find("0.8"), std::string::npos);
 }
 
+TEST(Export, SeriesCsvDisjointCadencesForwardFill) {
+  // Three series whose sample cycles never coincide (co-prime cadences
+  // plus a one-shot): every union row must carry one cell per series,
+  // holding the last value at-or-before that cycle and staying empty
+  // until the series' first sample.
+  profiling::RateSeries a;
+  a.name = "a";
+  a.points = {{100, 10, 100}, {200, 20, 100}, {300, 30, 100}};
+  profiling::RateSeries b;
+  b.name = "b";
+  b.points = {{70, 7, 100}, {140, 14, 100}, {210, 21, 100}, {280, 28, 100}};
+  profiling::RateSeries c;
+  c.name = "c";
+  c.points = {{250, 50, 100}};
+  const std::string csv = profiling::series_to_csv({a, b, c});
+
+  std::vector<std::string> lines;
+  usize pos = 0;
+  while (pos < csv.size()) {
+    const usize nl = csv.find('\n', pos);
+    lines.push_back(csv.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 9u);  // header + union of 8 distinct cycles
+  EXPECT_EQ(lines[0], "cycle,a,b,c");
+  for (usize i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(std::count(lines[i].begin(), lines[i].end(), ','), 3)
+        << "row " << i;
+  }
+  EXPECT_EQ(lines[1], "70,,0.070000,");           // a and c not yet sampled
+  EXPECT_EQ(lines[2], "100,0.100000,0.070000,");  // b forward-fills
+  EXPECT_EQ(lines[3], "140,0.100000,0.140000,");
+  EXPECT_EQ(lines[4], "200,0.200000,0.140000,");
+  EXPECT_EQ(lines[5], "210,0.200000,0.210000,");
+  EXPECT_EQ(lines[6], "250,0.200000,0.210000,0.500000");
+  EXPECT_EQ(lines[7], "280,0.200000,0.280000,0.500000");
+  EXPECT_EQ(lines[8], "300,0.300000,0.280000,0.500000");
+}
+
 TEST(Export, MessageCsvCoversAllKinds) {
   std::vector<mcds::TraceMessage> messages;
   mcds::TraceMessage m;

@@ -12,6 +12,8 @@
 #include "helpers.hpp"
 #include "host/sim_job.hpp"
 #include "optimize/fault_campaign.hpp"
+#include "profiling/cpi_stack.hpp"
+#include "profiling/export.hpp"
 #include "profiling/session.hpp"
 #include "telemetry/metrics.hpp"
 #include "workload/engine.hpp"
@@ -32,6 +34,11 @@ struct Observed {
   bool halted = false;
   bool idle_deadlock = false;
   std::vector<std::string> metrics;  // "component/name=value", sans sim/ff.*
+  // Stall-attribution aggregates: per-function CPI stacks and the
+  // master x slave interference matrix must also be bit-identical (the
+  // stall.* registry counters above cover the per-core bucket totals).
+  std::string cpi_csv;
+  std::string interference_csv;
 };
 
 template <typename Workload, typename Install>
@@ -40,6 +47,8 @@ Observed run_soc(const Workload& w, Install install, bool fast_forward,
   soc::SocConfig config = test::small_config();
   config.fast_forward = fast_forward;
   soc::Soc soc(config);
+  profiling::CpiStackBuilder cpi{isa::SymbolMap(w.program)};
+  soc.set_frame_observer(&cpi);
   telemetry::MetricsRegistry registry;
   soc.register_metrics(registry);
   EXPECT_TRUE(install(soc, w).is_ok());
@@ -55,6 +64,8 @@ Observed run_soc(const Workload& w, Install install, bool fast_forward,
     o.metrics.push_back(s.component + "/" + s.name + "=" +
                         std::to_string(s.value));
   }
+  o.cpi_csv = cpi.to_csv();
+  o.interference_csv = profiling::interference_to_csv(soc.sri());
   if (ff_out != nullptr) *ff_out = soc.ff_stats();
   return o;
 }
@@ -66,6 +77,8 @@ void expect_identical(const Observed& on, const Observed& off) {
   EXPECT_EQ(on.halted, off.halted);
   EXPECT_EQ(on.idle_deadlock, off.idle_deadlock);
   EXPECT_EQ(on.metrics, off.metrics);
+  EXPECT_EQ(on.cpi_csv, off.cpi_csv);
+  EXPECT_EQ(on.interference_csv, off.interference_csv);
 }
 
 workload::EngineWorkload idle_engine(u32 halt_after_revs) {

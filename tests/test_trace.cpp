@@ -328,5 +328,107 @@ TEST(TraceCodec, DecodeRejectsGarbage) {
   EXPECT_FALSE(decoded.is_ok());
 }
 
+// ---- error paths (corrupted EMEM dumps, partial DAP downloads) -------
+
+TEST(TraceCodec, TruncatedUnitIsDecodeErrorNotGarbage) {
+  // Chop a valid sync unit at every possible byte boundary: each prefix
+  // must come back as kDecodeError (the BitReader latches overrun and
+  // the decoder refuses to emit the zero-filled message), never decode
+  // into a bogus message and never touch out-of-range memory.
+  TraceEncoder enc;
+  const EncodedMessage full =
+      enc.encode(sync_msg(MsgSource::kTcCore, 123456, 0x80001234, 0xC0000040));
+  ASSERT_GT(full.bytes.size(), 1u);
+  for (usize keep = 0; keep + 1 < full.bytes.size(); ++keep) {
+    EncodedMessage cut;
+    cut.bytes.assign(full.bytes.begin(), full.bytes.begin() + keep);
+    auto decoded = TraceDecoder::decode({cut});
+    ASSERT_FALSE(decoded.is_ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDecodeError);
+  }
+  // The untruncated unit still decodes.
+  auto ok = TraceDecoder::decode({full});
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value()[0].pc, 0x80001234u);
+}
+
+TEST(TraceCodec, TruncatedMidStreamUnitFailsWholeDecode) {
+  // A damaged unit in the middle of an otherwise good stream: the decode
+  // reports the error instead of silently resynchronizing past it (the
+  // host cannot know how many messages the hole swallowed).
+  TraceEncoder enc;
+  std::vector<EncodedMessage> units;
+  units.push_back(enc.encode(sync_msg(MsgSource::kTcCore, 10, 0x80000000, 0)));
+  TraceMessage data;
+  data.kind = MsgKind::kData;
+  data.source = MsgSource::kTcCore;
+  data.cycle = 12;
+  data.addr = 0xC0000104;
+  data.value = 0xDEADBEEF;
+  data.write = true;
+  data.bytes = 4;
+  EncodedMessage damaged = enc.encode(data);
+  ASSERT_GT(damaged.bytes.size(), 1u);
+  damaged.bytes.pop_back();
+  units.push_back(damaged);
+  auto decoded = TraceDecoder::decode(units);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDecodeError);
+}
+
+TEST(TraceCodec, BadSourceFieldIsDecodeError) {
+  // kSourceBits = 2 but only sources 0..2 exist; raw source 3 must be
+  // rejected (it would otherwise index past the decoder's anchor array).
+  EncodedMessage unit;
+  // Bits LSB-first: kind = 0 (kSync, 3 bits), source = 3 (2 bits), then
+  // plausible varint payload so only the source field is at fault.
+  unit.bytes = {0b0001'1000, 0x00, 0x00, 0x00};
+  auto decoded = TraceDecoder::decode({unit});
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDecodeError);
+}
+
+TEST(TraceCodec, DecodeAfterLostAnchorResyncs) {
+  // Ring overflow drops the sync that anchored a core's deltas. The
+  // encoder signals this (kOverflow + reset_anchors) and re-anchors with
+  // a fresh sync; decoding the post-overflow tail alone — the realistic
+  // EMEM download shape — must reproduce the re-anchored stream exactly.
+  TraceEncoder enc;
+  std::vector<EncodedMessage> tail;
+  // Pre-overflow traffic whose units never reach the host.
+  enc.encode(sync_msg(MsgSource::kTcCore, 10, 0x80000000, 0xC0000000));
+  TraceMessage lost_flow;
+  lost_flow.kind = MsgKind::kFlow;
+  lost_flow.source = MsgSource::kTcCore;
+  lost_flow.cycle = 14;
+  lost_flow.pc = 0x80000020;
+  enc.encode(lost_flow);
+
+  TraceMessage ovf;
+  ovf.kind = MsgKind::kOverflow;
+  ovf.source = MsgSource::kChip;
+  ovf.cycle = 500;
+  enc.reset_anchors();
+  tail.push_back(enc.encode(ovf));
+  tail.push_back(
+      enc.encode(sync_msg(MsgSource::kTcCore, 510, 0x80002000, 0xC0000200)));
+  TraceMessage flow;
+  flow.kind = MsgKind::kFlow;
+  flow.source = MsgSource::kTcCore;
+  flow.cycle = 515;
+  flow.pc = 0x80002040;  // small delta against the *new* anchor
+  flow.instr_count = 9;
+  tail.push_back(enc.encode(flow));
+
+  auto decoded = TraceDecoder::decode(tail);
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_EQ(decoded.value().size(), 3u);
+  EXPECT_EQ(decoded.value()[0].kind, MsgKind::kOverflow);
+  EXPECT_EQ(decoded.value()[1].pc, 0x80002000u);
+  EXPECT_EQ(decoded.value()[2].pc, 0x80002040u);
+  EXPECT_EQ(decoded.value()[2].cycle, 515u);
+  EXPECT_EQ(decoded.value()[2].instr_count, 9u);
+}
+
 }  // namespace
 }  // namespace audo::mcds

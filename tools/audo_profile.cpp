@@ -4,6 +4,9 @@
 // function profiles, execution listings and CSV exports.
 //
 //   audo-profile program.s [options]
+//   audo-profile --engine [options]
+//     --engine            profile the bundled engine-control workload
+//                         instead of assembling a source file
 //     --cycles N          simulation budget (default 2000000)
 //     --resolution N      basis ticks per rate sample (default 1000)
 //     --flow              program-flow trace (implied by --functions/--listing)
@@ -11,9 +14,16 @@
 //     --irq               interrupt trace
 //     --cycle-accurate    per-cycle tick messages (expensive)
 //     --functions         print the function-level profile
+//     --cpi-stacks        per-function CPI stacks from the per-cycle
+//                         stall attribution, plus the master×slave
+//                         interference matrix
+//     --top N             rows in the function/CPI tables (default 20)
 //     --listing N         print the first N reconstructed instructions
 //     --series-csv FILE   write the rate series as CSV
 //     --events-csv FILE   write the decoded messages as CSV
+//     --csv FILE          write the CPI-stack table as CSV (implies
+//                         --cpi-stacks)
+//     --interference-csv FILE   write the interference matrix as CSV
 //     --no-icache / --no-dcache
 //     --flash-ws N        flash wait states (default 5)
 //     --emem-kib N        trace memory size (default 384 usable)
@@ -38,6 +48,7 @@
 #include "telemetry/host_profiler.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/run_report.hpp"
+#include "workload/engine.hpp"
 
 using namespace audo;
 
@@ -45,10 +56,12 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: audo-profile program.s [--cycles N] [--resolution N]\n"
+               "usage: audo-profile {program.s | --engine} [--cycles N] "
+               "[--resolution N]\n"
                "       [--flow] [--data] [--irq] [--cycle-accurate]\n"
-               "       [--functions] [--listing N] [--series-csv FILE]\n"
-               "       [--events-csv FILE] [--no-icache] [--no-dcache]\n"
+               "       [--functions] [--cpi-stacks] [--top N] [--listing N]\n"
+               "       [--series-csv FILE] [--events-csv FILE] [--csv FILE]\n"
+               "       [--interference-csv FILE] [--no-icache] [--no-dcache]\n"
                "       [--flash-ws N] [--emem-kib N] [--jobs N]\n"
                "       [--no-fast-forward] [--report FILE] "
                "[--perfetto FILE]\n");
@@ -69,12 +82,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   const char* source_path = nullptr;
+  bool engine = false;
   u64 cycles = 2'000'000;
   u32 resolution = 1000;
   bool functions = false;
+  bool cpi_stacks = false;
+  usize top_n = 20;
   usize listing_lines = 0;
   const char* series_csv = nullptr;
   const char* events_csv = nullptr;
+  const char* cpi_csv = nullptr;
+  const char* interference_csv = nullptr;
   const char* report_path = nullptr;
   const char* perfetto_path = nullptr;
   unsigned jobs = host::SimPool::hardware_jobs();
@@ -91,7 +109,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(arg, "--cycles") == 0) {
+    if (std::strcmp(arg, "--engine") == 0) {
+      engine = true;
+    } else if (std::strcmp(arg, "--cycles") == 0) {
       cycles = std::strtoull(next_value(), nullptr, 0);
     } else if (std::strcmp(arg, "--resolution") == 0) {
       resolution = static_cast<u32>(std::strtoul(next_value(), nullptr, 0));
@@ -106,6 +126,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--functions") == 0) {
       functions = true;
       options.program_trace = true;
+    } else if (std::strcmp(arg, "--cpi-stacks") == 0) {
+      cpi_stacks = true;
+      options.cpi_stacks = true;
+    } else if (std::strcmp(arg, "--top") == 0) {
+      top_n = std::strtoull(next_value(), nullptr, 0);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      cpi_csv = next_value();
+      options.cpi_stacks = true;
+    } else if (std::strcmp(arg, "--interference-csv") == 0) {
+      interference_csv = next_value();
     } else if (std::strcmp(arg, "--listing") == 0) {
       listing_lines = std::strtoull(next_value(), nullptr, 0);
       options.program_trace = true;
@@ -141,32 +171,55 @@ int main(int argc, char** argv) {
       source_path = arg;
     }
   }
-  if (source_path == nullptr) {
+  if (source_path == nullptr && !engine) {
     usage();
     return 2;
   }
 
-  std::ifstream in(source_path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", source_path);
-    return 1;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  auto program = isa::assemble(buffer.str());
-  if (!program.is_ok()) {
-    std::fprintf(stderr, "%s: %s\n", source_path,
-                 program.status().to_string().c_str());
-    return 1;
+  isa::Program program;
+  Addr tc_entry = 0;
+  Addr pcp_entry = 0;
+  workload::EngineOptions engine_options;
+  if (engine) {
+    source_path = "<engine workload>";
+    auto built = workload::build_engine_workload(engine_options);
+    if (!built.is_ok()) {
+      std::fprintf(stderr, "engine workload: %s\n",
+                   built.status().to_string().c_str());
+      return 1;
+    }
+    engine_options = built.value().options;
+    tc_entry = built.value().tc_entry;
+    pcp_entry = built.value().pcp_entry;
+    program = std::move(built).value().program;
+  } else {
+    std::ifstream in(source_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", source_path);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto assembled = isa::assemble(buffer.str());
+    if (!assembled.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", source_path,
+                   assembled.status().to_string().c_str());
+      return 1;
+    }
+    program = std::move(assembled).value();
+    tc_entry = program.entry();
   }
 
   options.resolution = resolution;
   profiling::ProfilingSession session(chip, options);
-  if (Status s = session.load(program.value()); !s.is_ok()) {
+  if (Status s = session.load(program); !s.is_ok()) {
     std::fprintf(stderr, "load: %s\n", s.to_string().c_str());
     return 1;
   }
-  session.reset(program.value().entry());
+  if (engine) {
+    workload::configure_engine(session.device().soc(), engine_options);
+  }
+  session.reset(tc_entry, pcp_entry);
 
   // Host telemetry (null-cost when neither flag was given).
   telemetry::MetricsRegistry registry;
@@ -196,21 +249,27 @@ int main(int argc, char** argv) {
   std::printf("%s", profiling::format_series_summary(result.series).c_str());
 
   if (functions) {
-    profiling::SystemProfiler profiler{isa::SymbolMap(program.value())};
+    profiling::SystemProfiler profiler{isa::SymbolMap(program)};
     profiler.consume(result.messages);
     std::printf("\n== function profile ==\n%s",
-                profiler.format_function_profile().c_str());
+                profiler.format_function_profile(top_n).c_str());
     if (options.data_trace) {
       std::printf("\n== data objects ==\n%s",
-                  profiler.format_data_profile().c_str());
+                  profiler.format_data_profile(top_n).c_str());
     }
+  }
+  if (cpi_stacks && session.cpi_builder() != nullptr) {
+    std::printf("\n== CPI stacks ==\n%s",
+                session.cpi_builder()->format(top_n).c_str());
+    std::printf("\n== interference matrix ==\n%s",
+                profiling::interference_to_text(session.device().soc().sri())
+                    .c_str());
   }
   if (listing_lines > 0) {
     profiling::ListingOptions lo;
     lo.max_lines = listing_lines;
     std::printf("\n== execution listing ==\n%s",
-                profiling::execution_listing(program.value(), result.messages,
-                                             lo)
+                profiling::execution_listing(program, result.messages, lo)
                     .c_str());
   }
   if (series_csv != nullptr &&
@@ -223,8 +282,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", events_csv);
     return 1;
   }
+  if (cpi_csv != nullptr && session.cpi_builder() != nullptr &&
+      !write_file(cpi_csv, session.cpi_builder()->to_csv())) {
+    std::fprintf(stderr, "cannot write %s\n", cpi_csv);
+    return 1;
+  }
 
   auto& soc = session.device().soc();
+  if (interference_csv != nullptr &&
+      !write_file(interference_csv,
+                  profiling::interference_to_csv(soc.sri()))) {
+    std::fprintf(stderr, "cannot write %s\n", interference_csv);
+    return 1;
+  }
   if (perfetto_path != nullptr) {
     tracer.finish(soc.cycle());
     if (Status s = tracer.write_chrome_json(perfetto_path,
@@ -256,6 +326,29 @@ int main(int argc, char** argv) {
       if (soc.ff_stats().wake_counts[s] == 0) continue;
       report.add_wake_source(soc::to_string(static_cast<soc::WakeSource>(s)),
                              soc.ff_stats().wake_counts[s]);
+    }
+    const auto add_stall_block = [&report](const char* core,
+                                           const soc::StallTotals& totals) {
+      for (unsigned r = 0; r < mcds::kNumStallRootCauses; ++r) {
+        report.add_stall_bucket(
+            core, mcds::to_string(static_cast<mcds::StallRootCause>(r)),
+            totals.cycles[r]);
+      }
+    };
+    add_stall_block("tc", soc.tc_stall_totals());
+    if (soc.pcp() != nullptr) add_stall_block("pcp", soc.pcp_stall_totals());
+    for (unsigned s = 0; s < soc.sri().slave_count(); ++s) {
+      for (unsigned w = 0; w < bus::kNumMasters; ++w) {
+        for (unsigned h = 0; h < bus::kNumMasters; ++h) {
+          const u64 c = soc.sri().interference(
+              static_cast<bus::MasterId>(w), static_cast<bus::MasterId>(h), s);
+          if (c == 0) continue;
+          report.add_interference(
+              std::string(soc.sri().slave_name(s)),
+              bus::to_string(static_cast<bus::MasterId>(w)),
+              bus::to_string(static_cast<bus::MasterId>(h)), c);
+        }
+      }
     }
     report.add_extra("trace_messages",
                      static_cast<double>(result.trace_messages));
