@@ -20,6 +20,7 @@
 #include "bench_common.hpp"
 
 #include "optimize/evaluator.hpp"
+#include "profiling/dag.hpp"
 
 using namespace audo;
 using namespace audo::bench;
@@ -101,12 +102,35 @@ int main(int argc, char** argv) {
   };
   const double cps_on = single_run_cps(true);
   const double cps_off = single_run_cps(false);
+  // Same dense run with the execution-DAG frame observer attached: the
+  // per-cycle segmentation cost optimization consumers actually pay.
+  auto single_run_dag_cps = [&]() {
+    auto w = default_engine();
+    soc::SocConfig config;
+    args.apply(config);
+    soc::Soc soc{config};
+    profiling::ExecutionDag dag{isa::SymbolMap(w.program)};
+    soc.set_frame_observer(&dag);
+    if (Status s = workload::install_engine(soc, w); !s.is_ok()) {
+      std::fprintf(stderr, "install failed: %s\n", s.to_string().c_str());
+      std::exit(1);
+    }
+    telemetry::HostProfiler host;
+    host.start(soc.cycle());
+    soc.run(cycles);
+    host.stop(soc.cycle());
+    return host.sim_cycles_per_second();
+  };
+  const double cps_dag = single_run_dag_cps();
   std::printf("\nsingle run (%llu cycles, engine workload, telemetry "
               "detached):\n"
               "  decode cache on:  %12.0f sim cycles/sec\n"
-              "  decode cache off: %12.0f sim cycles/sec (%.1f%% slower)\n",
+              "  decode cache off: %12.0f sim cycles/sec (%.1f%% slower)\n"
+              "  + DAG observer:   %12.0f sim cycles/sec (%.1f%% slower)\n",
               static_cast<unsigned long long>(cycles), cps_on, cps_off,
-              cps_on > 0.0 ? 100.0 * (cps_on - cps_off) / cps_on : 0.0);
+              cps_on > 0.0 ? 100.0 * (cps_on - cps_off) / cps_on : 0.0,
+              cps_dag,
+              cps_on > 0.0 ? 100.0 * (cps_on - cps_dag) / cps_on : 0.0);
 
   // --- 2. sweep wall-clock, serial vs --jobs --------------------------
   const auto catalogue = optimize::standard_catalogue();
@@ -192,6 +216,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cycles));
   std::printf("THROUGHPUT single_run_cache_on_cps=%.0f\n", cps_on);
   std::printf("THROUGHPUT single_run_cache_off_cps=%.0f\n", cps_off);
+  std::printf("THROUGHPUT single_run_dag_cps=%.0f\n", cps_dag);
   std::printf("THROUGHPUT sweep_serial_seconds=%.4f\n", serial_s);
   std::printf("THROUGHPUT sweep_parallel_seconds=%.4f\n", parallel_s);
   std::printf("THROUGHPUT sweep_jobs=%u\n", args.jobs);
@@ -220,6 +245,7 @@ int main(int argc, char** argv) {
     soc.run(200'000);
     telemetry.add_extra("single_run_cache_on_cps", cps_on);
     telemetry.add_extra("single_run_cache_off_cps", cps_off);
+    telemetry.add_extra("single_run_dag_cps", cps_dag);
     telemetry.add_extra("sweep_speedup",
                         parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
     telemetry.add_extra("ff_speedup", ff_speedup);

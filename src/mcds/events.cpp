@@ -98,6 +98,19 @@ u32 event_value(const ObservationFrame& f, EventId id) {
     case EventId::kSafetyWdtTimeout: return f.safety.wdt_timeout ? 1 : 0;
     case EventId::kSafetyTrap: return f.safety.cpu_trap ? 1 : 0;
     case EventId::kSafetyAlarmIrq: return f.safety.alarm_irq ? 1 : 0;
+    case EventId::kDagIrqRaise: return f.irq.count;
+    case EventId::kDagIsrEnter:
+      return ((tc.irq_entry || tc.trap_entry) ? 1u : 0u) +
+             ((pcp.irq_entry || pcp.trap_entry) ? 1u : 0u);
+    case EventId::kDagIsrExit:
+      return (tc.irq_exit ? 1u : 0u) + (pcp.irq_exit ? 1u : 0u);
+    case EventId::kDagIdle: {
+      const auto parked = [](const CoreObservation& c) -> u32 {
+        return (c.present && (c.stall == StallCause::kWfi ||
+                              c.stall == StallCause::kHalted)) ? 1 : 0;
+      };
+      return parked(tc) + parked(pcp);
+    }
     case EventId::kEventCount: break;
   }
   return 0;
@@ -154,6 +167,10 @@ std::string_view event_name(EventId id) {
     case EventId::kSafetyWdtTimeout: return "safety.wdt_timeout";
     case EventId::kSafetyTrap: return "safety.trap";
     case EventId::kSafetyAlarmIrq: return "safety.alarm_irq";
+    case EventId::kDagIrqRaise: return "dag.irq_raise";
+    case EventId::kDagIsrEnter: return "dag.isr_enter";
+    case EventId::kDagIsrExit: return "dag.isr_exit";
+    case EventId::kDagIdle: return "dag.idle";
     case EventId::kEventCount: break;
   }
   return "?";

@@ -70,6 +70,14 @@ enum class EventId : u8 {
   kSafetyWdtTimeout,
   kSafetyTrap,
   kSafetyAlarmIrq,          // monitor raised its alarm interrupt
+  // Execution-DAG activation boundaries (src/profiling/dag.hpp). These
+  // are derived strobes over the same frame the DAG builder consumes, so
+  // MCDS triggers/counters can key on activation structure without the
+  // builder attached.
+  kDagIrqRaise,     // 0..N service requests raised this cycle
+  kDagIsrEnter,     // cores entering an ISR/trap handler (activation open)
+  kDagIsrExit,      // cores whose RFE retired (activation close)
+  kDagIdle,         // cores parked in WFI/halt this cycle
   kEventCount,
 };
 

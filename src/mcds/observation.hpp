@@ -8,6 +8,8 @@
 // non-intrusiveness a structural property (verified by test).
 #pragma once
 
+#include <array>
+
 #include "bus/crossbar.hpp"
 #include "common/types.hpp"
 #include "mem/pflash.hpp"
@@ -124,6 +126,26 @@ struct DmaObservation {
   u8 channel = 0;
 };
 
+/// Service requests raised by peripherals this cycle (IrqRouter::post on
+/// a non-pending node). The execution-DAG builder uses these to measure
+/// dispatch latency (raise cycle -> handler entry); the MCDS sees them as
+/// ordinary event strobes. Raises only happen in stepped cycles — a
+/// quiescent SoC's peripherals post nothing until their next activity
+/// cycle, which bounds every fast-forward window — so idle skips never
+/// lose one.
+struct IrqObservation {
+  struct Raise {
+    u8 priority = 0;
+    u8 target = 0;  // periph::IrqTarget numeric value (0=TC, 1=PCP, 2=DMA)
+  };
+  static constexpr unsigned kMaxRaises = 4;
+
+  u8 count = 0;  // raises recorded (excess beyond kMaxRaises is dropped)
+  std::array<Raise, kMaxRaises> raised{};
+
+  void reset() { count = 0; }
+};
+
 /// Safety-monitor alarms raised this cycle (fault/safety_monitor.hpp
 /// fills this; all zero when the monitor is disabled). Alarm strobes are
 /// trigger/counter inputs like any other event source.
@@ -148,6 +170,7 @@ struct ObservationFrame {
   mem::PFlash::Strobes flash;
   DmaObservation dma;
   SafetyObservation safety;
+  IrqObservation irq;
 };
 
 }  // namespace audo::mcds

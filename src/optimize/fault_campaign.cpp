@@ -8,6 +8,7 @@
 #include "host/sim_pool.hpp"
 #include "mem/memory_map.hpp"
 #include "periph/sfr_bridge.hpp"
+#include "profiling/dag.hpp"
 #include "soc/soc.hpp"
 #include "telemetry/run_report.hpp"
 
@@ -166,10 +167,24 @@ ScenarioResult FaultCampaign::run_one(const fault::FaultPlan* plan,
     return r;
   }
   if (workload_.configure) workload_.configure(soc);
+  // Segment the run into task/ISR activations so the campaign can report
+  // *where* each fault landed, not just what it did. The DAG rides the
+  // frame-observer hook, so attribution is bit-identical with
+  // fast-forward on or off and for any --jobs.
+  profiling::ExecutionDag dag(isa::SymbolMap(workload_.program));
+  const bool attribute = plan != nullptr && !plan->events.empty();
+  if (attribute) soc.add_frame_observer(&dag);
   if (plan != nullptr) soc.set_fault_injector(&injector);
   soc.reset(workload_.tc_entry, workload_.pcp_entry);
   r.cycles = soc.run(workload_.max_cycles);
   r.halted = soc.tc().halted();
+  if (attribute) {
+    Cycle first = ~Cycle{0};
+    for (const fault::FaultEvent& ev : plan->events) {
+      first = std::min(first, ev.at);
+    }
+    r.task = dag.task_at(profiling::kDagCoreTc, first);
+  }
   for (unsigned k = 0; k < fault::kNumFaultKinds; ++k) {
     r.injected[k] = injector.injected(static_cast<fault::FaultKind>(k));
   }
@@ -234,6 +249,7 @@ u64 CampaignSummary::classification_hash() const {
     h = fnv1a(h, static_cast<u64>(r.outcome));
     h = fnv1a(h, r.cycles);
     h = fnv1a(h, r.signature);
+    h = fnv1a(h, r.task);  // DAG attribution must be jobs/ff-independent
     for (const u64 a : r.alarms) h = fnv1a(h, a);
   }
   return h;
@@ -264,6 +280,9 @@ void CampaignSummary::fill_report(telemetry::RunReport& report) const {
   for (unsigned k = 0; k < fault::kNumAlarmKinds; ++k) {
     report.add_alarm(to_string(static_cast<fault::AlarmKind>(k)), alarms[k]);
   }
+  for (const ScenarioResult& r : runs) {
+    report.add_fault_scenario(r.name, to_string(r.outcome), r.cycles, r.task);
+  }
 }
 
 std::string CampaignSummary::format() const {
@@ -276,6 +295,7 @@ std::string CampaignSummary::format() const {
     u64 alarm_total = 0;
     for (const u64 a : r.alarms) alarm_total += a;
     if (alarm_total > 0) out << ", " << alarm_total << " alarms";
+    if (!r.task.empty()) out << ", in " << r.task;
     out << ")\n";
   }
   out << "outcomes:";

@@ -61,6 +61,10 @@ struct ScenarioResult {
   u64 cycles = 0;
   bool halted = false;
   u64 signature = 0;  // FNV-1a over final d/a registers + DSPR image
+  /// Task/ISR the TC was executing when the first fault event fired
+  /// (execution-DAG attribution; "" for the golden run or when the
+  /// injection cycle falls outside the run).
+  std::string task;
   std::array<u64, fault::kNumFaultKinds> injected{};
   std::array<u64, fault::kNumAlarmKinds> alarms{};
 };

@@ -37,6 +37,10 @@ void IrqRouter::post(unsigned src) {
     return;
   }
   node.pending = true;
+  if (node.enabled && node.priority > 0 &&
+      raise_count_ < kMaxRaisesPerCycle) {
+    raises_[raise_count_++] = Raise{node.priority, node.target};
+  }
 }
 
 std::optional<u8> IrqRouter::View::pending() const {

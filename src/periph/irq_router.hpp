@@ -45,6 +45,25 @@ class IrqRouter {
   /// counted as lost — visible interrupt overload.
   void post(unsigned src);
 
+  /// Newly-raised requests since the last take_raises() — the per-cycle
+  /// strobe record Soc::step publishes as ObservationFrame::irq. Only
+  /// enabled nodes with a nonzero priority are recorded (a disabled node
+  /// can never cause a dispatch, so it is not a latency source).
+  struct Raise {
+    u8 priority = 0;
+    IrqTarget target = IrqTarget::kTc;
+  };
+  static constexpr unsigned kMaxRaisesPerCycle = 4;
+
+  /// Copy-and-clear the per-cycle raise record (called once per step).
+  unsigned take_raises(Raise out[kMaxRaisesPerCycle]) {
+    const unsigned n = raise_count_;
+    for (unsigned i = 0; i < n; ++i) out[i] = raises_[i];
+    raise_count_ = 0;
+    return n;
+  }
+  bool raises_pending() const { return raise_count_ != 0; }
+
   const SrcNode& node(unsigned src) const { return nodes_.at(src); }
   unsigned source_count() const { return static_cast<unsigned>(nodes_.size()); }
 
@@ -74,6 +93,8 @@ class IrqRouter {
   };
 
   std::vector<SrcNode> nodes_;
+  Raise raises_[kMaxRaisesPerCycle];
+  unsigned raise_count_ = 0;
   View tc_view_{this, IrqTarget::kTc};
   View pcp_view_{this, IrqTarget::kPcp};
   View dma_view_{this, IrqTarget::kDma};

@@ -31,12 +31,17 @@ mcds::McdsConfig build_mcds_config(const SessionOptions& options,
 ProfilingSession::ProfilingSession(const soc::SocConfig& soc_config,
                                    const SessionOptions& options)
     : cpi_stacks_(options.cpi_stacks),
+      dag_enabled_(options.dag),
       ed_(soc_config, build_mcds_config(options, groups_), options.ed) {}
 
 Status ProfilingSession::load(const isa::Program& program) {
   if (cpi_stacks_) {
     cpi_builder_ = std::make_unique<CpiStackBuilder>(isa::SymbolMap(program));
     ed_.soc().set_frame_observer(cpi_builder_.get());
+  }
+  if (dag_enabled_) {
+    dag_ = std::make_unique<ExecutionDag>(isa::SymbolMap(program));
+    ed_.soc().add_frame_observer(dag_.get());
   }
   return ed_.load(program);
 }

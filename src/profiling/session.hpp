@@ -12,6 +12,7 @@
 
 #include "ed/emulation_device.hpp"
 #include "profiling/cpi_stack.hpp"
+#include "profiling/dag.hpp"
 #include "profiling/spec.hpp"
 #include "profiling/timeseries.hpp"
 
@@ -38,6 +39,11 @@ struct SessionOptions {
   /// by default so the default trace stream is byte-identical to
   /// sessions predating stall attribution.
   bool cpi_stacks = false;
+
+  /// Build the execution DAG (task/ISR activations, causal edges,
+  /// critical path — see profiling/dag.hpp). Off by default; stacks with
+  /// cpi_stacks via the SoC's frame-observer list.
+  bool dag = false;
 
   std::vector<mcds::Comparator> comparators;
   std::vector<mcds::ActionBinding> actions;
@@ -97,12 +103,16 @@ class ProfilingSession {
   }
   /// Attached CPI-stack builder (null unless cpi_stacks was set).
   const CpiStackBuilder* cpi_builder() const { return cpi_builder_.get(); }
+  /// Attached execution-DAG builder (null unless dag was set).
+  const ExecutionDag* dag() const { return dag_.get(); }
 
  private:
   bool cpi_stacks_ = false;
+  bool dag_enabled_ = false;
   std::vector<mcds::CounterGroupConfig> groups_;
   ed::EmulationDevice ed_;
   std::unique_ptr<CpiStackBuilder> cpi_builder_;
+  std::unique_ptr<ExecutionDag> dag_;
 };
 
 }  // namespace audo::profiling

@@ -294,8 +294,21 @@ void Soc::step() {
     attribute_core_stall(*pcp_, frame_.pcp, pcp_stall_totals_);
   }
   if (monitor_.enabled()) frame_.safety = monitor_.step_cycle(now, frame_);
+  // Service-request raises since the last publish (phases 1-4: peripheral
+  // posts, DMA-done, SFR-written posts, safety alarms) become this
+  // cycle's strobe record. take_raises clears the router's latch, so a
+  // raise is attributed to exactly one frame.
+  frame_.irq.reset();
+  if (irq_router_.raises_pending()) {
+    periph::IrqRouter::Raise raised[periph::IrqRouter::kMaxRaisesPerCycle];
+    const unsigned n = irq_router_.take_raises(raised);
+    for (unsigned i = 0; i < n && i < mcds::IrqObservation::kMaxRaises; ++i) {
+      frame_.irq.raised[frame_.irq.count++] = mcds::IrqObservation::Raise{
+          raised[i].priority, static_cast<u8>(raised[i].target)};
+    }
+  }
   if (tracer_ != nullptr) tracer_->observe(frame_);
-  if (observer_ != nullptr) observer_->observe(frame_);
+  for (FrameObserver* obs : observers_) obs->observe(frame_);
   if (probe_ != nullptr) probe_->end(StepPhase::kObserve);
 }
 
@@ -486,7 +499,10 @@ void Soc::skip_idle(u64 n, WakeSource source) {
                        : mcds::StallRootCause::kWfi)] += n;
   }
   if (tracer_ != nullptr) tracer_->skip_idle(cycle_, cycle_ + n);
-  if (observer_ != nullptr) observer_->skip_idle(make_idle_frame(), n);
+  if (!observers_.empty()) {
+    const mcds::ObservationFrame idle = make_idle_frame();
+    for (FrameObserver* obs : observers_) obs->skip_idle(idle, n);
+  }
   cycle_ += n;
   ff_stats_.skipped_cycles += n;
   ff_stats_.wakeups += 1;

@@ -228,11 +228,22 @@ class Soc {
   void set_tracer(SocTracer* tracer);
   SocTracer* tracer() { return tracer_; }
 
-  /// Attach a per-cycle frame observer (CPI-stack builder). Receives the
-  /// published frame after every step() and a bulk notification for each
-  /// fast-forwarded idle window. Pass nullptr to detach.
-  void set_frame_observer(FrameObserver* observer) { observer_ = observer; }
-  FrameObserver* frame_observer() { return observer_; }
+  /// Attach a per-cycle frame observer (CPI-stack builder, DAG builder).
+  /// Receives the published frame after every step() and a bulk
+  /// notification for each fast-forwarded idle window. Replaces the whole
+  /// observer list (nullptr detaches everything); use add_frame_observer
+  /// to stack several.
+  void set_frame_observer(FrameObserver* observer) {
+    observers_.clear();
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+  /// Append an observer; notification order is attachment order.
+  void add_frame_observer(FrameObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+  FrameObserver* frame_observer() {
+    return observers_.empty() ? nullptr : observers_.front();
+  }
 
   // ---- stall attribution (DESIGN.md, "Stall attribution & interference
   // matrix") ----------------------------------------------------------
@@ -322,7 +333,7 @@ class Soc {
   bool idle_deadlock_ = false;
 
   SocTracer* tracer_ = nullptr;
-  FrameObserver* observer_ = nullptr;
+  std::vector<FrameObserver*> observers_;
   telemetry::PhaseProbe* probe_ = nullptr;
 };
 

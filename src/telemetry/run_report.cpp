@@ -97,6 +97,18 @@ std::string RunReport::to_json() const {
   for (const auto& [name, value] : faults) w.kv(name, value);
   w.end_object();
 
+  w.key("fault_scenarios");
+  w.begin_array();
+  for (const FaultScenarioEntry& s : fault_scenarios) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("outcome", s.outcome);
+    w.kv("cycles", s.cycles);
+    w.kv("task", s.task);
+    w.end_object();
+  }
+  w.end_array();
+
   w.key("alarms");
   w.begin_object();
   for (const auto& [name, value] : alarms) w.kv(name, value);
@@ -123,6 +135,46 @@ std::string RunReport::to_json() const {
     w.end_object();
   }
   w.end_array();
+
+  w.key("dag");
+  w.begin_object();
+  w.kv("present", dag.present);
+  if (dag.present) {
+    w.kv("nodes", dag.nodes);
+    w.kv("edges", dag.edges);
+    w.kv("total_cycles", dag.total_cycles);
+    w.kv("critical_path_cycles", dag.critical_path_cycles);
+    w.kv("critical_path_nodes", dag.critical_path_nodes);
+    w.kv("hash", dag.hash);
+    w.key("tasks");
+    w.begin_array();
+    for (const DagTaskEntry& t : dag.tasks) {
+      w.begin_object();
+      w.kv("task", t.task);
+      w.kv("kind", t.kind);
+      w.kv("label", t.label);
+      w.kv("activations", t.activations);
+      w.kv("cycles", t.cycles);
+      w.kv("instructions", t.instructions);
+      w.kv("slack", t.slack);
+      w.kv("preempted_cycles", t.preempted_cycles);
+      w.kv("dispatch_latency", t.dispatch_latency);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("critical_path");
+    w.begin_array();
+    for (const DagPathEntry& p : dag.critical_path) {
+      w.begin_object();
+      w.kv("task", p.task);
+      w.kv("start", p.start);
+      w.kv("end", p.end);
+      w.kv("cycles", p.cycles);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();  // dag
 
   w.key("extras");
   w.begin_object();

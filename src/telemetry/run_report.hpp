@@ -55,6 +55,15 @@ struct RunReport {
   /// Injected-fault counts by kind ("mem_flip", "irq_storm", ...) plus
   /// campaign outcome tallies ("outcome.masked", ...).
   std::vector<std::pair<std::string, u64>> faults;
+  /// Per-scenario campaign outcomes with the task/ISR the fault landed
+  /// in (execution-DAG attribution; "" when unattributable).
+  struct FaultScenarioEntry {
+    std::string name;
+    std::string outcome;  // masked | corrected | detected | sdc | hang
+    u64 cycles = 0;
+    std::string task;
+  };
+  std::vector<FaultScenarioEntry> fault_scenarios;
   /// Safety-monitor alarm totals by kind ("ecc_corrected", ...).
   std::vector<std::pair<std::string, u64>> alarms;
 
@@ -78,6 +87,40 @@ struct RunReport {
   };
   std::vector<InterferenceEntry> interference_matrix;
 
+  // ---- execution DAG (profiling::ExecutionDag::fill_report; present
+  // flag false => emitted as {"present": false} only) ------------------
+  struct DagTaskEntry {
+    std::string task;
+    std::string kind;   // task | isr | idle
+    std::string label;  // bottleneck label from the fixed rule table
+    u64 activations = 0;
+    u64 cycles = 0;
+    u64 instructions = 0;
+    u64 slack = 0;
+    u64 preempted_cycles = 0;
+    u64 dispatch_latency = 0;
+  };
+  struct DagPathEntry {
+    std::string task;
+    u64 start = 0;
+    u64 end = 0;
+    u64 cycles = 0;
+  };
+  struct DagBlock {
+    bool present = false;
+    u64 nodes = 0;
+    u64 edges = 0;
+    u64 total_cycles = 0;
+    u64 critical_path_cycles = 0;
+    u64 critical_path_nodes = 0;  // full chain length
+    u64 hash = 0;
+    std::vector<DagTaskEntry> tasks;
+    /// Head of the critical path (capped by the producer; the full chain
+    /// length is critical_path_nodes).
+    std::vector<DagPathEntry> critical_path;
+  };
+  DagBlock dag;
+
   // ---- freeform bench-specific extras ----
   std::vector<std::pair<std::string, double>> extras;
 
@@ -90,6 +133,12 @@ struct RunReport {
 
   void add_fault(std::string name, u64 value) {
     faults.emplace_back(std::move(name), value);
+  }
+
+  void add_fault_scenario(std::string name, std::string outcome, u64 run_cycles,
+                          std::string task) {
+    fault_scenarios.push_back(FaultScenarioEntry{
+        std::move(name), std::move(outcome), run_cycles, std::move(task)});
   }
 
   void add_alarm(std::string name, u64 value) {

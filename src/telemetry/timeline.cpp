@@ -11,6 +11,10 @@ Timeline::TrackId Timeline::add_track(std::string name) {
   return static_cast<TrackId>(tracks_.size() - 1);
 }
 
+void Timeline::set_track_sort_index(TrackId track, u64 index) {
+  sort_override_[track] = index;
+}
+
 u32 Timeline::intern(std::string_view name) {
   const auto it = name_index_.find(std::string(name));
   if (it != name_index_.end()) return it->second;
@@ -56,6 +60,21 @@ void Timeline::counter(std::string_view name, Cycle at, double value) {
   events_.push_back(Event{Ph::kCounter, 0, intern(name), at, at, value});
 }
 
+void Timeline::flow(TrackId from_track, Cycle from_at, TrackId to_track,
+                    Cycle to_at, std::string_view name) {
+  // Both endpoints must land inside the recorded window or the arrow
+  // would dangle; the pair shares one flow id.
+  if (!wants(from_at) || !wants(to_at)) return;
+  if (events_.size() + 2 > options_.max_events) {
+    ++dropped_;
+    return;
+  }
+  const double id = static_cast<double>(next_flow_id_++);
+  const u32 n = intern(name);
+  events_.push_back(Event{Ph::kFlowStart, from_track, n, from_at, from_at, id});
+  events_.push_back(Event{Ph::kFlowFinish, to_track, n, to_at, to_at, id});
+}
+
 std::string Timeline::to_chrome_json(u64 clock_hz) const {
   // Trace ts is in microseconds; one cycle = 1e6 / clock_hz us.
   const double us_per_cycle =
@@ -84,20 +103,30 @@ std::string Timeline::to_chrome_json(u64 clock_hz) const {
     w.end_object();
     w.end_object();
   };
-  meta("process_name", 0, "trisim");
-  for (usize t = 0; t < tracks_.size(); ++t) {
-    meta("thread_name", static_cast<u32>(t + 1), tracks_[t]);
-    // Explicit sort index keeps registration order in the UI.
+  auto sort_index = [&](u32 tid, u64 index) {
     w.begin_object();
     w.kv("ph", "M");
     w.kv("pid", 1);
-    w.kv("tid", static_cast<u32>(t + 1));
+    w.kv("tid", tid);
     w.kv("name", "thread_sort_index");
     w.key("args");
     w.begin_object();
-    w.kv("sort_index", static_cast<u64>(t));
+    w.kv("sort_index", index);
     w.end_object();
     w.end_object();
+  };
+  meta("process_name", 0, "trisim");
+  // tid 0 carries the counter series; name it so the UI never shows a
+  // bare tid, and pin it before every span track.
+  meta("thread_name", 0, "counters");
+  sort_index(0, 0);
+  for (usize t = 0; t < tracks_.size(); ++t) {
+    meta("thread_name", static_cast<u32>(t + 1), tracks_[t]);
+    // Registration order unless the producer pinned an explicit index
+    // (e.g. the DAG's per-task tracks sort by task, not creation).
+    const auto it = sort_override_.find(static_cast<u32>(t));
+    sort_index(static_cast<u32>(t + 1),
+               it != sort_override_.end() ? it->second + 1 : t + 1);
   }
 
   for (const Event& e : events_) {
@@ -124,6 +153,19 @@ std::string Timeline::to_chrome_json(u64 clock_hz) const {
       case Ph::kCounter:
         w.kv("ph", "C");
         w.kv("name", names_[e.name]);
+        break;
+      case Ph::kFlowStart:
+        w.kv("ph", "s");
+        w.kv("name", names_[e.name]);
+        w.kv("cat", "flow");
+        w.kv("id", static_cast<u64>(e.value));
+        break;
+      case Ph::kFlowFinish:
+        w.kv("ph", "f");
+        w.kv("name", names_[e.name]);
+        w.kv("cat", "flow");
+        w.kv("id", static_cast<u64>(e.value));
+        w.kv("bp", "e");  // bind to the enclosing slice
         break;
     }
     w.kv("ts", ts);

@@ -38,8 +38,12 @@ class Timeline {
   explicit Timeline(TimelineOptions options = {}) : options_(options) {}
 
   /// Register a named track (Chrome thread). Tracks render in
-  /// registration order (tid order).
+  /// registration order (tid order) unless an explicit sort index is set.
   TrackId add_track(std::string name);
+
+  /// Override the track's render position (thread_sort_index metadata).
+  /// Tracks without an override keep their registration order as index.
+  void set_track_sort_index(TrackId track, u64 index);
 
   bool wants(Cycle at) const {
     return at >= options_.start_cycle && at < options_.end_cycle;
@@ -57,6 +61,11 @@ class Timeline {
   void instant(TrackId track, std::string_view name, Cycle at);
   /// A counter sample (C event); one counter series per `name`.
   void counter(std::string_view name, Cycle at, double value);
+  /// A flow arrow (s/f event pair) from a point on one track to a point
+  /// on another — causal links between slices (e.g. preemption edges).
+  /// Arrows bind to the enclosing slices at both endpoints.
+  void flow(TrackId from_track, Cycle from_at, TrackId to_track, Cycle to_at,
+            std::string_view name);
 
   usize event_count() const { return events_.size(); }
   u64 dropped_events() const { return dropped_; }
@@ -68,7 +77,15 @@ class Timeline {
   Status write_chrome_json(const std::string& path, u64 clock_hz) const;
 
  private:
-  enum class Ph : u8 { kBegin, kEnd, kComplete, kInstant, kCounter };
+  enum class Ph : u8 {
+    kBegin,
+    kEnd,
+    kComplete,
+    kInstant,
+    kCounter,
+    kFlowStart,
+    kFlowFinish,
+  };
 
   struct Event {
     Ph ph;
@@ -76,7 +93,7 @@ class Timeline {
     u32 name;  // index into names_
     Cycle start;
     Cycle end;      // kComplete only
-    double value;   // kCounter only
+    double value;   // kCounter value / flow id
   };
 
   u32 intern(std::string_view name);
@@ -84,9 +101,11 @@ class Timeline {
 
   TimelineOptions options_;
   std::vector<std::string> tracks_;
+  std::unordered_map<u32, u64> sort_override_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, u32> name_index_;
   std::vector<Event> events_;
+  u64 next_flow_id_ = 1;
   u64 dropped_ = 0;
 };
 

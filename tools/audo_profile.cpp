@@ -24,6 +24,13 @@
 //     --csv FILE          write the CPI-stack table as CSV (implies
 //                         --cpi-stacks)
 //     --interference-csv FILE   write the interference matrix as CSV
+//     --dag               build the execution DAG (task/ISR activations,
+//                         causal edges, critical path, per-task slack and
+//                         bottleneck labels) and print the summary
+//     --critical-path     print the full critical-path chain (implies
+//                         --dag)
+//     --dag-csv FILE      write the DAG node table as CSV (implies --dag)
+//     --dag-dot FILE      write the DAG as Graphviz dot (implies --dag)
 //     --no-icache / --no-dcache
 //     --flash-ws N        flash wait states (default 5)
 //     --emem-kib N        trace memory size (default 384 usable)
@@ -61,7 +68,9 @@ void usage() {
                "       [--flow] [--data] [--irq] [--cycle-accurate]\n"
                "       [--functions] [--cpi-stacks] [--top N] [--listing N]\n"
                "       [--series-csv FILE] [--events-csv FILE] [--csv FILE]\n"
-               "       [--interference-csv FILE] [--no-icache] [--no-dcache]\n"
+               "       [--interference-csv FILE] [--dag] [--critical-path]\n"
+               "       [--dag-csv FILE] [--dag-dot FILE]\n"
+               "       [--no-icache] [--no-dcache]\n"
                "       [--flash-ws N] [--emem-kib N] [--jobs N]\n"
                "       [--no-fast-forward] [--report FILE] "
                "[--perfetto FILE]\n");
@@ -93,6 +102,9 @@ int main(int argc, char** argv) {
   const char* events_csv = nullptr;
   const char* cpi_csv = nullptr;
   const char* interference_csv = nullptr;
+  bool critical_path = false;
+  const char* dag_csv = nullptr;
+  const char* dag_dot = nullptr;
   const char* report_path = nullptr;
   const char* perfetto_path = nullptr;
   unsigned jobs = host::SimPool::hardware_jobs();
@@ -136,6 +148,17 @@ int main(int argc, char** argv) {
       options.cpi_stacks = true;
     } else if (std::strcmp(arg, "--interference-csv") == 0) {
       interference_csv = next_value();
+    } else if (std::strcmp(arg, "--dag") == 0) {
+      options.dag = true;
+    } else if (std::strcmp(arg, "--critical-path") == 0) {
+      critical_path = true;
+      options.dag = true;
+    } else if (std::strcmp(arg, "--dag-csv") == 0) {
+      dag_csv = next_value();
+      options.dag = true;
+    } else if (std::strcmp(arg, "--dag-dot") == 0) {
+      dag_dot = next_value();
+      options.dag = true;
     } else if (std::strcmp(arg, "--listing") == 0) {
       listing_lines = std::strtoull(next_value(), nullptr, 0);
       options.program_trace = true;
@@ -234,7 +257,11 @@ int main(int argc, char** argv) {
   }
 
   const profiling::SessionResult result = session.run(cycles);
-  if (telemetry_on) host.stop(session.device().soc().cycle());
+  if (telemetry_on) {
+    host.stop(session.device().soc().cycle());
+    // After the run so the per-task slack gauges see the task list.
+    if (session.dag() != nullptr) session.dag()->register_metrics(registry);
+  }
 
   std::printf("%s: %llu cycles, %llu instructions, IPC %.3f%s\n", source_path,
               static_cast<unsigned long long>(result.cycles),
@@ -265,6 +292,24 @@ int main(int argc, char** argv) {
                 profiling::interference_to_text(session.device().soc().sri())
                     .c_str());
   }
+  if (session.dag() != nullptr) {
+    std::printf("\n== execution DAG ==\n%s",
+                session.dag()->format(top_n).c_str());
+    if (critical_path) {
+      const profiling::DagAnalysis& a = session.dag()->analysis();
+      std::printf("\n== critical path (%llu cycles, %zu activations) ==\n",
+                  static_cast<unsigned long long>(a.critical_path_cycles),
+                  a.critical_path.size());
+      for (const u32 id : a.critical_path) {
+        const profiling::DagNode& n = a.nodes[id];
+        std::printf("  [%llu..%llu] %s %s (%llu cycles)\n",
+                    static_cast<unsigned long long>(n.start),
+                    static_cast<unsigned long long>(n.end),
+                    to_string(n.kind), n.task.c_str(),
+                    static_cast<unsigned long long>(n.cycles));
+      }
+    }
+  }
   if (listing_lines > 0) {
     profiling::ListingOptions lo;
     lo.max_lines = listing_lines;
@@ -287,6 +332,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", cpi_csv);
     return 1;
   }
+  if (dag_csv != nullptr && session.dag() != nullptr &&
+      !write_file(dag_csv, session.dag()->to_csv())) {
+    std::fprintf(stderr, "cannot write %s\n", dag_csv);
+    return 1;
+  }
+  if (dag_dot != nullptr && session.dag() != nullptr &&
+      !write_file(dag_dot, session.dag()->to_dot())) {
+    std::fprintf(stderr, "cannot write %s\n", dag_dot);
+    return 1;
+  }
 
   auto& soc = session.device().soc();
   if (interference_csv != nullptr &&
@@ -297,6 +352,9 @@ int main(int argc, char** argv) {
   }
   if (perfetto_path != nullptr) {
     tracer.finish(soc.cycle());
+    if (session.dag() != nullptr) {
+      session.dag()->emit_timeline(tracer.timeline());
+    }
     if (Status s = tracer.write_chrome_json(perfetto_path,
                                             soc.config().clock_hz);
         !s.is_ok()) {
@@ -350,6 +408,7 @@ int main(int argc, char** argv) {
         }
       }
     }
+    if (session.dag() != nullptr) session.dag()->fill_report(report);
     report.add_extra("trace_messages",
                      static_cast<double>(result.trace_messages));
     report.add_extra("bytes_per_kcycle", result.bytes_per_kcycle);

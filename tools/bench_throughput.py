@@ -107,6 +107,10 @@ def main():
             "cycles": int(values.get("single_run_cycles", 0)),
             "cache_on_cycles_per_second": values["single_run_cache_on_cps"],
             "cache_off_cycles_per_second": values["single_run_cache_off_cps"],
+            # Dense run with the execution-DAG observer attached (0 when
+            # produced by an older bench binary).
+            "dag_observer_cycles_per_second":
+                values.get("single_run_dag_cps", 0.0),
         },
         "sweep": {
             "jobs": sweep_jobs,

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Guard the committed throughput baseline against silent regressions.
+
+Compares a freshly produced BENCH_throughput.json artifact (from
+tools/bench_throughput.py) against the baseline committed at the repo
+root. Absolute cycles/second numbers are host-dependent — CI runners and
+developer machines differ by integer factors — so the comparison is
+deliberately generous:
+
+  - structural checks are hard: both files must carry the
+    trisim-bench-throughput/1 schema, and the fresh run's bit-identity
+    checks (parallel sweep vs serial, fast-forward vs stepped) must pass;
+  - deterministic counters are exact: the fast-forward run must skip the
+    same simulated cycles and take the same wakeups as the baseline —
+    these depend only on the workload, so any drift is a real behaviour
+    change, not noise;
+  - throughput is banded: single-run cycles/second and the fast-forward
+    speedup may drop to --tolerance (default 0.5, i.e. half) of the
+    baseline before the check fails. Within the band, changes are
+    reported but accepted as host noise.
+
+Usage:
+  tools/check_bench_trend.py fresh.json [--baseline BENCH_throughput.json]
+      [--tolerance 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print("FAIL: " + msg, file=sys.stderr)
+    return False
+
+
+def check(fresh, base, tolerance):
+    ok = True
+    for name, doc in (("fresh", fresh), ("baseline", base)):
+        if doc.get("schema") != "trisim-bench-throughput/1":
+            ok = fail("%s artifact has schema %r" % (name, doc.get("schema")))
+    if not ok:
+        return False
+
+    # Hard: bit-identity never regresses, on any host.
+    if not fresh["sweep"]["identical_to_serial"]:
+        ok = fail("parallel sweep diverged from serial")
+    if not fresh["fast_forward"]["identical_to_stepped"]:
+        ok = fail("fast-forward run diverged from stepped run")
+
+    # Exact: simulated-work counters are host-independent.
+    for key in ("cycles", "skipped_cycles", "wakeups"):
+        fv = fresh["fast_forward"][key]
+        bv = base["fast_forward"][key]
+        if fv != bv:
+            ok = fail("fast_forward.%s changed: baseline %d, fresh %d "
+                      "(deterministic counter — this is a behaviour change)"
+                      % (key, bv, fv))
+    if fresh["single_run"]["cycles"] != base["single_run"]["cycles"]:
+        ok = fail("single_run.cycles changed: baseline %d, fresh %d"
+                  % (base["single_run"]["cycles"],
+                     fresh["single_run"]["cycles"]))
+
+    # Banded: throughput may wobble with the host, not collapse.
+    banded = [
+        ("single_run.cache_on_cycles_per_second",
+         fresh["single_run"]["cache_on_cycles_per_second"],
+         base["single_run"]["cache_on_cycles_per_second"]),
+        ("single_run.cache_off_cycles_per_second",
+         fresh["single_run"]["cache_off_cycles_per_second"],
+         base["single_run"]["cache_off_cycles_per_second"]),
+        ("fast_forward.speedup",
+         fresh["fast_forward"]["speedup"],
+         base["fast_forward"]["speedup"]),
+        ("single_run.dag_observer_cycles_per_second",
+         fresh["single_run"].get("dag_observer_cycles_per_second", 0),
+         base["single_run"].get("dag_observer_cycles_per_second", 0)),
+    ]
+    for name, fv, bv in banded:
+        if bv <= 0:
+            continue
+        ratio = fv / bv
+        status = "ok" if ratio >= tolerance else "REGRESSED"
+        print("  %-42s baseline %12.1f  fresh %12.1f  (%.2fx, %s)"
+              % (name, bv, fv, ratio, status))
+        if ratio < tolerance:
+            ok = fail("%s fell to %.2fx of baseline (floor %.2fx)"
+                      % (name, ratio, tolerance))
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="freshly produced bench artifact")
+    ap.add_argument("--baseline", default="BENCH_throughput.json",
+                    help="committed baseline (default BENCH_throughput.json)")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="minimum fresh/baseline ratio for throughput "
+                         "numbers (default 0.5)")
+    args = ap.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    print("bench trend: %s vs baseline %s (tolerance %.2fx)"
+          % (args.fresh, args.baseline, args.tolerance))
+    if not check(fresh, base, args.tolerance):
+        return 1
+    print("bench trend: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
