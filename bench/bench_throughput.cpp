@@ -11,6 +11,10 @@
 //      event-driven engine build that parks in WFI between interrupts:
 //      wall-clock with the skip on vs off plus a bit-identity check on
 //      the final cycle/instruction counts.
+//   4. Warm-forked fault campaign: the same campaign run with every
+//      scenario cold-booted vs forked from one snapshot at the last
+//      pre-fault quiescent cycle, plus a bit-identity check on the
+//      classification hash.
 //
 // Output is the normal human-readable text plus `THROUGHPUT key=value`
 // lines; tools/bench_throughput.py parses those into BENCH_throughput.json
@@ -20,6 +24,7 @@
 #include "bench_common.hpp"
 
 #include "optimize/evaluator.hpp"
+#include "optimize/fault_campaign.hpp"
 #include "profiling/dag.hpp"
 
 using namespace audo;
@@ -211,6 +216,54 @@ int main(int argc, char** argv) {
               ff_on.seconds, ff_off.seconds, ff_speedup,
               ff_identical ? "bit-identical to stepped" : "MISMATCH");
 
+  // --- 4. fault campaign, cold boots vs warm fork ---------------------
+  workload::EngineOptions camp_opt;
+  camp_opt.idle_background = true;
+  camp_opt.halt_after_revs = 2;
+  auto camp_w = workload::build_engine_workload(camp_opt);
+  if (!camp_w.is_ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 camp_w.status().to_string().c_str());
+    std::exit(1);
+  }
+  optimize::WorkloadCase camp_case;
+  camp_case.name = "engine";
+  camp_case.program = camp_w.value().program;
+  camp_case.tc_entry = camp_w.value().tc_entry;
+  camp_case.pcp_entry = camp_w.value().pcp_entry;
+  camp_case.configure = [options = camp_w.value().options](soc::Soc& soc) {
+    workload::configure_engine(soc, options);
+  };
+  camp_case.max_cycles = 400'000;
+  optimize::FaultCampaign campaign{soc::SocConfig{}, std::move(camp_case)};
+  campaign.set_jobs(1);  // serial, so the timing isolates the boot path
+  const auto scenarios = campaign.make_scenarios(/*seed=*/9, /*count=*/16);
+  auto time_campaign = [&](u64* hash) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const optimize::CampaignSummary summary = campaign.run(scenarios);
+    const auto t1 = std::chrono::steady_clock::now();
+    *hash = summary.classification_hash();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  u64 cold_hash = 0;
+  u64 warm_hash = 0;
+  const double camp_cold_s = time_campaign(&cold_hash);
+  campaign.prepare_warm_fork(scenarios);
+  const double camp_warm_s = time_campaign(&warm_hash);
+  const bool camp_identical =
+      campaign.has_warm_fork() && warm_hash == cold_hash;
+  std::printf("\nwarm-forked fault campaign (%zu scenarios + golden, fork "
+              "at cycle %llu):\n"
+              "  cold boots: %8.3f s\n"
+              "  warm fork:  %8.3f s (%.2fx)\n"
+              "  results: %s\n",
+              scenarios.size(),
+              static_cast<unsigned long long>(campaign.warm_fork_cycle()),
+              camp_cold_s, camp_warm_s,
+              camp_warm_s > 0.0 ? camp_cold_s / camp_warm_s : 0.0,
+              camp_identical ? "classification bit-identical to cold"
+                             : "MISMATCH");
+
   // Machine-readable tail for tools/bench_throughput.py.
   std::printf("\nTHROUGHPUT single_run_cycles=%llu\n",
               static_cast<unsigned long long>(cycles));
@@ -232,6 +285,12 @@ int main(int argc, char** argv) {
   std::printf("THROUGHPUT ff_wakeups=%llu\n",
               static_cast<unsigned long long>(ff_on.wakeups));
   std::printf("THROUGHPUT ff_identical=%d\n", ff_identical ? 1 : 0);
+  std::printf("THROUGHPUT warm_fork_runs=%zu\n", scenarios.size() + 1);
+  std::printf("THROUGHPUT warm_fork_cycle=%llu\n",
+              static_cast<unsigned long long>(campaign.warm_fork_cycle()));
+  std::printf("THROUGHPUT warm_fork_cold_seconds=%.4f\n", camp_cold_s);
+  std::printf("THROUGHPUT warm_fork_warm_seconds=%.4f\n", camp_warm_s);
+  std::printf("THROUGHPUT warm_fork_identical=%d\n", camp_identical ? 1 : 0);
 
   // Optional RunReport on one representative engine run.
   if (telemetry.enabled()) {
@@ -249,7 +308,9 @@ int main(int argc, char** argv) {
     telemetry.add_extra("sweep_speedup",
                         parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
     telemetry.add_extra("ff_speedup", ff_speedup);
+    telemetry.add_extra("warm_fork_speedup",
+                        camp_warm_s > 0.0 ? camp_cold_s / camp_warm_s : 0.0);
     telemetry.finish();
   }
-  return identical && ff_identical ? 0 : 1;
+  return identical && ff_identical && camp_identical ? 0 : 1;
 }

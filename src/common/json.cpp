@@ -111,6 +111,24 @@ const JsonValue* JsonValue::find(const std::string& k) const {
   return it == object.end() ? nullptr : &it->second;
 }
 
+u64 JsonValue::as_u64() const {
+  if (kind != Kind::kNumber) return 0;
+  // Re-parse plain unsigned integer literals exactly; anything with a
+  // sign, fraction or exponent goes through the double representation.
+  if (!number_literal.empty() &&
+      number_literal.find_first_not_of("0123456789") == std::string::npos) {
+    u64 v = 0;
+    const auto res = std::from_chars(
+        number_literal.data(), number_literal.data() + number_literal.size(),
+        v);
+    if (res.ec == std::errc{} &&
+        res.ptr == number_literal.data() + number_literal.size()) {
+      return v;
+    }
+  }
+  return static_cast<u64>(number);
+}
+
 namespace {
 
 class Parser {
@@ -210,6 +228,7 @@ class Parser {
     }
     out.kind = JsonValue::Kind::kNumber;
     out.number = v;
+    out.number_literal.assign(text_.data() + start, pos_ - start);
     return Status::ok();
   }
 

@@ -68,13 +68,18 @@ class JsonWriter {
 };
 
 /// A parsed JSON value. Numbers are kept as double (sufficient for the
-/// telemetry documents we validate; cycle counts below 2^53 are exact).
+/// telemetry documents we validate; cycle counts below 2^53 are exact)
+/// plus the raw source literal, so consumers that need full 64-bit
+/// precision (hashes, fingerprints, signatures) can re-parse it exactly
+/// via as_u64().
 struct JsonValue {
   enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
 
   Kind kind = Kind::kNull;
   bool boolean = false;
   double number = 0.0;
+  /// Verbatim number literal from the document ("" for non-numbers).
+  std::string number_literal;
   std::string string;
   std::vector<JsonValue> array;
   std::map<std::string, JsonValue> object;
@@ -83,6 +88,11 @@ struct JsonValue {
   bool is_array() const { return kind == Kind::kArray; }
   bool is_number() const { return kind == Kind::kNumber; }
   bool is_string() const { return kind == Kind::kString; }
+
+  /// Exact unsigned 64-bit value of an integer literal (doubles round
+  /// u64s above 2^53; this does not). Falls back to the double value for
+  /// non-integer literals; 0 for non-numbers.
+  u64 as_u64() const;
 
   /// Object member lookup; returns nullptr when absent or not an object.
   const JsonValue* find(const std::string& k) const;

@@ -1,0 +1,184 @@
+// Binary state-serialization primitives for Soc snapshots.
+//
+// Writer/Reader implement a little-endian byte stream with nestable,
+// length-prefixed sections. They live in common (not soc) so every
+// component library — memories, caches, bus, peripherals, MCDS — can
+// implement save_state()/restore_state() against them without a layering
+// inversion; the versioned, checksummed container that frames a complete
+// image is soc::Snapshot (src/soc/snapshot.hpp).
+//
+// The Reader is failure-latching: the first malformed read (overrun,
+// section-tag mismatch, section overflow) records a Status and every
+// subsequent get_* returns zero. restore_state() implementations can
+// therefore read unconditionally; the orchestrator checks status() once
+// at the end. Partial restores are prevented one level up: the container
+// validates magic, version and checksum before any component is touched.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace audo::snapshot {
+
+class Writer {
+ public:
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u16(u16 v) { append(&v, sizeof v); }
+  void put_u32(u32 v) { append(&v, sizeof v); }
+  void put_u64(u64 v) { append(&v, sizeof v); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  void put_bytes(const u8* data, usize count) {
+    put_u64(count);
+    buf_.insert(buf_.end(), data, data + count);
+  }
+  void put_bytes(const std::vector<u8>& data) {
+    put_bytes(data.data(), data.size());
+  }
+  void put_string(std::string_view s) {
+    put_bytes(reinterpret_cast<const u8*>(s.data()), s.size());
+  }
+
+  /// Open a tagged section; its byte length is patched in by the matching
+  /// end_section(), so readers can verify framing (and future versions
+  /// can skip sections they do not understand).
+  void begin_section(u32 tag) {
+    put_u32(tag);
+    section_starts_.push_back(buf_.size());
+    put_u64(0);  // length placeholder
+  }
+
+  void end_section() {
+    const usize start = section_starts_.back();
+    section_starts_.pop_back();
+    const u64 length = buf_.size() - start - sizeof(u64);
+    std::memcpy(buf_.data() + start, &length, sizeof length);
+  }
+
+  const std::vector<u8>& bytes() const { return buf_; }
+  std::vector<u8> take() { return std::move(buf_); }
+
+ private:
+  void append(const void* data, usize count) {
+    const auto* p = static_cast<const u8*>(data);
+    buf_.insert(buf_.end(), p, p + count);
+  }
+
+  std::vector<u8> buf_;
+  std::vector<usize> section_starts_;
+};
+
+class Reader {
+ public:
+  Reader(const u8* data, usize size) : data_(data), size_(size) {}
+  explicit Reader(const std::vector<u8>& data)
+      : Reader(data.data(), data.size()) {}
+
+  u8 get_u8() { return get<u8>(); }
+  u16 get_u16() { return get<u16>(); }
+  u32 get_u32() { return get<u32>(); }
+  u64 get_u64() { return get<u64>(); }
+  bool get_bool() { return get_u8() != 0; }
+
+  std::vector<u8> get_bytes() {
+    const u64 count = get_u64();
+    if (!check(count)) return {};
+    std::vector<u8> out(data_ + pos_, data_ + pos_ + count);
+    pos_ += count;
+    return out;
+  }
+
+  /// Fixed-size read into caller storage; fails if the stored length
+  /// differs from `count` (a shape mismatch, not just corruption).
+  void get_bytes_into(u8* out, usize count) {
+    const u64 stored = get_u64();
+    if (ok() && stored != count) {
+      fail("byte-block length mismatch: stored " + std::to_string(stored) +
+           ", expected " + std::to_string(count));
+    }
+    if (!check(count)) return;
+    std::memcpy(out, data_ + pos_, count);
+    pos_ += count;
+  }
+
+  std::string get_string() {
+    const std::vector<u8> raw = get_bytes();
+    return std::string(raw.begin(), raw.end());
+  }
+
+  /// Consume a section header and verify its tag; the section length must
+  /// fit in the remaining stream. leave_section() verifies the cursor
+  /// landed exactly on the recorded end.
+  void enter_section(u32 tag) {
+    const u32 found = get_u32();
+    if (ok() && found != tag) {
+      fail("section tag mismatch: expected " + std::to_string(tag) +
+           ", found " + std::to_string(found));
+    }
+    const u64 length = get_u64();
+    if (!check(length)) return;
+    section_ends_.push_back(pos_ + length);
+  }
+
+  void leave_section() {
+    if (!ok()) return;
+    if (section_ends_.empty()) {
+      fail("leave_section with no open section");
+      return;
+    }
+    const usize end = section_ends_.back();
+    section_ends_.pop_back();
+    if (pos_ != end) {
+      fail("section length mismatch: cursor " + std::to_string(pos_) +
+           ", recorded end " + std::to_string(end));
+    }
+  }
+
+  bool ok() const { return status_.is_ok(); }
+  const Status& status() const { return status_; }
+
+  void fail(std::string message) {
+    if (status_.is_ok()) {
+      status_ = error(StatusCode::kDecodeError, std::move(message));
+    }
+  }
+
+  /// All bytes consumed (and no failure latched).
+  bool at_end() const { return ok() && pos_ == size_; }
+
+ private:
+  template <typename T>
+  T get() {
+    if (!check(sizeof(T))) return T{};
+    T v{};
+    std::memcpy(&v, data_ + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  bool check(u64 count) {
+    if (!ok()) return false;
+    if (count > size_ - pos_) {
+      fail("truncated stream: need " + std::to_string(count) + " bytes at " +
+           std::to_string(pos_) + " of " + std::to_string(size_));
+      return false;
+    }
+    if (!section_ends_.empty() && pos_ + count > section_ends_.back()) {
+      fail("read crosses section boundary at " + std::to_string(pos_));
+      return false;
+    }
+    return true;
+  }
+
+  const u8* data_;
+  usize size_;
+  usize pos_ = 0;
+  std::vector<usize> section_ends_;
+  Status status_;
+};
+
+}  // namespace audo::snapshot

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "mcds/events.hpp"
 
@@ -103,6 +104,42 @@ class CounterBank {
   }
 
   void reset();
+
+  /// Snapshot support: arming, mid-window accumulators and threshold
+  /// flags — a group captured mid-resolution resumes at the exact basis
+  /// position. Per-step samples are transient and cleared.
+  void save_state(snapshot::Writer& w) const {
+    w.put_u32(static_cast<u32>(groups_.size()));
+    for (const Group& g : groups_) {
+      w.put_bool(g.armed);
+      w.put_u32(g.basis_acc);
+      w.put_u32(static_cast<u32>(g.accs.size()));
+      for (u32 acc : g.accs) w.put_u32(acc);
+    }
+    w.put_u32(static_cast<u32>(flags_.size()));
+    for (bool f : flags_) w.put_bool(f);
+  }
+  void restore_state(snapshot::Reader& r) {
+    if (r.get_u32() != groups_.size() && r.ok()) {
+      r.fail("counter group count mismatch");
+      return;
+    }
+    for (Group& g : groups_) {
+      g.armed = r.get_bool();
+      g.basis_acc = r.get_u32();
+      if (r.get_u32() != g.accs.size() && r.ok()) {
+        r.fail("counter accumulator count mismatch");
+        return;
+      }
+      for (u32& acc : g.accs) acc = r.get_u32();
+    }
+    if (r.get_u32() != flags_.size() && r.ok()) {
+      r.fail("counter flag count mismatch");
+      return;
+    }
+    for (usize i = 0; i < flags_.size(); ++i) flags_[i] = r.get_bool();
+    samples_.clear();
+  }
 
  private:
   struct Group {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace audo::mem {
@@ -93,6 +94,18 @@ class MemArray {
 
   /// Accesses outside the array since construction (sticky diagnostic).
   u64 violations() const { return violations_; }
+
+  /// Snapshot support. The hook pointer is wiring, not state — it is
+  /// untouched by restore; size is a structural invariant checked by the
+  /// fixed-length read.
+  void save_state(snapshot::Writer& w) const {
+    w.put_bytes(bytes_.data(), bytes_.size());
+    w.put_u64(violations_);
+  }
+  void restore_state(snapshot::Reader& r) {
+    r.get_bytes_into(bytes_.data(), bytes_.size());
+    violations_ = r.get_u64();
+  }
 
   bool operator==(const MemArray& other) const { return bytes_ == other.bytes_; }
 

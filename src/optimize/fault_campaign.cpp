@@ -1,7 +1,10 @@
 #include "optimize/fault_campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <map>
 #include <sstream>
+#include <thread>
 
 #include "common/bits.hpp"
 #include "fault/safety_monitor.hpp"
@@ -21,9 +24,61 @@ const char* to_string(FaultOutcome outcome) {
     case FaultOutcome::kDetected: return "detected";
     case FaultOutcome::kSilentDataCorruption: return "sdc";
     case FaultOutcome::kHang: return "hang";
+    case FaultOutcome::kFailed: return "failed";
     case FaultOutcome::kCount: break;
   }
   return "?";
+}
+
+bool outcome_from_string(std::string_view name, FaultOutcome* out) {
+  for (unsigned o = 0; o < kNumFaultOutcomes; ++o) {
+    const auto outcome = static_cast<FaultOutcome>(o);
+    if (name == to_string(outcome)) {
+      *out = outcome;
+      return true;
+    }
+  }
+  return false;
+}
+
+host::ScenarioRecord to_manifest_record(const ScenarioResult& r) {
+  host::ScenarioRecord rec;
+  rec.name = r.name;
+  rec.seed = r.seed;
+  rec.outcome = to_string(r.outcome);
+  rec.cycles = r.cycles;
+  rec.halted = r.halted;
+  rec.signature = r.signature;
+  rec.task = r.task;
+  rec.injected.assign(r.injected.begin(), r.injected.end());
+  rec.alarms.assign(r.alarms.begin(), r.alarms.end());
+  rec.budget_cycles = r.budget_cycles;
+  rec.timeout_ms = r.timeout_ms;
+  rec.attempts = r.attempts;
+  return rec;
+}
+
+ScenarioResult from_manifest_record(const host::ScenarioRecord& rec) {
+  ScenarioResult r;
+  r.name = rec.name;
+  r.seed = rec.seed;
+  (void)outcome_from_string(rec.outcome, &r.outcome);
+  r.failed = r.outcome == FaultOutcome::kFailed;
+  r.cycles = rec.cycles;
+  r.halted = rec.halted;
+  r.signature = rec.signature;
+  r.task = rec.task;
+  for (usize k = 0; k < r.injected.size() && k < rec.injected.size(); ++k) {
+    r.injected[k] = rec.injected[k];
+  }
+  for (usize k = 0; k < r.alarms.size() && k < rec.alarms.size(); ++k) {
+    r.alarms[k] = rec.alarms[k];
+  }
+  r.budget_cycles = rec.budget_cycles;
+  r.timeout_ms = rec.timeout_ms;
+  r.attempts = rec.attempts;
+  r.from_manifest = true;
+  return r;
 }
 
 namespace {
@@ -43,6 +98,28 @@ u64 state_signature(soc::Soc& soc) {
   }
   return h;
 }
+
+/// Cycle of the plan's earliest event (~0 when there is none) — the warm
+/// fork point must lie strictly before it so every event still fires.
+Cycle first_event_cycle(const fault::FaultPlan* plan) {
+  Cycle first = ~Cycle{0};
+  if (plan != nullptr) {
+    for (const fault::FaultEvent& ev : plan->events) {
+      first = std::min(first, ev.at);
+    }
+  }
+  return first;
+}
+
+/// Wall-clock granularity: how many cycles run between deadline checks
+/// when a scenario timeout is armed. Chunk boundaries only repartition
+/// fast-forward budget wakes; cycles, signatures and classification are
+/// untouched.
+constexpr u64 kTimeoutCheckChunk = 1u << 20;
+
+/// Boot-probe bound for prepare_warm_fork (same spirit as the
+/// evaluator's: workloads still busy after this many cycles boot cold).
+constexpr Cycle kBootProbeLimit = 65'536;
 
 }  // namespace
 
@@ -153,9 +230,87 @@ std::vector<FaultScenario> FaultCampaign::make_demo_scenarios(
   return scenarios;
 }
 
-ScenarioResult FaultCampaign::run_one(const fault::FaultPlan* plan,
-                                      const fault::SafetyConfig& safety) const {
+u64 FaultCampaign::budget_cycles() const {
+  const u64 budget = workload_.max_cycles == 0 ? soc::Soc::kDefaultRunBudget
+                                               : workload_.max_cycles;
+  return std::min<u64>(budget, soc::Soc::kDefaultRunBudget);
+}
+
+u64 FaultCampaign::prepare_warm_fork(
+    const std::vector<FaultScenario>& scenarios) {
+  boot_ = soc::Snapshot{};
+  Cycle earliest = ~Cycle{0};
+  for (const FaultScenario& sc : scenarios) {
+    earliest = std::min(earliest, first_event_cycle(&sc.plan));
+  }
+  if (earliest == 0) return 0;
+  const Cycle limit = std::min<Cycle>(
+      {earliest - 1, budget_cycles() / 2, kBootProbeLimit});
+  if (limit == 0) return 0;
+
+  const auto boot = [&](soc::Soc& soc) {
+    if (!soc.load(workload_.program).is_ok()) return false;
+    if (workload_.configure) workload_.configure(soc);
+    soc.reset(workload_.tc_entry, workload_.pcp_entry);
+    return true;
+  };
+
+  // Pass 1: find the last quiescent cycle before `limit` (maximizing the
+  // boot prefix every fork skips).
+  soc::Soc probe(config_);
+  if (!boot(probe)) return 0;
+  Cycle last_q = 0;
+  while (probe.cycle() < limit && !probe.tc().halted()) {
+    probe.step();
+    if (probe.quiescent()) last_q = probe.cycle();
+  }
+  if (last_q == 0) return 0;
+
+  // Pass 2: re-boot a fresh machine to exactly that cycle and capture.
+  soc::Soc warm(config_);
+  if (!boot(warm)) return 0;
+  while (warm.cycle() < last_q && !warm.tc().halted()) warm.step();
+  if (warm.cycle() != last_q || !warm.quiescent()) return 0;
+  Result<soc::Snapshot> snap = warm.save_snapshot();
+  if (!snap.is_ok()) return 0;
+  boot_ = std::move(snap).value();
+  return boot_.checksum();
+}
+
+ScenarioResult FaultCampaign::run_one_with_retries(
+    const fault::FaultPlan* plan, const fault::SafetyConfig& safety,
+    const soc::Snapshot* boot) const {
+  for (unsigned attempt = 1; attempt <= retries_ + 1; ++attempt) {
+    try {
+      ScenarioResult r = run_one(plan, safety, boot);
+      r.attempts = attempt;
+      return r;
+    } catch (const std::exception&) {
+      // Host-side failure (allocation, internal error) — not a
+      // simulation outcome. Back off and retry; the simulation itself
+      // is deterministic, so a retry only helps for transient host
+      // conditions, which is exactly what this policy is for.
+      if (attempt <= retries_) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(u64{10} << (attempt - 1)));
+      }
+    }
+  }
   ScenarioResult r;
+  r.failed = true;
+  r.outcome = FaultOutcome::kFailed;
+  r.attempts = retries_ + 1;
+  r.budget_cycles = budget_cycles();
+  r.timeout_ms = timeout_ms_;
+  return r;
+}
+
+ScenarioResult FaultCampaign::run_one(const fault::FaultPlan* plan,
+                                      const fault::SafetyConfig& safety,
+                                      const soc::Snapshot* boot) const {
+  ScenarioResult r;
+  r.budget_cycles = budget_cycles();
+  r.timeout_ms = timeout_ms_;
   soc::SocConfig cfg = config_;
   cfg.safety = safety;
   // The injector must outlive the Soc (its ECC hooks live in the Soc's
@@ -176,7 +331,40 @@ ScenarioResult FaultCampaign::run_one(const fault::FaultPlan* plan,
   if (attribute) soc.add_frame_observer(&dag);
   if (plan != nullptr) soc.set_fault_injector(&injector);
   soc.reset(workload_.tc_entry, workload_.pcp_entry);
-  r.cycles = soc.run(workload_.max_cycles);
+
+  // Warm fork: restore the shared boot image instead of replaying the
+  // boot prefix. Scenarios whose first event falls inside that prefix
+  // boot cold (the event must still fire); a restore failure also falls
+  // back to cold, since correctness never depends on the fork.
+  if (boot != nullptr && boot->cycle < first_event_cycle(plan) &&
+      boot->cycle < r.budget_cycles) {
+    if (!soc.restore_snapshot(*boot).is_ok()) {
+      return run_one(plan, safety, nullptr);
+    }
+  }
+
+  if (timeout_ms_ == 0) {
+    if (soc.cycle() < r.budget_cycles) {
+      soc.run(r.budget_cycles - soc.cycle());
+    }
+  } else {
+    // Chunked run so the wall clock is checked at bounded intervals.
+    // Chunk boundaries are invisible to the simulation (fast-forward
+    // resumes exactly where it stopped).
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms_);
+    while (soc.cycle() < r.budget_cycles && !soc.tc().halted()) {
+      const u64 chunk =
+          std::min<u64>(r.budget_cycles - soc.cycle(), kTimeoutCheckChunk);
+      const u64 stepped = soc.run(chunk);
+      if (std::chrono::steady_clock::now() >= deadline) {
+        r.timed_out = !soc.tc().halted();
+        break;
+      }
+      if (stepped < chunk) break;  // halted or idle deadlock
+    }
+  }
+  r.cycles = soc.cycle();
   r.halted = soc.tc().halted();
   if (attribute) {
     Cycle first = ~Cycle{0};
@@ -218,24 +406,56 @@ FaultOutcome FaultCampaign::classify(const ScenarioResult& run,
 CampaignSummary FaultCampaign::run(
     const std::vector<FaultScenario>& scenarios) const {
   CampaignSummary summary;
+  const soc::Snapshot* boot = has_warm_fork() ? &boot_ : nullptr;
   // Golden reference under the campaign's base safety config; scenarios
   // only diverge from it via their injected faults (per-scenario safety
   // tweaks like ECC-off change nothing in a fault-free run).
-  summary.golden = run_one(nullptr, config_.safety);
+  summary.golden = run_one_with_retries(nullptr, config_.safety, boot);
   summary.golden.name = "golden";
 
+  // Resume index: journaled results from a previous (interrupted)
+  // campaign, replayed instead of re-simulated.
+  std::map<std::pair<std::string, u64>, const host::ScenarioRecord*> done;
+  if (resume_ != nullptr) {
+    for (const host::ScenarioRecord& rec : *resume_) {
+      done[{rec.name, rec.seed}] = &rec;
+    }
+  }
+
   host::SimPool pool(jobs_);
-  summary.runs = pool.map<ScenarioResult>(
+  std::vector<ScenarioResult> runs = pool.map<ScenarioResult>(
       scenarios.size(), [&](usize i) {
         const FaultScenario& sc = scenarios[i];
-        ScenarioResult r = run_one(&sc.plan, sc.safety);
+        if (auto it = done.find({sc.name, sc.seed}); it != done.end()) {
+          return from_manifest_record(*it->second);
+        }
+        if (abort_ != nullptr && abort_->load()) {
+          ScenarioResult r;
+          r.name = sc.name;
+          r.seed = sc.seed;
+          r.aborted = true;
+          return r;
+        }
+        ScenarioResult r = run_one_with_retries(&sc.plan, sc.safety, boot);
         r.name = sc.name;
         r.seed = sc.seed;
+        // Classify in the worker so the journal records the final
+        // outcome — resumes then replay it verbatim.
+        if (!r.failed) r.outcome = classify(r, summary.golden);
+        if (manifest_ != nullptr) {
+          (void)manifest_->append(to_manifest_record(r));
+        }
         return r;
       });
-  for (ScenarioResult& r : summary.runs) {
-    r.outcome = classify(r, summary.golden);
+
+  // Results stay in submission order (SimPool contract), so the merged
+  // summary — and classification_hash — is identical no matter which
+  // scenarios came from the journal and which ran fresh. Aborted
+  // placeholders are dropped: they represent work not done.
+  for (ScenarioResult& r : runs) {
+    if (r.aborted) continue;
     summary.outcome_counts[static_cast<unsigned>(r.outcome)] += 1;
+    summary.runs.push_back(std::move(r));
   }
   return summary;
 }
@@ -281,7 +501,8 @@ void CampaignSummary::fill_report(telemetry::RunReport& report) const {
     report.add_alarm(to_string(static_cast<fault::AlarmKind>(k)), alarms[k]);
   }
   for (const ScenarioResult& r : runs) {
-    report.add_fault_scenario(r.name, to_string(r.outcome), r.cycles, r.task);
+    report.add_fault_scenario(r.name, to_string(r.outcome), r.cycles, r.task,
+                              r.budget_cycles, r.timeout_ms, r.attempts);
   }
 }
 

@@ -19,12 +19,15 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "fault/fault_injector.hpp"
 #include "fault/safety.hpp"
+#include "host/campaign_manifest.hpp"
 #include "optimize/evaluator.hpp"
+#include "soc/snapshot.hpp"
 #include "soc/soc_config.hpp"
 
 namespace audo::telemetry {
@@ -39,11 +42,18 @@ enum class FaultOutcome : u8 {
   kDetected,
   kSilentDataCorruption,
   kHang,
+  /// The *host* could not complete the scenario (repeated exceptions —
+  /// allocation failure, internal error) even after the retry budget.
+  /// The scenario is quarantined with this outcome instead of killing
+  /// the whole campaign.
+  kFailed,
   kCount,
 };
 inline constexpr unsigned kNumFaultOutcomes =
     static_cast<unsigned>(FaultOutcome::kCount);
 const char* to_string(FaultOutcome outcome);
+/// Inverse of to_string; false when `name` is not an outcome name.
+bool outcome_from_string(std::string_view name, FaultOutcome* out);
 
 /// One campaign entry: a fault plan plus the safety configuration it
 /// runs under (so a single campaign can compare ECC-on vs ECC-off).
@@ -67,7 +77,20 @@ struct ScenarioResult {
   std::string task;
   std::array<u64, fault::kNumFaultKinds> injected{};
   std::array<u64, fault::kNumAlarmKinds> alarms{};
+
+  // ---- robustness-policy bookkeeping (reported per scenario) ----------
+  u64 budget_cycles = 0;  // cycle budget this run was given
+  u64 timeout_ms = 0;     // wall-clock limit (0 = none)
+  u32 attempts = 1;       // host attempts consumed (1 = first try worked)
+  bool timed_out = false; // wall clock expired before the TC halted
+  bool failed = false;    // quarantined after exhausting retries
+  bool aborted = false;   // campaign was aborted before this ran
+  bool from_manifest = false;  // replayed from a resume journal
 };
+
+/// Manifest adapters: a ScenarioResult as journal plain data and back.
+host::ScenarioRecord to_manifest_record(const ScenarioResult& r);
+ScenarioResult from_manifest_record(const host::ScenarioRecord& rec);
 
 struct CampaignSummary {
   ScenarioResult golden;  // fault-free reference (outcome forced kMasked)
@@ -112,8 +135,63 @@ class FaultCampaign {
   /// corrected, detected, sdc, hang).
   std::vector<FaultScenario> make_demo_scenarios(const DemoTargets& t) const;
 
+  // ---- robustness policy ---------------------------------------------
+
+  /// Wall-clock limit per scenario (0 = none). A run that exceeds it is
+  /// stopped and classified kHang — a poison scenario costs bounded host
+  /// time instead of stalling the whole campaign.
+  void set_timeout_ms(u64 ms) { timeout_ms_ = ms; }
+  u64 timeout_ms() const { return timeout_ms_; }
+
+  /// Host-failure retries per scenario (exceptions, not simulation
+  /// outcomes). Retries back off exponentially; exhausting them
+  /// quarantines the scenario as kFailed instead of killing the run.
+  void set_retries(unsigned retries) { retries_ = retries; }
+  unsigned retries() const { return retries_; }
+
+  /// Cooperative abort (SIGINT/SIGTERM): scenarios that have not started
+  /// when the flag goes true are skipped; completed ones are kept, so
+  /// the partial summary + manifest stay consistent.
+  void set_abort_flag(const std::atomic<bool>* flag) { abort_ = flag; }
+
+  // ---- warm fork -----------------------------------------------------
+
+  /// Boot the workload once to the last quiescent cycle before the
+  /// earliest fault event of `scenarios`, snapshot it, and fork every
+  /// run (golden included) from that image. Returns the image checksum,
+  /// or 0 when no usable quiescent point exists (everything then boots
+  /// cold, which is always correct). Scenarios whose first event lands
+  /// at or before the fork cycle individually fall back to cold boot.
+  u64 prepare_warm_fork(const std::vector<FaultScenario>& scenarios);
+  void clear_warm_fork() { boot_ = soc::Snapshot{}; }
+  bool has_warm_fork() const { return !boot_.payload.empty(); }
+  Cycle warm_fork_cycle() const { return boot_.cycle; }
+  u64 warm_fork_hash() const {
+    return has_warm_fork() ? boot_.checksum() : 0;
+  }
+  /// The prepared boot image (empty payload when none); e.g. for
+  /// persisting with soc::Snapshot::to_file.
+  const soc::Snapshot& warm_fork_image() const { return boot_; }
+
+  // ---- resume --------------------------------------------------------
+
+  /// Journal every completed scenario to `manifest` (append-only JSONL;
+  /// thread-safe, durable per record). Null disables journaling.
+  void set_manifest(host::CampaignManifest* manifest) {
+    manifest_ = manifest;
+  }
+
+  /// Scenarios already completed by a previous (crashed) campaign:
+  /// run() matches them by (name, seed) and replays the journaled
+  /// result instead of re-simulating. Must outlive run().
+  void set_resume_records(const std::vector<host::ScenarioRecord>* records) {
+    resume_ = records;
+  }
+
   /// Run the golden reference plus every scenario (parallel across
-  /// jobs()) and classify.
+  /// jobs()) and classify. Scenarios found in the resume records are
+  /// replayed from the journal; fresh results are journaled to the
+  /// manifest; aborted scenarios are dropped from the summary.
   CampaignSummary run(const std::vector<FaultScenario>& scenarios) const;
 
   /// The generator shape used by make_scenarios (exposed for tests).
@@ -122,15 +200,29 @@ class FaultCampaign {
   const soc::SocConfig& config() const { return config_; }
   const WorkloadCase& workload() const { return workload_; }
 
+  /// Effective per-scenario cycle budget (workload max_cycles, bounded
+  /// by the SoC's hard cap).
+  u64 budget_cycles() const;
+
  private:
   ScenarioResult run_one(const fault::FaultPlan* plan,
-                         const fault::SafetyConfig& safety) const;
+                         const fault::SafetyConfig& safety,
+                         const soc::Snapshot* boot) const;
+  ScenarioResult run_one_with_retries(const fault::FaultPlan* plan,
+                                      const fault::SafetyConfig& safety,
+                                      const soc::Snapshot* boot) const;
   static FaultOutcome classify(const ScenarioResult& run,
                                const ScenarioResult& golden);
 
   soc::SocConfig config_;
   WorkloadCase workload_;
   unsigned jobs_ = 1;
+  u64 timeout_ms_ = 0;
+  unsigned retries_ = 2;
+  const std::atomic<bool>* abort_ = nullptr;
+  soc::Snapshot boot_;  // empty payload = no warm fork prepared
+  host::CampaignManifest* manifest_ = nullptr;
+  const std::vector<host::ScenarioRecord>* resume_ = nullptr;
 };
 
 }  // namespace audo::optimize

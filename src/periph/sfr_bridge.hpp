@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bus/port.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "mem/memory_map.hpp"
 
@@ -59,6 +60,32 @@ class PeriphBridge final : public bus::BusSlave {
 
   u64 unmapped_accesses() const { return unmapped_; }
   u64 faulted_reads() const { return faulted_reads_; }
+
+  /// Snapshot support: armed stuck-SFR faults and access diagnostics.
+  /// Device ranges are construction wiring.
+  void save_state(snapshot::Writer& w) const {
+    w.put_u32(static_cast<u32>(faults_.size()));
+    for (const SfrFault& f : faults_) {
+      w.put_u32(f.offset);
+      w.put_u32(f.value);
+      w.put_u64(f.reads_left);
+    }
+    w.put_u64(unmapped_);
+    w.put_u64(faulted_reads_);
+  }
+  void restore_state(snapshot::Reader& r) {
+    faults_.clear();
+    const u32 count = r.get_u32();
+    for (u32 i = 0; i < count && r.ok(); ++i) {
+      SfrFault f{};
+      f.offset = r.get_u32();
+      f.value = r.get_u32();
+      f.reads_left = r.get_u64();
+      faults_.push_back(f);
+    }
+    unmapped_ = r.get_u64();
+    faulted_reads_ = r.get_u64();
+  }
 
  private:
   struct Range {

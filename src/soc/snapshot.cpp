@@ -1,0 +1,102 @@
+#include "soc/snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/snapshot.hpp"
+
+namespace audo::soc {
+
+u64 Snapshot::checksum() const {
+  u64 h = kFnvOffset;
+  for (u8 b : payload) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::vector<u8> Snapshot::serialize() const {
+  snapshot::Writer w;
+  w.put_u32(kMagic);
+  w.put_u32(kVersion);
+  w.put_u64(shape_fingerprint);
+  w.put_u64(cycle);
+  w.put_u64(payload.size());
+  w.put_u64(checksum());
+  std::vector<u8> out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<Snapshot> Snapshot::deserialize(const std::vector<u8>& bytes) {
+  constexpr usize kHeaderBytes = 4 + 4 + 8 + 8 + 8 + 8;
+  if (bytes.size() < kHeaderBytes) {
+    return error(StatusCode::kDecodeError,
+                 "snapshot truncated: " + std::to_string(bytes.size()) +
+                     " bytes, header needs " + std::to_string(kHeaderBytes));
+  }
+  snapshot::Reader r(bytes);
+  const u32 magic = r.get_u32();
+  if (magic != kMagic) {
+    char msg[64];
+    std::snprintf(msg, sizeof msg, "bad snapshot magic 0x%08x", magic);
+    return error(StatusCode::kDecodeError, msg);
+  }
+  const u32 version = r.get_u32();
+  if (version != kVersion) {
+    return error(StatusCode::kDecodeError,
+                 "unsupported snapshot version " + std::to_string(version) +
+                     " (this build reads version " + std::to_string(kVersion) +
+                     ")");
+  }
+  Snapshot snap;
+  snap.shape_fingerprint = r.get_u64();
+  snap.cycle = r.get_u64();
+  const u64 length = r.get_u64();
+  const u64 stored_checksum = r.get_u64();
+  if (length != bytes.size() - kHeaderBytes) {
+    return error(StatusCode::kDecodeError,
+                 "snapshot payload length mismatch: header says " +
+                     std::to_string(length) + ", file carries " +
+                     std::to_string(bytes.size() - kHeaderBytes));
+  }
+  snap.payload.assign(bytes.begin() + kHeaderBytes, bytes.end());
+  if (snap.checksum() != stored_checksum) {
+    return error(StatusCode::kDecodeError,
+                 "snapshot checksum mismatch: image is corrupt");
+  }
+  return snap;
+}
+
+Status Snapshot::to_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return error(StatusCode::kNotFound, "cannot open " + path + " for write");
+  }
+  const std::vector<u8> bytes = serialize();
+  const usize written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !closed) {
+    return error(StatusCode::kResourceExhausted, "short write to " + path);
+  }
+  return Status::ok();
+}
+
+Result<Snapshot> Snapshot::from_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return error(StatusCode::kNotFound, "cannot open " + path);
+  }
+  std::vector<u8> bytes;
+  u8 chunk[4096];
+  usize got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(f);
+  return deserialize(bytes);
+}
+
+}  // namespace audo::soc

@@ -11,6 +11,7 @@
 
 #include "bus/crossbar.hpp"
 #include "cache/cache.hpp"
+#include "common/snapshot.hpp"
 #include "common/status.hpp"
 #include "cpu/cpu.hpp"
 #include "fault/safety_monitor.hpp"
@@ -24,6 +25,7 @@
 #include "periph/irq_router.hpp"
 #include "periph/peripherals.hpp"
 #include "periph/sfr_bridge.hpp"
+#include "soc/snapshot.hpp"
 #include "soc/soc_config.hpp"
 
 namespace audo::telemetry {
@@ -166,6 +168,36 @@ class Soc {
   bool idle_deadlock() const { return idle_deadlock_; }
 
   const FastForwardStats& ff_stats() const { return ff_stats_; }
+
+  // ---- snapshot / restore --------------------------------------------
+
+  /// Capture the complete machine state into a versioned, checksummed
+  /// image. Requires quiescent(): at a quiescent point every transient
+  /// (in-flight bus transactions, pipeline fills, DMA units) is drained,
+  /// so the remaining state is plain data. The image records the
+  /// configuration's shape_fingerprint(); restoring it onto a machine
+  /// with a different shape is rejected.
+  Result<Snapshot> save_snapshot() const;
+
+  /// Restore a previously captured image into this machine. Call on a
+  /// freshly constructed Soc with the same architecture shape, after
+  /// load()ing the same program (memory contents come from the image;
+  /// load() is what populates the host-side decode cache). The resulting
+  /// machine continues bit-identically to the one that was saved. On a
+  /// non-ok return the machine state is indeterminate and the Soc must
+  /// be discarded — corrupt or wrong-version images never get this far
+  /// (Snapshot::deserialize validates before any state is touched).
+  Status restore_snapshot(const Snapshot& snap);
+
+  /// Composable flavour of save_snapshot(): write the machine sections
+  /// into an existing Writer so a wrapper (the Emulation Device) can
+  /// append its own sections to the same image. Precondition: quiescent().
+  void save_state(snapshot::Writer& w) const;
+
+  /// Composable flavour of restore_snapshot(): consume the machine
+  /// sections from `r` (shape/quiescence contract as restore_snapshot;
+  /// the caller checks the shape fingerprint and end-of-payload).
+  void restore_state(snapshot::Reader& r);
 
   Cycle cycle() const { return cycle_; }
   const mcds::ObservationFrame& frame() const { return frame_; }

@@ -72,7 +72,15 @@ struct SocConfig {
   /// Stable FNV-1a hash over every architecture knob. Written into run
   /// reports so results from different configurations never get compared
   /// by accident.
-  u64 fingerprint() const {
+  u64 fingerprint() const { return safety.fingerprint(shape_fingerprint()); }
+
+  /// Hash over the *structural* knobs only — everything fingerprint()
+  /// covers except the safety model. Snapshots are keyed by this: a
+  /// fault-free boot leaves no trace of the safety configuration (no
+  /// alarm, no ECC event, cycle-identical with the monitor on or off),
+  /// so scenarios that differ only in safety settings can fork from one
+  /// warm boot image.
+  u64 shape_fingerprint() const {
     u64 h = fnv1a(kFnvOffset, name);
     h = fnv1a(h, clock_hz);
     h = fnv1a(h, pflash.size);
@@ -104,7 +112,6 @@ struct SocConfig {
     h = fnv1a(h, u64{dma_channels});
     h = fnv1a(h, static_cast<u64>(arbitration));
     h = fnv1a(h, u64{spr_slave_latency});
-    h = safety.fingerprint(h);
     return h;
   }
 };

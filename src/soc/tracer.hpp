@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "mcds/observation.hpp"
 #include "telemetry/timeline.hpp"
 
@@ -75,6 +76,40 @@ class SocTracer {
 
   Status write_chrome_json(const std::string& path, u64 clock_hz) const {
     return timeline_.write_chrome_json(path, clock_hz);
+  }
+
+  /// Snapshot support: the counter-sampling schedules and interval
+  /// accumulators, so a restored tracer samples at the same cycles with
+  /// the same values as an uninterrupted one. The timeline itself (spans
+  /// already emitted before the snapshot) is not serialized — a restored
+  /// tracer records the run's continuation from the capture point.
+  void save_state(snapshot::Writer& w) const {
+    w.put_u64(next_sample_);
+    w.put_u64(interval_cycles_);
+    w.put_u64(interval_retired_);
+    w.put_u64(interval_code_acc_);
+    w.put_u64(interval_code_hit_);
+    w.put_u64(interval_data_acc_);
+    w.put_u64(interval_data_hit_);
+    w.put_u64(interval_contention_);
+    for (u64 v : interval_stall_root_) w.put_u64(v);
+    w.put_u64(next_eec_sample_);
+    w.put_u64(last_trace_messages_);
+    w.put_u64(last_dropped_);
+  }
+  void restore_state(snapshot::Reader& r) {
+    next_sample_ = r.get_u64();
+    interval_cycles_ = r.get_u64();
+    interval_retired_ = r.get_u64();
+    interval_code_acc_ = r.get_u64();
+    interval_code_hit_ = r.get_u64();
+    interval_data_acc_ = r.get_u64();
+    interval_data_hit_ = r.get_u64();
+    interval_contention_ = r.get_u64();
+    for (u64& v : interval_stall_root_) v = r.get_u64();
+    next_eec_sample_ = r.get_u64();
+    last_trace_messages_ = r.get_u64();
+    last_dropped_ = r.get_u64();
   }
 
  private:

@@ -105,6 +105,9 @@ std::string RunReport::to_json() const {
     w.kv("outcome", s.outcome);
     w.kv("cycles", s.cycles);
     w.kv("task", s.task);
+    w.kv("budget_cycles", s.budget_cycles);
+    w.kv("timeout_ms", s.timeout_ms);
+    w.kv("attempts", s.attempts);
     w.end_object();
   }
   w.end_array();

@@ -59,9 +59,12 @@ struct RunReport {
   /// in (execution-DAG attribution; "" when unattributable).
   struct FaultScenarioEntry {
     std::string name;
-    std::string outcome;  // masked | corrected | detected | sdc | hang
+    std::string outcome;  // masked | corrected | detected | sdc | hang | failed
     u64 cycles = 0;
     std::string task;
+    u64 budget_cycles = 0;  // per-scenario cycle budget in force
+    u64 timeout_ms = 0;     // per-scenario wall-clock limit (0 = none)
+    u64 attempts = 1;       // host attempts consumed (retry policy)
   };
   std::vector<FaultScenarioEntry> fault_scenarios;
   /// Safety-monitor alarm totals by kind ("ecc_corrected", ...).
@@ -136,9 +139,11 @@ struct RunReport {
   }
 
   void add_fault_scenario(std::string name, std::string outcome, u64 run_cycles,
-                          std::string task) {
+                          std::string task, u64 budget_cycles = 0,
+                          u64 scenario_timeout_ms = 0, u64 attempts = 1) {
     fault_scenarios.push_back(FaultScenarioEntry{
-        std::move(name), std::move(outcome), run_cycles, std::move(task)});
+        std::move(name), std::move(outcome), run_cycles, std::move(task),
+        budget_cycles, scenario_timeout_ms, attempts});
   }
 
   void add_alarm(std::string name, u64 value) {

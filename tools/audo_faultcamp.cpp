@@ -1,27 +1,66 @@
 // audo-faultcamp: parallel fault-injection campaigns over the engine
 // workload. Runs a fault-free golden reference, then N seeded fault
 // scenarios through the SimPool, and classifies every run as
-// masked / corrected / detected / sdc / hang.
+// masked / corrected / detected / sdc / hang (/ failed for scenarios the
+// host could not complete).
+//
+// The campaign boots the workload once, snapshots the machine at the
+// last quiescent cycle before the earliest fault event, and forks every
+// scenario from that warm image (bit-identical to cold boots). Every
+// completed scenario is journaled to an append-only manifest, so a
+// campaign killed at any point — including kill -9 — can be resumed with
+// --resume and reproduces the exact merged report and classification
+// hash while skipping the scenarios already done.
 //
 //   audo-faultcamp [options]
-//     --scenarios N     random scenarios to generate (default 16)
-//     --seed S          campaign seed (default 1)
-//     --jobs N          host threads (0 = hardware; default 0)
-//     --cycles N        per-run cycle budget (default 400000)
-//     --bg N            engine background iterations to completion
-//                       (default 300)
-//     --demo            run the five hand-aimed outcome-class scenarios
-//                       instead of (or in addition to) the random set
-//     --no-ecc-sram     disable the RAM ECC model for random scenarios
-//     --no-fast-forward step every idle cycle instead of skipping
-//                       quiescent stretches (bit-identical, slower)
-//     --report FILE     write a structured RunReport JSON
+//     --scenarios N             random scenarios to generate (default 16)
+//     --seed S                  campaign seed (default 1)
+//     --jobs N                  host threads (0 = hardware; default 0)
+//     --scenario-budget N       per-run cycle budget (default 400000;
+//                               --cycles is an alias)
+//     --scenario-timeout-ms MS  per-run wall-clock limit (0 = none);
+//                               runs over it are classified "hang"
+//     --retries N               host-failure retries per scenario before
+//                               quarantining it as "failed" (default 2)
+//     --bg N                    engine background iterations to completion
+//                               (default 300)
+//     --idle-revs N             use the event-driven engine shape (WFI
+//                               background park, halt after N crank
+//                               revolutions) instead of the busy
+//                               background loop. This is the shape where
+//                               the warm fork actually engages: the busy
+//                               loop never goes quiescent before the
+//                               fault window, so it always boots cold.
+//     --demo                    run the five hand-aimed outcome-class
+//                               scenarios instead of (or on top of) the
+//                               random set
+//     --no-ecc-sram             disable the RAM ECC model for random
+//                               scenarios
+//     --no-fast-forward         step every idle cycle instead of skipping
+//                               quiescent stretches (bit-identical, slower)
+//     --cold-boot               disable the warm fork (every run boots
+//                               from reset; bit-identical, slower)
+//     --manifest FILE           journal completed scenarios to FILE (JSONL)
+//     --resume FILE             resume a campaign from FILE: completed
+//                               scenarios are replayed from the journal,
+//                               the rest run and are appended to it
+//     --snapshot FILE           write the warm boot image to FILE
+//     --report FILE             write a structured RunReport JSON
+//
+// SIGINT/SIGTERM abort cooperatively: scenarios not yet started are
+// skipped, the manifest stays intact (completed work is never lost), a
+// partial report is still written, and the exit code is 130.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 
+#include <atomic>
+
+#include "host/campaign_manifest.hpp"
 #include "host/sim_pool.hpp"
 #include "mem/memory_map.hpp"
 #include "optimize/fault_campaign.hpp"
+#include "soc/snapshot.hpp"
 #include "soc/soc.hpp"
 #include "telemetry/host_profiler.hpp"
 #include "telemetry/metrics.hpp"
@@ -32,11 +71,19 @@ using namespace audo;
 
 namespace {
 
+std::atomic<bool> g_abort{false};
+
+void on_signal(int) { g_abort.store(true); }
+
 void usage() {
-  std::fprintf(stderr,
-               "usage: audo-faultcamp [--scenarios N] [--seed S] [--jobs N]\n"
-               "       [--cycles N] [--bg N] [--demo] [--no-ecc-sram]\n"
-               "       [--no-fast-forward] [--report FILE]\n");
+  std::fprintf(
+      stderr,
+      "usage: audo-faultcamp [--scenarios N] [--seed S] [--jobs N]\n"
+      "       [--scenario-budget N] [--scenario-timeout-ms MS] [--retries N]\n"
+      "       [--bg N] [--idle-revs N] [--demo] [--no-ecc-sram]\n"
+      "       [--no-fast-forward]\n"
+      "       [--cold-boot] [--manifest FILE] [--resume FILE]\n"
+      "       [--snapshot FILE] [--report FILE]\n");
 }
 
 }  // namespace
@@ -45,11 +92,18 @@ int main(int argc, char** argv) {
   unsigned scenarios = 16;
   u64 seed = 1;
   unsigned jobs = 0;
-  u64 cycles = 400'000;
+  u64 budget = 400'000;
+  u64 timeout_ms = 0;
+  unsigned retries = 2;
   u32 bg_iterations = 300;
+  u32 idle_revs = 0;
   bool demo = false;
   bool ecc_sram = true;
   bool fast_forward = true;
+  bool cold_boot = false;
+  const char* manifest_path = nullptr;
+  const char* resume_path = nullptr;
+  const char* snapshot_path = nullptr;
   const char* report_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,16 +121,31 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next_value(), nullptr, 0);
     } else if (std::strcmp(arg, "--jobs") == 0) {
       jobs = static_cast<unsigned>(std::strtoul(next_value(), nullptr, 0));
-    } else if (std::strcmp(arg, "--cycles") == 0) {
-      cycles = std::strtoull(next_value(), nullptr, 0);
+    } else if (std::strcmp(arg, "--scenario-budget") == 0 ||
+               std::strcmp(arg, "--cycles") == 0) {
+      budget = std::strtoull(next_value(), nullptr, 0);
+    } else if (std::strcmp(arg, "--scenario-timeout-ms") == 0) {
+      timeout_ms = std::strtoull(next_value(), nullptr, 0);
+    } else if (std::strcmp(arg, "--retries") == 0) {
+      retries = static_cast<unsigned>(std::strtoul(next_value(), nullptr, 0));
     } else if (std::strcmp(arg, "--bg") == 0) {
       bg_iterations = static_cast<u32>(std::strtoul(next_value(), nullptr, 0));
+    } else if (std::strcmp(arg, "--idle-revs") == 0) {
+      idle_revs = static_cast<u32>(std::strtoul(next_value(), nullptr, 0));
     } else if (std::strcmp(arg, "--demo") == 0) {
       demo = true;
     } else if (std::strcmp(arg, "--no-ecc-sram") == 0) {
       ecc_sram = false;
     } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
       fast_forward = false;
+    } else if (std::strcmp(arg, "--cold-boot") == 0) {
+      cold_boot = true;
+    } else if (std::strcmp(arg, "--manifest") == 0) {
+      manifest_path = next_value();
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      resume_path = next_value();
+    } else if (std::strcmp(arg, "--snapshot") == 0) {
+      snapshot_path = next_value();
     } else if (std::strcmp(arg, "--report") == 0) {
       report_path = next_value();
     } else {
@@ -85,9 +154,19 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (manifest_path != nullptr && resume_path != nullptr) {
+    std::fprintf(stderr, "--manifest and --resume are mutually exclusive "
+                         "(--resume appends to the resumed manifest)\n");
+    return 2;
+  }
 
   workload::EngineOptions opt;
-  opt.halt_after_bg = bg_iterations;
+  if (idle_revs > 0) {
+    opt.idle_background = true;
+    opt.halt_after_revs = idle_revs;
+  } else {
+    opt.halt_after_bg = bg_iterations;
+  }
   auto engine = workload::build_engine_workload(opt);
   if (!engine.is_ok()) {
     std::fprintf(stderr, "engine workload: %s\n",
@@ -107,10 +186,13 @@ int main(int argc, char** argv) {
   wc.configure = [options = engine.value().options](soc::Soc& soc) {
     workload::configure_engine(soc, options);
   };
-  wc.max_cycles = cycles;
+  wc.max_cycles = budget;
 
   optimize::FaultCampaign campaign(chip, std::move(wc));
   campaign.set_jobs(jobs);
+  campaign.set_timeout_ms(timeout_ms);
+  campaign.set_retries(retries);
+  campaign.set_abort_flag(&g_abort);
 
   std::vector<optimize::FaultScenario> plan;
   if (demo) {
@@ -133,6 +215,75 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  u64 boot_hash = 0;
+  if (!cold_boot) {
+    boot_hash = campaign.prepare_warm_fork(plan);
+    if (boot_hash != 0) {
+      std::printf("warm fork: boot image at cycle %llu (0x%llx)\n",
+                  static_cast<unsigned long long>(campaign.warm_fork_cycle()),
+                  static_cast<unsigned long long>(boot_hash));
+    }
+  }
+  if (snapshot_path != nullptr) {
+    if (!campaign.has_warm_fork()) {
+      std::fprintf(stderr, "--snapshot: no warm boot image to write\n");
+      return 1;
+    }
+    if (Status s = campaign.warm_fork_image().to_file(snapshot_path);
+        !s.is_ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", snapshot_path,
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("boot image: %s\n", snapshot_path);
+  }
+
+  // Manifest journaling / resume. The header pins the campaign identity;
+  // resuming under different parameters is refused.
+  host::CampaignManifest manifest;
+  host::CampaignHeader header;
+  header.workload = campaign.workload().name;
+  header.campaign_seed = seed;
+  header.config_fingerprint = chip.fingerprint();
+  header.snapshot_hash = boot_hash;
+  header.scenario_count = plan.size();
+  host::ManifestContents resumed;
+  if (resume_path != nullptr) {
+    auto loaded = host::CampaignManifest::load(resume_path);
+    if (!loaded.is_ok()) {
+      std::fprintf(stderr, "--resume: %s\n",
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+    resumed = std::move(loaded).value();
+    if (resumed.header.workload != header.workload ||
+        resumed.header.campaign_seed != header.campaign_seed ||
+        resumed.header.config_fingerprint != header.config_fingerprint ||
+        resumed.header.scenario_count != header.scenario_count) {
+      std::fprintf(stderr,
+                   "--resume: manifest belongs to a different campaign "
+                   "(workload/seed/config/scenario-count mismatch)\n");
+      return 1;
+    }
+    if (Status s = manifest.open_append(resume_path); !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+    campaign.set_resume_records(&resumed.records);
+    campaign.set_manifest(&manifest);
+    std::printf("resume: %zu of %zu scenarios journaled in %s\n",
+                resumed.records.size(), plan.size(), resume_path);
+  } else if (manifest_path != nullptr) {
+    if (Status s = manifest.create(manifest_path, header); !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+    campaign.set_manifest(&manifest);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
   telemetry::HostProfiler host;
   host.start(0);
   const optimize::CampaignSummary summary = campaign.run(plan);
@@ -141,6 +292,13 @@ int main(int argc, char** argv) {
     total_cycles += r.cycles;
   }
   host.stop(total_cycles);
+  manifest.close();
+
+  const bool aborted = g_abort.load();
+  if (aborted) {
+    std::printf("aborted: %zu of %zu scenarios completed\n",
+                summary.runs.size(), plan.size());
+  }
 
   std::printf("%s", summary.format().c_str());
   std::printf("(%zu runs, %u jobs, %.2fs, classification 0x%llx)\n",
@@ -159,12 +317,14 @@ int main(int argc, char** argv) {
     report.jobs = jobs == 0 ? host::SimPool::hardware_jobs() : jobs;
     report.set_host(host);
     // Component metrics come from one instrumented fault-free run (the
-    // campaign's workers are transient and keep no registries).
+    // campaign's workers are transient and keep no registries). Skipped
+    // on abort: flushing the classification data matters more than
+    // burning seconds on a full metrics run after Ctrl-C.
     soc::Soc golden(chip);
-    if (workload::install_engine(golden, engine.value()).is_ok()) {
+    if (!aborted && workload::install_engine(golden, engine.value()).is_ok()) {
       telemetry::MetricsRegistry registry;
       golden.register_metrics(registry);
-      golden.run(cycles);
+      golden.run(budget);
       report.instructions = golden.tc().retired();
       report.sim_ipc = golden.cycle() > 0
                            ? static_cast<double>(golden.tc().retired()) /
@@ -184,6 +344,11 @@ int main(int argc, char** argv) {
     summary.fill_report(report);
     report.add_extra("classification_hash",
                      static_cast<double>(summary.classification_hash()));
+    report.add_extra("warm_fork", campaign.has_warm_fork() ? 1.0 : 0.0);
+    report.add_extra("aborted", aborted ? 1.0 : 0.0);
+    report.add_extra("scenarios_completed",
+                     static_cast<double>(summary.runs.size()));
+    report.add_extra("scenarios_planned", static_cast<double>(plan.size()));
     if (Status s = report.write(report_path); !s.is_ok()) {
       std::fprintf(stderr, "cannot write %s: %s\n", report_path,
                    s.to_string().c_str());
@@ -191,5 +356,5 @@ int main(int argc, char** argv) {
     }
     std::printf("run report: %s\n", report_path);
   }
-  return 0;
+  return aborted ? 130 : 0;
 }

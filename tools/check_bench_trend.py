@@ -47,6 +47,8 @@ def check(fresh, base, tolerance):
         ok = fail("parallel sweep diverged from serial")
     if not fresh["fast_forward"]["identical_to_stepped"]:
         ok = fail("fast-forward run diverged from stepped run")
+    if not fresh.get("warm_fork", {}).get("identical_to_cold", True):
+        ok = fail("warm-forked campaign diverged from cold boots")
 
     # Exact: simulated-work counters are host-independent.
     for key in ("cycles", "skipped_cycles", "wakeups"):
@@ -75,6 +77,9 @@ def check(fresh, base, tolerance):
         ("single_run.dag_observer_cycles_per_second",
          fresh["single_run"].get("dag_observer_cycles_per_second", 0),
          base["single_run"].get("dag_observer_cycles_per_second", 0)),
+        ("warm_fork.speedup",
+         fresh.get("warm_fork", {}).get("speedup", 0),
+         base.get("warm_fork", {}).get("speedup", 0)),
     ]
     for name, fv, bv in banded:
         if bv <= 0:
