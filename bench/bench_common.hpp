@@ -34,12 +34,17 @@ struct BenchArgs {
   /// quiescent stretches. Bit-identical either way (the flag exists for
   /// cross-checking exactly that); apply via `args.apply(config)`.
   bool fast_forward = true;
+  /// --exec-tier accurate|superblock: execution engine selection. Like
+  /// fast_forward, bit-identical either way (the flag exists for
+  /// cross-checking exactly that); apply via `args.apply(config)`.
+  soc::SocConfig::ExecTier exec_tier = soc::SocConfig{}.exec_tier;
   std::string report_path;    // --report <path>: RunReport JSON
   std::string perfetto_path;  // --perfetto <path>: Chrome trace JSON
 
   /// Copy the host-side knobs this CLI controls into a SoC config.
   void apply(soc::SocConfig& config) const {
     config.fast_forward = fast_forward;
+    config.exec_tier = exec_tier;
   }
 
   bool telemetry_requested() const {
@@ -59,6 +64,8 @@ inline void print_usage(const char* argv0) {
                "for any N)\n"
                "  --no-fast-forward  step every idle cycle instead of "
                "skipping quiescent stretches (bit-identical, slower)\n"
+               "  --exec-tier T    execution engine: 'superblock' "
+               "(default) or 'accurate' (bit-identical, slower)\n"
                "  --report PATH    write a structured RunReport JSON\n"
                "  --perfetto PATH  write a Chrome/Perfetto trace JSON\n",
                argv0);
@@ -88,6 +95,17 @@ inline BenchArgs parse_args(int argc, char** argv) {
       if (args.jobs == 0) args.jobs = host::SimPool::hardware_jobs();
     } else if (a == "--no-fast-forward") {
       args.fast_forward = false;
+    } else if (a == "--exec-tier") {
+      const std::string_view tier = value_of(i, a);
+      if (tier == "accurate") {
+        args.exec_tier = soc::SocConfig::ExecTier::kAccurate;
+      } else if (tier == "superblock") {
+        args.exec_tier = soc::SocConfig::ExecTier::kSuperblock;
+      } else {
+        std::fprintf(stderr, "--exec-tier wants 'accurate' or 'superblock'\n");
+        print_usage(argv[0]);
+        std::exit(2);
+      }
     } else if (a == "--report") {
       args.report_path = value_of(i, a);
     } else if (a == "--perfetto") {

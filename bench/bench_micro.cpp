@@ -141,6 +141,76 @@ loop:
 }
 BENCHMARK(BM_SocDenseKernelNoRegression);
 
+// The superblock fast tier on its target case: straight-line compute
+// (matmul) through Soc::run. Arg(1) = superblock tier, Arg(0) = the
+// accurate stepper on the identical workload; the ratio is the tier's
+// dense-kernel speedup (tracked with a hard floor in
+// tools/check_bench_trend.py).
+void BM_SocSuperblockDense(benchmark::State& state) {
+  auto program = workload::build_matmul(16);
+  if (!program.is_ok()) {
+    state.SkipWithError("matmul build failed");
+    return;
+  }
+  u64 simulated = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    soc::SocConfig config;
+    config.exec_tier = state.range(0) != 0
+                           ? soc::SocConfig::ExecTier::kSuperblock
+                           : soc::SocConfig::ExecTier::kAccurate;
+    soc::Soc soc{config};
+    (void)soc.load(program.value());
+    soc.reset(program.value().entry());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(soc.run(20'000'000));
+    simulated += soc.cycle();
+  }
+  state.SetItemsProcessed(static_cast<i64>(simulated));
+  state.SetLabel(state.range(0) != 0 ? "superblock tier"
+                                     : "accurate stepper");
+}
+BENCHMARK(BM_SocSuperblockDense)->Arg(1)->Arg(0);
+
+// Worst case for the tier: a hot loop whose every iteration hits a bail
+// op (DEBUG is SYS-pipe, so the window closes and the accurate stepper
+// replays the cycle). Measures enter/plan/exit overhead when windows
+// never get going; must stay within noise of the accurate stepper on
+// the same loop (Arg(0)).
+void BM_SocSuperblockBailout(benchmark::State& state) {
+  auto program = isa::assemble(R"(
+    .text 0xC8000000
+main:
+    movd d0, 0
+    movd d1, 1
+loop:
+    add  d0, d0, d1
+    debug
+    xor  d3, d0, d1
+    j    loop
+)");
+  if (!program.is_ok()) {
+    state.SkipWithError("assembly failed");
+    return;
+  }
+  soc::SocConfig config;
+  config.exec_tier = state.range(0) != 0
+                         ? soc::SocConfig::ExecTier::kSuperblock
+                         : soc::SocConfig::ExecTier::kAccurate;
+  soc::Soc soc{config};
+  (void)soc.load(program.value());
+  soc.reset(program.value().entry());
+  constexpr u64 kChunk = 100'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soc.run(kChunk));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(kChunk));
+  state.SetLabel(state.range(0) != 0 ? "superblock tier (bails every loop)"
+                                     : "accurate stepper");
+}
+BENCHMARK(BM_SocSuperblockBailout)->Arg(1)->Arg(0);
+
 void BM_TraceEncode(benchmark::State& state) {
   mcds::TraceEncoder encoder;
   mcds::TraceMessage sync;

@@ -264,6 +264,92 @@ int main(int argc, char** argv) {
               camp_identical ? "classification bit-identical to cold"
                              : "MISMATCH");
 
+  // --- 5. dense kernels, superblock tier vs accurate stepper ----------
+  //
+  // The fast tier's target case: straight-line compute with scratchpad /
+  // cache-hit memory traffic. Both tiers run each kernel to halt on a
+  // fresh SoC; identity is checked on cycles, instructions and the
+  // kernel's architectural result word.
+  struct TierOutcome {
+    double seconds = 0.0;
+    u64 cycles = 0;
+    u64 instructions = 0;
+    u32 result = 0;
+    bool halted = false;
+  };
+  struct DenseKernel {
+    const char* name;
+    Result<isa::Program> (*build)();
+  };
+  const DenseKernel dense_kernels[] = {
+      {"matmul", [] { return workload::build_matmul(16); }},
+      {"fir", [] { return workload::build_fir(24, 512); }},
+  };
+  const unsigned dense_reps = 6;
+  auto tier_run = [&](const DenseKernel& k, soc::SocConfig::ExecTier tier) {
+    auto program = k.build();
+    if (!program.is_ok()) {
+      std::fprintf(stderr, "kernel %s build failed: %s\n", k.name,
+                   program.status().to_string().c_str());
+      std::exit(1);
+    }
+    const auto result_sym = program.value().symbol_addr("result");
+    const Addr result_addr = result_sym.is_ok() ? result_sym.value() : 0;
+    TierOutcome out;
+    for (unsigned rep = 0; rep < dense_reps; ++rep) {
+      soc::SocConfig config;
+      args.apply(config);
+      config.exec_tier = tier;
+      soc::Soc soc{config};
+      if (Status s = soc.load(program.value()); !s.is_ok()) {
+        std::fprintf(stderr, "load failed: %s\n", s.to_string().c_str());
+        std::exit(1);
+      }
+      soc.reset(program.value().entry());
+      const auto t0 = std::chrono::steady_clock::now();
+      soc.run(20'000'000);
+      const auto t1 = std::chrono::steady_clock::now();
+      out.seconds += std::chrono::duration<double>(t1 - t0).count();
+      out.cycles += soc.cycle();
+      out.instructions += soc.tc().retired();
+      out.result ^= soc.dspr().read(result_addr, 4);
+      out.halted = soc.tc().halted();
+    }
+    return out;
+  };
+  std::printf("\ndense kernels (%u reps each, run to halt):\n", dense_reps);
+  double dense_accurate_ns = 0.0;
+  double dense_superblock_ns = 0.0;
+  u64 dense_cycles = 0;
+  bool dense_identical = true;
+  for (const DenseKernel& k : dense_kernels) {
+    const TierOutcome acc = tier_run(k, soc::SocConfig::ExecTier::kAccurate);
+    const TierOutcome fast =
+        tier_run(k, soc::SocConfig::ExecTier::kSuperblock);
+    const bool same = acc.cycles == fast.cycles &&
+                      acc.instructions == fast.instructions &&
+                      acc.result == fast.result && acc.halted && fast.halted;
+    dense_identical = dense_identical && same;
+    dense_accurate_ns += 1e9 * acc.seconds;
+    dense_superblock_ns += 1e9 * fast.seconds;
+    dense_cycles += acc.cycles;
+    std::printf("  %-8s %9llu cycles  accurate %6.1f ns/cyc  superblock "
+                "%5.1f ns/cyc  (%.2fx)  %s\n",
+                k.name, static_cast<unsigned long long>(acc.cycles / dense_reps),
+                acc.cycles > 0 ? 1e9 * acc.seconds / static_cast<double>(acc.cycles) : 0.0,
+                fast.cycles > 0 ? 1e9 * fast.seconds / static_cast<double>(fast.cycles) : 0.0,
+                fast.seconds > 0.0 ? acc.seconds / fast.seconds : 0.0,
+                same ? "identical" : "MISMATCH");
+  }
+  dense_accurate_ns /= static_cast<double>(dense_cycles);
+  dense_superblock_ns /= static_cast<double>(dense_cycles);
+  const double dense_speedup =
+      dense_superblock_ns > 0.0 ? dense_accurate_ns / dense_superblock_ns : 0.0;
+  std::printf("  overall: accurate %.2f ns/cyc, superblock %.2f ns/cyc "
+              "(%.2fx), results %s\n",
+              dense_accurate_ns, dense_superblock_ns, dense_speedup,
+              dense_identical ? "bit-identical" : "MISMATCH");
+
   // Machine-readable tail for tools/bench_throughput.py.
   std::printf("\nTHROUGHPUT single_run_cycles=%llu\n",
               static_cast<unsigned long long>(cycles));
@@ -291,6 +377,14 @@ int main(int argc, char** argv) {
   std::printf("THROUGHPUT warm_fork_cold_seconds=%.4f\n", camp_cold_s);
   std::printf("THROUGHPUT warm_fork_warm_seconds=%.4f\n", camp_warm_s);
   std::printf("THROUGHPUT warm_fork_identical=%d\n", camp_identical ? 1 : 0);
+  std::printf("THROUGHPUT dense_cycles=%llu\n",
+              static_cast<unsigned long long>(dense_cycles));
+  std::printf("THROUGHPUT dense_accurate_ns_per_cycle=%.3f\n",
+              dense_accurate_ns);
+  std::printf("THROUGHPUT dense_superblock_ns_per_cycle=%.3f\n",
+              dense_superblock_ns);
+  std::printf("THROUGHPUT dense_speedup=%.3f\n", dense_speedup);
+  std::printf("THROUGHPUT dense_identical=%d\n", dense_identical ? 1 : 0);
 
   // Optional RunReport on one representative engine run.
   if (telemetry.enabled()) {
@@ -308,9 +402,11 @@ int main(int argc, char** argv) {
     telemetry.add_extra("sweep_speedup",
                         parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
     telemetry.add_extra("ff_speedup", ff_speedup);
+    telemetry.add_extra("dense_speedup", dense_speedup);
     telemetry.add_extra("warm_fork_speedup",
                         camp_warm_s > 0.0 ? camp_cold_s / camp_warm_s : 0.0);
     telemetry.finish();
   }
-  return identical && ff_identical && camp_identical ? 0 : 1;
+  return identical && ff_identical && camp_identical && dense_identical ? 0
+                                                                        : 1;
 }

@@ -30,6 +30,7 @@
 #include "isa/core_regs.hpp"
 #include "isa/decode_cache.hpp"
 #include "isa/isa.hpp"
+#include "isa/superblock.hpp"
 #include "mcds/observation.hpp"
 #include "mem/mem_array.hpp"
 #include "mem/sram.hpp"
@@ -75,6 +76,9 @@ class Cpu {
     /// Predecoded program image (host acceleration; see
     /// isa/decode_cache.hpp). Null falls back to isa::decode per word.
     const isa::DecodeCache* decode_cache = nullptr;
+    /// Superblock cache for the fast execution tier (see
+    /// isa/superblock.hpp). Null disables fast_enter().
+    isa::SuperblockCache* superblocks = nullptr;
   };
 
   Cpu(const CpuConfig& config, Env env);
@@ -85,6 +89,49 @@ class Cpu {
 
   /// Advance one clock cycle; fills the core's observation record.
   void step(Cycle now, mcds::CoreObservation& obs);
+
+  // -- fast execution tier (DESIGN.md, "Execution tiers") ---------------
+  //
+  // The superblock fast path executes straight-line code out of a
+  // predecoded chunk with the fetch queue virtualised as an index range
+  // into it. Every fast cycle is planned side-effect-free first (phase A)
+  // and only committed when the whole cycle is representable (phase B);
+  // a bail leaves the machine untouched, so the caller replays the same
+  // cycle with step() and gets the identical observable outcome.
+
+  /// Fast-tier cursor over one superblock. `front`/`count` are the
+  /// virtualised fetch queue (indices into blk->ops); the real fetch
+  /// machinery fields (fetch_pc_, fetch_state_, ...) stay live.
+  struct FastWindow {
+    const isa::Superblock* blk = nullptr;
+    u32 front = 0;
+    u32 count = 0;
+    /// A taken control transfer left the chunk: the window exited with a
+    /// consumed cycle, a clean front end, and next_pc_ at the target —
+    /// the caller may immediately re-enter on the target's chunk.
+    bool left_chunk = false;
+  };
+
+  /// Try to open a fast window at the current PC. Requires a fully
+  /// drained core (empty fetch queue, idle fetch/data paths, nothing
+  /// pending) so the virtualised queue starts empty. Returns false when
+  /// any condition fails or no superblock covers next_pc().
+  bool fast_enter(FastWindow& fw);
+
+  /// Execute one cycle inside the window. Returns false (machine
+  /// untouched) when the cycle is not representable — the caller must
+  /// fast_exit() and replay the cycle with step().
+  bool fast_cycle(FastWindow& fw, Cycle now, mcds::CoreObservation& obs);
+
+  /// Close the window: rematerialise the virtualised fetch queue into
+  /// fetch_queue_ so step() continues exactly where the window stopped.
+  void fast_exit(FastWindow& fw);
+
+  /// True when the next cycle needs the accurate stepper regardless of
+  /// code (halt, pending trap, or an acceptable interrupt). The fast
+  /// window polls this after frame hooks that may react on the core
+  /// (safety monitor).
+  bool needs_slow_step() const;
 
   bool halted() const { return halted_; }
   bool waiting() const { return wfi_; }
@@ -161,10 +208,22 @@ class Cpu {
   bool fetch_on_bus() const { return fetch_state_ == FetchState::kBusWait; }
 
  private:
+  friend struct FastExec;  // per-opcode commit functors (cpu_fast.cpp)
+
   struct Fetched {
     Addr pc;
     isa::Instr instr;
   };
+
+  /// Planned data access for one fast cycle (phase A resolves the route;
+  /// phase B commits it). Only DSPR and D-cache-hit flash loads are
+  /// representable — everything else bails.
+  struct FastMemPlan {
+    Addr addr = 0;
+    bool flash_hit = false;  // vs. data scratchpad
+  };
+
+  u32 peek_code_word(const isa::Superblock& blk, u32 idx) const;
 
   enum class FetchState : u8 { kIdle, kLocalWait, kBusWait };
 

@@ -68,8 +68,38 @@ void EmulationDevice::register_metrics(
   registry.counter("dap", "bytes_drained", &dap_drained_);
 }
 
+// Per-frame EEC work for cycles executed inside a superblock window:
+// exactly what step() does after soc_.step(), minus the phase probe
+// (run_fast_window declines to open a window while a probe is attached).
+// Returning false on an MCDS break request ends the window so run() can
+// pause the device on the very cycle the trigger fired, as in stepped
+// mode.
+struct EmulationDevice::FastFrameSink final : soc::FrameSink {
+  EmulationDevice* ed = nullptr;
+
+  bool on_frame(const mcds::ObservationFrame& frame) override {
+    ed->mcds_.observe(frame);
+    if (ed->config_.stream_drain) {
+      ed->drain_budget_ += ed->dap_bytes_per_cycle();
+      if (ed->drain_budget_ >= 1.0) {
+        const u64 whole = static_cast<u64>(ed->drain_budget_);
+        ed->dap_drained_ += ed->emem_.drain(whole);
+        ed->drain_budget_ -= static_cast<double>(whole);
+      }
+    }
+    if (soc::SocTracer* tracer = ed->soc_.tracer(); tracer != nullptr) {
+      tracer->observe_eec(frame.cycle, ed->emem_.occupancy_bytes(),
+                          ed->emem_.total_pushed_messages(),
+                          ed->mcds_.dropped_messages());
+    }
+    return !ed->mcds_.break_requested();
+  }
+};
+
 u64 EmulationDevice::run(u64 max_cycles) {
   u64 steps = 0;
+  FastFrameSink sink;
+  sink.ed = this;
   // Fast-forward applies on the device level too, but the EEC bounds the
   // windows: skips stop short of periodic syncs and counter samples so
   // those land in normally observed cycles. Stream-drain mode accumulates
@@ -81,6 +111,14 @@ u64 EmulationDevice::run(u64 max_cycles) {
   // tool clears it — run() returns immediately, like a hit breakpoint.
   while (steps < max_cycles && !soc_.tc().halted() &&
          !mcds_.break_requested()) {
+    // Superblock fast tier: every windowed cycle's frame still reaches
+    // the EEC through the sink, so triggers, counters and the DAP budget
+    // advance exactly as in stepped mode (including stream-drain, whose
+    // fractional budget has no O(1) replay but a per-frame one).
+    steps += soc_.run_fast_window(max_cycles - steps, &sink);
+    if (steps >= max_cycles || soc_.tc().halted() || mcds_.break_requested()) {
+      break;
+    }
     step();
     ++steps;
     if (!fast_forward || steps >= max_cycles) continue;

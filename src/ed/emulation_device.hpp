@@ -98,6 +98,10 @@ class EmulationDevice {
   }
 
  private:
+  /// Adapter feeding superblock-window frames through the same EEC path
+  /// step() takes (MCDS observe, DAP drain, tracer); defined in the .cpp.
+  struct FastFrameSink;
+
   soc::Soc soc_;
   mcds::Mcds mcds_;
   EdConfig config_;

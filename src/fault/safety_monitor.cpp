@@ -98,6 +98,13 @@ mcds::SafetyObservation SafetyMonitor::step_cycle(
   return obs_;
 }
 
+bool SafetyMonitor::quiescent() const {
+  for (u32 count : pending_) {
+    if (count != 0) return false;
+  }
+  return watchdog_ == nullptr || watchdog_->timeouts() == last_wdt_timeouts_;
+}
+
 void SafetyMonitor::register_metrics(telemetry::MetricsRegistry& registry,
                                      std::string_view component) const {
   for (unsigned k = 0; k < kNumAlarmKinds; ++k) {

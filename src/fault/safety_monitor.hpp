@@ -66,6 +66,13 @@ class SafetyMonitor {
   mcds::SafetyObservation step_cycle(Cycle now,
                                      const mcds::ObservationFrame& frame);
 
+  /// No posted-but-unstepped alarms and no unseen watchdog timeouts: a
+  /// step_cycle() over frames with clear strobes would be an observable
+  /// no-op. The superblock fast tier (soc.cpp) uses this to hoist the
+  /// per-cycle monitor call out of a window whose invariants keep every
+  /// alarm source silent.
+  bool quiescent() const;
+
   u64 total(AlarmKind kind) const {
     return totals_[static_cast<unsigned>(kind)];
   }

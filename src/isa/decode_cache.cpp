@@ -10,34 +10,23 @@ usize DecodeCache::entry_count() const {
   return n;
 }
 
-void DecodeCache::add_section(Addr base, const std::vector<u8>& bytes) {
-  // Whole words only; a trailing partial word is never a fetchable
-  // instruction.
-  const usize words = bytes.size() / kInstrBytes;
-  if (words == 0) return;
-  const u32 span = static_cast<u32>(words * kInstrBytes);
+namespace {
 
-  // Drop stale ranges this load overlaps (lookup() would still reject
-  // them by word comparison, but keeping them wastes memory and scan
-  // time).
-  ranges_.erase(std::remove_if(ranges_.begin(), ranges_.end(),
-                               [&](const Range& r) {
-                                 return base < r.base + r.bytes &&
-                                        r.base < base + span;
-                               }),
-                ranges_.end());
-  last_ = 0;
+bool span_overlaps_base(Addr range_base, u32 range_bytes, Addr base, u32 span) {
+  return base < range_base + range_bytes && range_base < base + span;
+}
 
-  Range range;
-  range.base = base;
-  range.bytes = span;
-  range.entries.resize(words);
+}  // namespace
+
+std::vector<DecodeCache::Entry> DecodeCache::predecode_section(
+    const std::vector<u8>& bytes, usize words) {
+  std::vector<Entry> entries(words);
   for (usize w = 0; w < words; ++w) {
     u32 word = 0;
     for (unsigned b = 0; b < kInstrBytes; ++b) {
       word |= static_cast<u32>(bytes[w * kInstrBytes + b]) << (8 * b);
     }
-    Entry& e = range.entries[w];
+    DecodeCache::Entry& e = entries[w];
     e.word = word;
     if (auto decoded = decode(word); decoded.is_ok()) {
       e.instr = decoded.value();
@@ -45,6 +34,55 @@ void DecodeCache::add_section(Addr base, const std::vector<u8>& bytes) {
       e.instr.opcode = Opcode::kHalt;  // garbage stops the core (cpu.cpp)
     }
   }
+  return entries;
+}
+
+void DecodeCache::drop_overlapping(Addr base, u32 span) {
+  // Drop stale ranges this load overlaps through either alias (lookup()
+  // would still reject them by word comparison, but keeping them wastes
+  // memory and scan time).
+  ranges_.erase(std::remove_if(ranges_.begin(), ranges_.end(),
+                               [&](const Range& r) {
+                                 return span_overlaps_base(r.base, r.bytes,
+                                                           base, span) ||
+                                        (r.base2 != kNoAlias &&
+                                         span_overlaps_base(r.base2, r.bytes,
+                                                            base, span));
+                               }),
+                ranges_.end());
+  last_ = 0;
+}
+
+void DecodeCache::add_section(Addr base, const std::vector<u8>& bytes) {
+  // Whole words only; a trailing partial word is never a fetchable
+  // instruction.
+  const usize words = bytes.size() / kInstrBytes;
+  if (words == 0) return;
+  const u32 span = static_cast<u32>(words * kInstrBytes);
+
+  drop_overlapping(base, span);
+
+  Range range;
+  range.base = base;
+  range.bytes = span;
+  range.entries = predecode_section(bytes, words);
+  ranges_.push_back(std::move(range));
+}
+
+void DecodeCache::add_section_aliased(Addr base_a, Addr base_b,
+                                      const std::vector<u8>& bytes) {
+  const usize words = bytes.size() / kInstrBytes;
+  if (words == 0) return;
+  const u32 span = static_cast<u32>(words * kInstrBytes);
+
+  drop_overlapping(base_a, span);
+  drop_overlapping(base_b, span);
+
+  Range range;
+  range.base = base_a;
+  range.base2 = base_b;
+  range.bytes = span;
+  range.entries = predecode_section(bytes, words);
   ranges_.push_back(std::move(range));
 }
 

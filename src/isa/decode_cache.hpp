@@ -27,6 +27,13 @@ class DecodeCache {
   /// does when executing garbage.
   void add_section(Addr base, const std::vector<u8>& bytes);
 
+  /// Predecode one section image reachable at two address aliases (the
+  /// cached/uncached flash pair). One shared entry array serves both
+  /// bases, so invalidation by overlap-replacement through either alias
+  /// drops the single range — no per-alias duplicate to forget.
+  void add_section_aliased(Addr base_a, Addr base_b,
+                           const std::vector<u8>& bytes);
+
   void clear() {
     ranges_.clear();
     last_ = 0;
@@ -61,17 +68,30 @@ class DecodeCache {
     u32 word = 0;
     Instr instr;
   };
+
+  /// Shared alias-aware overlap replacement used by both add paths.
+  void drop_overlapping(Addr base, u32 span);
+  static std::vector<Entry> predecode_section(const std::vector<u8>& bytes,
+                                              usize words);
+  static constexpr Addr kNoAlias = ~Addr{0};
+
   struct Range {
     Addr base = 0;
+    Addr base2 = kNoAlias;  // optional second alias of the same words
     u32 bytes = 0;
     std::vector<Entry> entries;
 
     bool contains(Addr pc) const {
-      return pc - base < bytes;  // unsigned wrap rejects pc < base
+      // Unsigned wrap rejects pc < base.
+      return pc - base < bytes || (base2 != kNoAlias && pc - base2 < bytes);
     }
     const Instr* find(Addr pc, u32 word) const {
-      const Addr off = pc - base;
-      if (off >= bytes) return nullptr;
+      Addr off = pc - base;
+      if (off >= bytes) {
+        if (base2 == kNoAlias) return nullptr;
+        off = pc - base2;
+        if (off >= bytes) return nullptr;
+      }
       const Entry& e = entries[off / kInstrBytes];
       return e.word == word ? &e.instr : nullptr;
     }

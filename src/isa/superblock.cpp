@@ -1,0 +1,190 @@
+#include "isa/superblock.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace audo::isa {
+
+SuperOp predecode_word(u32 word) {
+  SuperOp op;
+  op.word = word;
+  if (auto decoded = decode(word); decoded.is_ok()) {
+    op.instr = decoded.value();
+  } else {
+    // Same containment as the fetch path: garbage executes as HALT.
+    op.instr.opcode = Opcode::kHalt;
+  }
+  const OpInfo& info = op_info(op.instr.opcode);
+  op.pipe = static_cast<u8>(info.pipe);
+  op.latency = info.result_latency;
+  if (info.is_load) op.flags |= SuperOp::kLoad;
+  if (info.is_store) op.flags |= SuperOp::kStore;
+  if (info.is_branch) op.flags |= SuperOp::kBranch;
+  if (info.is_cond_branch) op.flags |= SuperOp::kCondBranch;
+  // The fast tier executes the three ordinary pipes plus NOP; every other
+  // SYS op (HALT, WFI, EI/DI, RFE, MFCR/MTCR, DEBUG) changes state the
+  // window model freezes, so the cycle that issues one is replayed by the
+  // accurate stepper.
+  if (info.pipe == Pipe::kSys && op.instr.opcode != Opcode::kNop) {
+    op.flags |= SuperOp::kBail;
+  }
+
+  // Source/destination sets: must mirror the accurate stepper's hazard
+  // tables (cpu.cpp sources_of/dest_of) exactly — the fast issue loop
+  // checks the same scoreboard through this precomputed form.
+  const Instr& in = op.instr;
+  unsigned n = 0;
+  const auto add_src = [&](bool addr_file, u8 idx) {
+    op.src[n++] = static_cast<u8>((addr_file ? SuperOp::kAddrFile : 0) |
+                                  (idx & 0xF));
+  };
+  using enum Opcode;
+  if (info.uses_rb) {
+    const bool a = in.opcode == kAdda;
+    add_src(a, in.ra);
+    add_src(a, in.rb);
+    if (in.opcode == kMac) add_src(false, in.rd);  // accumulator is a source
+  } else if (info.is_load) {
+    add_src(true, in.ra);
+  } else if (info.is_store) {
+    add_src(in.opcode == kStA, in.rd);  // value
+    add_src(true, in.ra);               // base
+  } else {
+    switch (in.opcode) {
+      case kAbs: case kAddi: case kAndi: case kOri: case kXori:
+      case kShli: case kShri: case kSari:
+        add_src(false, in.ra);
+        break;
+      case kMovAD: case kMtcr:
+        add_src(false, in.ra);
+        break;
+      case kMovDA: case kMovA: case kLea: case kJi: case kCalli:
+        add_src(true, in.ra);
+        break;
+      case kRet:
+        add_src(true, 11);
+        break;
+      case kJeq: case kJne: case kJlt: case kJge: case kJltu: case kJgeu:
+        add_src(false, in.rd);
+        add_src(false, in.ra);
+        break;
+      case kJz: case kJnz:
+        add_src(false, in.rd);
+        break;
+      case kLoop:
+        add_src(true, in.rd);
+        break;
+      default:
+        break;
+    }
+  }
+
+  const auto set_dest = [&](bool addr_file, u8 idx) {
+    op.dest = static_cast<u8>((addr_file ? SuperOp::kAddrFile : 0) |
+                              (idx & 0xF));
+  };
+  if (info.is_store) {
+    // no destination
+  } else if (info.uses_rb) {
+    set_dest(in.opcode == kAdda, in.rd);
+  } else if (info.is_load) {
+    set_dest(in.opcode == kLdA, in.rd);
+  } else {
+    switch (in.opcode) {
+      case kAbs: case kAddi: case kAndi: case kOri: case kXori:
+      case kShli: case kShri: case kSari: case kMovd: case kMovh:
+      case kMovDA: case kMfcr:
+        set_dest(false, in.rd);
+        break;
+      case kMovAD: case kMovA: case kMovha: case kLea:
+        set_dest(true, in.rd);
+        break;
+      case kLoop:
+        set_dest(true, in.rd);
+        break;
+      case kCall: case kCalli:
+        set_dest(true, 11);
+        break;
+      default:
+        break;
+    }
+  }
+  return op;
+}
+
+void SuperblockCache::add_region(Addr base, u32 bytes, bool pspr,
+                                 WordReader reader, const void* reader_ctx) {
+  if (bytes == 0 || reader == nullptr) return;
+  Region region;
+  region.base = base;
+  region.bytes = bytes;
+  region.pspr = pspr;
+  region.reader = reader;
+  region.reader_ctx = reader_ctx;
+  region.chunks.resize((bytes + kChunkBytes - 1) / kChunkBytes);
+  regions_.push_back(std::move(region));
+}
+
+Superblock* SuperblockCache::build(Region& region, u32 chunk_index) {
+  auto blk = std::make_unique<Superblock>();
+  blk->base = region.base + chunk_index * kChunkBytes;
+  blk->pspr = region.pspr;
+  const u32 bytes =
+      std::min(kChunkBytes, region.bytes - chunk_index * kChunkBytes);
+  const u32 nops = bytes / kInstrBytes;
+  blk->ops.reserve(nops);
+  for (u32 i = 0; i < nops; ++i) {
+    const u32 offset = chunk_index * kChunkBytes + i * kInstrBytes;
+    blk->ops.push_back(
+        predecode_word(region.reader(region.reader_ctx, offset)));
+  }
+  ++stats_.builds;
+  region.chunks[chunk_index] = std::move(blk);
+  return region.chunks[chunk_index].get();
+}
+
+const Superblock* SuperblockCache::lookup(Addr pc) {
+  ++stats_.lookups;
+  for (Region& region : regions_) {
+    if (!region.contains(pc)) continue;
+    const u32 ci = static_cast<u32>((pc - region.base) / kChunkBytes);
+    Superblock* blk = region.chunks[ci].get();
+    if (blk == nullptr) blk = build(region, ci);
+    return blk->contains(pc) ? blk : nullptr;
+  }
+  return nullptr;
+}
+
+void SuperblockCache::invalidate(Addr addr, u32 bytes) {
+  if (bytes == 0) return;
+  for (Region& region : regions_) {
+    // Clip [addr, addr+bytes) to the region, in offset space.
+    if (addr + bytes <= region.base || addr >= region.base + region.bytes) {
+      continue;
+    }
+    const Addr lo = std::max(addr, region.base) - region.base;
+    const Addr hi = std::min<Addr>(addr + bytes, region.base + region.bytes) -
+                    region.base;
+    const u32 first = static_cast<u32>(lo / kChunkBytes);
+    const u32 last = static_cast<u32>((hi - 1) / kChunkBytes);
+    for (u32 ci = first; ci <= last && ci < region.chunks.size(); ++ci) {
+      if (region.chunks[ci] != nullptr) {
+        region.chunks[ci].reset();
+        ++stats_.invalidations;
+      }
+    }
+  }
+}
+
+void SuperblockCache::invalidate_all() {
+  for (Region& region : regions_) {
+    for (auto& chunk : region.chunks) {
+      if (chunk != nullptr) {
+        chunk.reset();
+        ++stats_.invalidations;
+      }
+    }
+  }
+}
+
+}  // namespace audo::isa

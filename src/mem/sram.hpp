@@ -44,6 +44,16 @@ class SramSlave final : public bus::BusSlave {
   MemArray array_;
 };
 
+/// Observer for runtime scratchpad writes. Code-holding scratchpads
+/// (PSPR) notify so predecoded superblocks over the written range can be
+/// invalidated — the single funnel every self-modifying-code path
+/// (core store, DMA deposit, tool poke through write()) flows through.
+class ScratchpadWriteListener {
+ public:
+  virtual ~ScratchpadWriteListener() = default;
+  virtual void on_scratchpad_write(Addr addr, unsigned bytes) = 0;
+};
+
 /// Core-local scratchpad (DSPR/PSPR/PRAM): single-cycle, never on the bus.
 /// The §5 methodology's "map hot data structures to scratchpad" moves
 /// traffic from the flash data port into here.
@@ -63,7 +73,10 @@ class Scratchpad {
   void write(Addr addr, u32 value, unsigned bytes) {
     ++writes_;
     array_.write(addr - base_, value, bytes);
+    if (write_listener_) write_listener_->on_scratchpad_write(addr, bytes);
   }
+
+  void set_write_listener(ScratchpadWriteListener* l) { write_listener_ = l; }
 
   Addr base() const { return base_; }
   usize size() const { return array_.size(); }
@@ -94,6 +107,7 @@ class Scratchpad {
   MemArray array_;
   mutable u64 reads_ = 0;
   u64 writes_ = 0;
+  ScratchpadWriteListener* write_listener_ = nullptr;  // host-side, not state
 };
 
 /// Bus-slave view of a scratchpad: the owning core reaches its scratchpad

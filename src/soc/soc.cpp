@@ -44,6 +44,12 @@ SrcIds make_srcs(periph::IrqRouter& router, unsigned dma_channels) {
   return s;
 }
 
+// Side-effect-free word reader the superblock cache uses to (re)validate
+// predecoded code against backing memory (no counters, no fault hooks).
+u32 read_mem_word(const void* ctx, u32 offset) {
+  return static_cast<const mem::MemArray*>(ctx)->peek(offset, 4);
+}
+
 }  // namespace
 
 Soc::Soc(const SocConfig& config)
@@ -120,6 +126,17 @@ Soc::Soc(const SocConfig& config)
   tc_env.flash = &pflash_.array();
   tc_env.flash_size = config.pflash.size;
   tc_env.irq = &irq_router_.tc_view();
+  // Fast-tier superblock regions: the code scratchpad and the cached
+  // flash alias (uncached flash execution never enters a fast window).
+  superblocks_.add_region(mem::kPsprBase, config.pspr_bytes, /*pspr=*/true,
+                          &read_mem_word, &pspr_.array());
+  superblocks_.add_region(mem::kPFlashCachedBase, config.pflash.size,
+                          /*pspr=*/false, &read_mem_word, &pflash_.array());
+  tc_env.superblocks = &superblocks_;
+  // Runtime writes over PSPR code (core stores via the bus slave, DMA
+  // deposits) drop the overlapping superblocks through one funnel.
+  pspr_invalidator_.soc = this;
+  pspr_.set_write_listener(&pspr_invalidator_);
   tc_ = std::make_unique<cpu::Cpu>(tc_cfg, tc_env);
 
   if (config.has_pcp) {
@@ -155,6 +172,11 @@ Soc::~Soc() { set_fault_injector(nullptr); }
 void Soc::set_fault_injector(fault::FaultInjector* injector) {
   if (injector_ != nullptr) injector_->unbind();
   injector_ = injector;
+  // Injectors poke memory arrays directly (ECC bit flips) below every
+  // write listener: drop all predecoded superblocks on attach and detach
+  // so no predecode built around a poke survives. While attached, the
+  // fast tier is disabled outright (run_fast_window gates on injector_).
+  superblocks_.invalidate_all();
   if (injector_ == nullptr) return;
   fault::FaultInjector::Targets t;
   t.pflash = &pflash_.array();
@@ -173,17 +195,22 @@ Status Soc::load(const isa::Program& program) {
   for (const isa::Section& sec : program.sections()) {
     const Addr base = sec.base;
     // Predecode for the fetch path. add_section() invalidates whatever an
-    // earlier load() placed at overlapping addresses; for flash sections,
-    // register both address aliases, since code runs out of either.
+    // earlier load() placed at overlapping addresses; a flash section runs
+    // out of either address alias, so it registers once with both bases —
+    // one entry array, one range to drop on overlap.
     if (decode_cache_enabled_) {
       if (mem::is_pflash(base, config_.pflash.size)) {
         const u32 off = mem::pflash_offset(base);
-        decode_cache_.add_section(mem::kPFlashCachedBase + off, sec.bytes);
-        decode_cache_.add_section(mem::kPFlashUncachedBase + off, sec.bytes);
+        decode_cache_.add_section_aliased(mem::kPFlashCachedBase + off,
+                                          mem::kPFlashUncachedBase + off,
+                                          sec.bytes);
       } else {
         decode_cache_.add_section(base, sec.bytes);
       }
     }
+    // The array().load() below bypasses the scratchpad write listener, so
+    // drop superblocks over the loaded range here.
+    invalidate_code(base, static_cast<u32>(sec.bytes.size()));
     if (mem::is_pflash(base, config_.pflash.size)) {
       pflash_.array().load(mem::pflash_offset(base), sec.bytes);
     } else if (dspr_.contains(base)) {
@@ -229,6 +256,22 @@ void Soc::reset(Addr tc_entry, Addr pcp_entry) {
 void Soc::set_decode_cache_enabled(bool enabled) {
   decode_cache_enabled_ = enabled;
   if (!enabled) decode_cache_.clear();
+}
+
+void Soc::invalidate_code(Addr addr, u32 bytes) {
+  if (mem::is_pflash(addr, config_.pflash.size)) {
+    // Superblocks only exist over the cached alias; normalise so a write
+    // through either flash window drops them.
+    superblocks_.invalidate(mem::kPFlashCachedBase + mem::pflash_offset(addr),
+                            bytes);
+  } else {
+    superblocks_.invalidate(addr, bytes);
+  }
+}
+
+void Soc::CodeWriteInvalidator::on_scratchpad_write(Addr addr,
+                                                    unsigned bytes) {
+  soc->invalidate_code(addr, bytes);
 }
 
 void Soc::step() {
@@ -536,12 +579,128 @@ bool Soc::wake_impossible() const {
   return true;
 }
 
+u64 Soc::run_fast_window(u64 max_cycles, FrameSink* sink) {
+  if (config_.exec_tier != SocConfig::ExecTier::kSuperblock) return 0;
+  if (max_cycles == 0) return 0;
+  // Window invariants (see cpu_fast.cpp): nothing outside the TC may act
+  // during the window. A fault injector disables the tier outright; the
+  // phase probe times step() phases that don't exist in a window.
+  if (injector_ != nullptr || probe_ != nullptr) return 0;
+  if (!dma_.quiescent() || !sri_.idle()) return 0;
+  if (irq_router_.raises_pending()) return 0;
+  if (pcp_ != nullptr &&
+      (!pcp_->quiescent() || (!pcp_->halted() && pcp_->needs_slow_step()))) {
+    return 0;
+  }
+  // With the fabric idle, the PCP parked, trap entries bailing and ECC
+  // domains needing an injector (tier off), no alarm source can fire
+  // inside the window, and the bound below keeps the watchdog short of
+  // its deadline. A quiescent monitor therefore stays an observable
+  // no-op for the whole window: per-cycle step_cycle() — and with it the
+  // only in-window writers of raise/trap/halt state — hoists out of the
+  // loop entirely. A non-quiescent monitor needs the accurate stepper.
+  if (monitor_.enabled() && !monitor_.quiescent()) return 0;
+
+  // Bound the window strictly before the next scheduled activity: the
+  // wake cycle itself (peripheral compare, crank tooth) is stepped
+  // normally so its event replays exactly as in cycle-by-cycle mode.
+  u64 bound = max_cycles;
+  const Cycle next = next_activity_cycle();
+  if (next != periph::kNoActivity) {
+    if (next <= cycle_ + 1) return 0;
+    bound = std::min<u64>(bound, next - cycle_ - 1);
+  }
+
+  cpu::Cpu::FastWindow fw;
+  if (!tc_->fast_enter(fw)) return 0;
+
+  // Frame parts that are invariant across the window. With the fabric
+  // idle, no DMA and no flash-port traffic, each cycle's publish of these
+  // sections equals what an accurate step() publishes (the same
+  // equivalence skip_idle() is built on).
+  frame_.sri = bus::FabricObservation{};
+  frame_.flash = mem::PFlash::Strobes{};
+  frame_.dma = mcds::DmaObservation{};
+  mcds::CoreObservation pcp_parked;
+  unsigned pcp_root = 0;
+  if (pcp_ != nullptr) {
+    pcp_parked.present = true;
+    pcp_parked.stall = pcp_->halted() ? mcds::StallCause::kHalted
+                                      : mcds::StallCause::kWfi;
+    pcp_parked.attr.symptom = pcp_parked.stall;
+    pcp_parked.attr.root = pcp_->halted() ? mcds::StallRootCause::kHalted
+                                          : mcds::StallRootCause::kWfi;
+    pcp_root = static_cast<unsigned>(pcp_parked.attr.root);
+  }
+
+  if (pcp_ != nullptr) {
+    frame_.pcp = pcp_parked;
+  } else {
+    frame_.pcp.reset();
+  }
+  frame_.safety.reset();
+  frame_.irq.reset();
+
+  u64 ran = 0;
+  bool open = true;
+  bool stop = false;
+  while (ran < bound && !stop) {
+    const Cycle now = cycle_ + 1;
+    frame_.cycle = now;
+    frame_.tc.reset();
+    // A bail leaves the machine (and cycle_) untouched; the dirtied frame
+    // is rewritten by the step() that replays this cycle.
+    if (!tc_->fast_cycle(fw, now, frame_.tc)) break;
+    cycle_ = now;
+    ++ran;
+    attribute_core_stall(*tc_, frame_.tc, tc_stall_totals_);
+    if (pcp_ != nullptr) {
+      pcp_stall_totals_.cycles[pcp_root] += 1;
+    }
+    if (tracer_ != nullptr) tracer_->observe(frame_);
+    for (FrameObserver* obs : observers_) obs->observe(frame_);
+    if (sink != nullptr && !sink->on_frame(frame_)) stop = true;
+    if (fw.left_chunk) {
+      // A taken control transfer left the chunk with a clean front end:
+      // re-open on the target's chunk and keep going.
+      tc_->fast_exit(fw);
+      open = false;
+      if (!stop) {
+        if (tc_->fast_enter(fw)) {
+          open = true;
+        } else {
+          break;
+        }
+      }
+    }
+  }
+  if (open) tc_->fast_exit(fw);
+  // Bulk-advance everything that didn't run in the window, exactly as
+  // skip_idle() does for idle stretches: the window bound guarantees no
+  // peripheral had an activity cycle inside it, so skipping moves every
+  // counter and deadline as `ran` stepped cycles would have.
+  if (ran != 0) {
+    stm_.skip(ran);
+    watchdog_.skip(ran);
+    crank_.skip(ran);
+    adc_.skip(ran);
+    can_.skip(ran);
+    pflash_.skip(ran);
+    if (pcp_ != nullptr) pcp_->skip(ran);
+  }
+  return ran;
+}
+
 u64 Soc::run(u64 max_cycles) {
   const u64 budget =
       max_cycles == 0 ? kDefaultRunBudget : std::min(max_cycles, kDefaultRunBudget);
   idle_deadlock_ = false;
   u64 steps = 0;
   while (steps < budget && !tc_->halted()) {
+    // Superblock fast tier: burn through straight-line execution before
+    // falling back to the accurate stepper for the next cycle.
+    steps += run_fast_window(budget - steps);
+    if (steps >= budget || tc_->halted()) break;
     step();
     ++steps;
     // Idle handling. The waiting() check keeps the dense-execution path to
@@ -687,6 +846,9 @@ Status Soc::restore_snapshot(const Snapshot& snap) {
 }
 
 void Soc::restore_state(snapshot::Reader& r) {
+  // Memory contents are about to be replaced wholesale; every predecoded
+  // superblock may describe code that no longer exists.
+  superblocks_.invalidate_all();
   r.enter_section(kTagTop);
   cycle_ = r.get_u64();
   idle_deadlock_ = r.get_bool();

@@ -17,6 +17,7 @@
 #include "fault/safety_monitor.hpp"
 #include "isa/decode_cache.hpp"
 #include "isa/program.hpp"
+#include "isa/superblock.hpp"
 #include "mcds/observation.hpp"
 #include "mem/dflash.hpp"
 #include "mem/pflash.hpp"
@@ -52,6 +53,17 @@ class FrameObserver {
   virtual void observe(const mcds::ObservationFrame& frame) = 0;
   /// `n` skipped idle cycles, each equivalent to observing `idle`.
   virtual void skip_idle(const mcds::ObservationFrame& idle, u64 n) = 0;
+};
+
+/// Per-cycle frame consumer for fast-window cycles with veto power: the
+/// Emulation Device feeds its MCDS from here. Returning false ends the
+/// window after the current cycle (trigger fired, drain budget reached);
+/// the cycle itself is already fully published. Plain observers can't
+/// stop a window, which is why this is a separate interface.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual bool on_frame(const mcds::ObservationFrame& frame) = 0;
 };
 
 /// Cumulative per-core stall-attribution buckets (one counter per
@@ -139,6 +151,28 @@ class Soc {
   /// enabled wake source returns immediately with idle_deadlock() set
   /// (in both modes) instead of burning the budget.
   u64 run(u64 max_cycles = 0);
+
+  // ---- superblock fast tier (DESIGN.md, "Execution tiers") -----------
+
+  /// Execute up to `max_cycles` cycles through the superblock fast tier,
+  /// publishing a bit-identical ObservationFrame for every cycle (tracer,
+  /// observers and `sink` all fire per cycle). Returns the cycles run —
+  /// 0 whenever the machine state doesn't admit a window (wrong tier,
+  /// fault injector attached, bus traffic, no superblock at the PC, ...),
+  /// in which case the caller just step()s. `sink` may end the window
+  /// early by returning false. run() calls this at the top of its loop;
+  /// the Emulation Device calls it with its MCDS sink.
+  u64 run_fast_window(u64 max_cycles, FrameSink* sink = nullptr);
+
+  /// Invalidate predecoded superblocks overlapping [addr, addr+bytes).
+  /// Flash aliases are normalised, so a write through either the cached
+  /// or uncached window drops the (single) cached-alias region. This is
+  /// the one funnel every code-modification path flows through: program
+  /// load, runtime PSPR writes (core stores, DMA — via the scratchpad
+  /// write listener), snapshot restore and fault-injector attach.
+  void invalidate_code(Addr addr, u32 bytes);
+
+  const isa::SuperblockCache& superblocks() const { return superblocks_; }
 
   // ---- quiescence & idle fast-forward --------------------------------
 
@@ -338,6 +372,15 @@ class Soc {
 
   isa::DecodeCache decode_cache_;
   bool decode_cache_enabled_ = true;
+
+  isa::SuperblockCache superblocks_;
+  /// Scratchpad write listener on the PSPR: routes runtime writes over
+  /// code into invalidate_code() (the funnel above).
+  struct CodeWriteInvalidator final : mem::ScratchpadWriteListener {
+    Soc* soc = nullptr;
+    void on_scratchpad_write(Addr addr, unsigned bytes) override;
+  };
+  CodeWriteInvalidator pspr_invalidator_;
 
   /// Provably no wake source can ever fire again (idle-deadlock scan);
   /// call only while quiescent() holds.

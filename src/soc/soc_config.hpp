@@ -64,6 +64,17 @@ struct SocConfig {
   /// host knob, deliberately excluded from fingerprint().
   bool fast_forward = true;
 
+  /// Host acceleration: execution-engine tier. kSuperblock predecodes
+  /// straight-line code into dense superblocks and runs them through a
+  /// function-pointer dispatch loop whenever the SoC state permits,
+  /// bailing to the accurate stepper the moment anything interesting
+  /// (trap, IRQ, cache miss, bus traffic, self-modified code) shows up.
+  /// Bit-identical to kAccurate — every ObservationFrame, MCDS event,
+  /// stall attribution and counter matches — so, like fast_forward and
+  /// the decode cache, it is a host knob excluded from fingerprint().
+  enum class ExecTier : u8 { kAccurate, kSuperblock };
+  ExecTier exec_tier = ExecTier::kSuperblock;
+
   bool valid() const {
     return icache.valid() && dcache.valid() && tc_issue_width >= 1 &&
            tc_issue_width <= 3 && pflash.size > 0;

@@ -38,6 +38,10 @@
 //                               scenarios
 //     --no-fast-forward         step every idle cycle instead of skipping
 //                               quiescent stretches (bit-identical, slower)
+//     --exec-tier T             execution engine: 'superblock' (default)
+//                               or 'accurate'. Bit-identical either way;
+//                               runs with a live injector fall back to
+//                               the accurate stepper regardless
 //     --cold-boot               disable the warm fork (every run boots
 //                               from reset; bit-identical, slower)
 //     --manifest FILE           journal completed scenarios to FILE (JSONL)
@@ -81,7 +85,7 @@ void usage() {
       "usage: audo-faultcamp [--scenarios N] [--seed S] [--jobs N]\n"
       "       [--scenario-budget N] [--scenario-timeout-ms MS] [--retries N]\n"
       "       [--bg N] [--idle-revs N] [--demo] [--no-ecc-sram]\n"
-      "       [--no-fast-forward]\n"
+      "       [--no-fast-forward] [--exec-tier accurate|superblock]\n"
       "       [--cold-boot] [--manifest FILE] [--resume FILE]\n"
       "       [--snapshot FILE] [--report FILE]\n");
 }
@@ -100,6 +104,7 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool ecc_sram = true;
   bool fast_forward = true;
+  soc::SocConfig::ExecTier exec_tier = soc::SocConfig{}.exec_tier;
   bool cold_boot = false;
   const char* manifest_path = nullptr;
   const char* resume_path = nullptr;
@@ -138,6 +143,17 @@ int main(int argc, char** argv) {
       ecc_sram = false;
     } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
       fast_forward = false;
+    } else if (std::strcmp(arg, "--exec-tier") == 0) {
+      const char* tier = next_value();
+      if (std::strcmp(tier, "accurate") == 0) {
+        exec_tier = soc::SocConfig::ExecTier::kAccurate;
+      } else if (std::strcmp(tier, "superblock") == 0) {
+        exec_tier = soc::SocConfig::ExecTier::kSuperblock;
+      } else {
+        std::fprintf(stderr, "--exec-tier wants 'accurate' or 'superblock'\n");
+        usage();
+        return 2;
+      }
     } else if (std::strcmp(arg, "--cold-boot") == 0) {
       cold_boot = true;
     } else if (std::strcmp(arg, "--manifest") == 0) {
@@ -177,6 +193,7 @@ int main(int argc, char** argv) {
   soc::SocConfig chip;
   chip.safety.ecc_sram = ecc_sram;
   chip.fast_forward = fast_forward;
+  chip.exec_tier = exec_tier;
 
   optimize::WorkloadCase wc;
   wc.name = "engine";

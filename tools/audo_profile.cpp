@@ -5,8 +5,11 @@
 //
 //   audo-profile program.s [options]
 //   audo-profile --engine [options]
+//   audo-profile --transmission [options]
 //     --engine            profile the bundled engine-control workload
 //                         instead of assembling a source file
+//     --transmission      profile the bundled transmission-control
+//                         workload (time-triggered task set)
 //     --cycles N          simulation budget (default 2000000)
 //     --resolution N      basis ticks per rate sample (default 1000)
 //     --flow              program-flow trace (implied by --functions/--listing)
@@ -38,6 +41,8 @@
 //                         profiling run is inherently serial)
 //     --no-fast-forward   step every idle cycle instead of skipping
 //                         quiescent stretches (bit-identical, slower)
+//     --exec-tier T       execution engine: 'superblock' (default) or
+//                         'accurate' (bit-identical, slower)
 //     --report FILE       write a structured RunReport JSON
 //     --perfetto FILE     write a Chrome/Perfetto trace JSON
 #include <cstdio>
@@ -56,6 +61,7 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/run_report.hpp"
 #include "workload/engine.hpp"
+#include "workload/transmission.hpp"
 
 using namespace audo;
 
@@ -63,8 +69,8 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: audo-profile {program.s | --engine} [--cycles N] "
-               "[--resolution N]\n"
+               "usage: audo-profile {program.s | --engine | --transmission} "
+               "[--cycles N] [--resolution N]\n"
                "       [--flow] [--data] [--irq] [--cycle-accurate]\n"
                "       [--functions] [--cpi-stacks] [--top N] [--listing N]\n"
                "       [--series-csv FILE] [--events-csv FILE] [--csv FILE]\n"
@@ -72,8 +78,8 @@ void usage() {
                "       [--dag-csv FILE] [--dag-dot FILE]\n"
                "       [--no-icache] [--no-dcache]\n"
                "       [--flash-ws N] [--emem-kib N] [--jobs N]\n"
-               "       [--no-fast-forward] [--report FILE] "
-               "[--perfetto FILE]\n");
+               "       [--no-fast-forward] [--exec-tier accurate|superblock]\n"
+               "       [--report FILE] [--perfetto FILE]\n");
 }
 
 bool write_file(const char* path, const std::string& content) {
@@ -92,6 +98,7 @@ int main(int argc, char** argv) {
   }
   const char* source_path = nullptr;
   bool engine = false;
+  bool transmission = false;
   u64 cycles = 2'000'000;
   u32 resolution = 1000;
   bool functions = false;
@@ -123,6 +130,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(arg, "--engine") == 0) {
       engine = true;
+    } else if (std::strcmp(arg, "--transmission") == 0) {
+      transmission = true;
     } else if (std::strcmp(arg, "--cycles") == 0) {
       cycles = std::strtoull(next_value(), nullptr, 0);
     } else if (std::strcmp(arg, "--resolution") == 0) {
@@ -175,6 +184,17 @@ int main(int argc, char** argv) {
       perfetto_path = next_value();
     } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
       chip.fast_forward = false;
+    } else if (std::strcmp(arg, "--exec-tier") == 0) {
+      const char* tier = next_value();
+      if (std::strcmp(tier, "accurate") == 0) {
+        chip.exec_tier = soc::SocConfig::ExecTier::kAccurate;
+      } else if (std::strcmp(tier, "superblock") == 0) {
+        chip.exec_tier = soc::SocConfig::ExecTier::kSuperblock;
+      } else {
+        std::fprintf(stderr, "--exec-tier wants 'accurate' or 'superblock'\n");
+        usage();
+        return 2;
+      }
     } else if (std::strcmp(arg, "--no-icache") == 0) {
       chip.icache.enabled = false;
     } else if (std::strcmp(arg, "--no-dcache") == 0) {
@@ -194,7 +214,8 @@ int main(int argc, char** argv) {
       source_path = arg;
     }
   }
-  if (source_path == nullptr && !engine) {
+  if ((source_path == nullptr && !engine && !transmission) ||
+      (engine && transmission)) {
     usage();
     return 2;
   }
@@ -203,7 +224,19 @@ int main(int argc, char** argv) {
   Addr tc_entry = 0;
   Addr pcp_entry = 0;
   workload::EngineOptions engine_options;
-  if (engine) {
+  workload::TransmissionOptions transmission_options;
+  if (transmission) {
+    source_path = "<transmission workload>";
+    auto built = workload::build_transmission_workload(transmission_options);
+    if (!built.is_ok()) {
+      std::fprintf(stderr, "transmission workload: %s\n",
+                   built.status().to_string().c_str());
+      return 1;
+    }
+    transmission_options = built.value().options;
+    tc_entry = built.value().tc_entry;
+    program = std::move(built).value().program;
+  } else if (engine) {
     source_path = "<engine workload>";
     auto built = workload::build_engine_workload(engine_options);
     if (!built.is_ok()) {
@@ -241,6 +274,9 @@ int main(int argc, char** argv) {
   }
   if (engine) {
     workload::configure_engine(session.device().soc(), engine_options);
+  } else if (transmission) {
+    workload::configure_transmission(session.device().soc(),
+                                     transmission_options);
   }
   session.reset(tc_entry, pcp_entry);
 

@@ -53,6 +53,9 @@ def main():
                     help="required sweep speedup when cores allow")
     ap.add_argument("--min-ff-speedup", type=float, default=2.0,
                     help="required idle fast-forward speedup")
+    ap.add_argument("--min-dense-speedup", type=float, default=3.0,
+                    help="required superblock-tier speedup on the dense "
+                         "kernels (single-process ratio, host-independent)")
     args = ap.parse_args()
 
     cmd = [args.bench, "--jobs", str(args.jobs)]
@@ -93,6 +96,13 @@ def main():
     wf_speedup = wf_cold_s / wf_warm_s if wf_warm_s > 0 else 0.0
     wf_identical = values.get("warm_fork_identical", 1) == 1
 
+    # Dense-kernel execution tiers (optional: absent from older binaries).
+    dense_acc_ns = values.get("dense_accurate_ns_per_cycle", 0.0)
+    dense_sb_ns = values.get("dense_superblock_ns_per_cycle", 0.0)
+    dense_speedup = dense_acc_ns / dense_sb_ns if dense_sb_ns > 0 else 0.0
+    dense_identical = values.get("dense_identical", 1) == 1
+    dense_present = "dense_superblock_ns_per_cycle" in values
+
     # The speedup criterion only makes sense when the host can actually
     # run the requested workers in parallel.
     enough_cores = hardware_jobs >= sweep_jobs and sweep_jobs >= 2
@@ -106,6 +116,12 @@ def main():
         "ff_identical": "pass" if ff_identical else "fail",
         "ff_speedup": "pass" if ff_speedup_ok else "fail",
         "warm_fork_identical": "pass" if wf_identical else "fail",
+        "dense_identical": "pass" if dense_identical else "fail",
+        # The dense speedup is a single-process ratio on one host, so
+        # unlike the sweep there is no core-count gate.
+        "dense_speedup": ("pass" if dense_speedup >= args.min_dense_speedup
+                          else "fail") if dense_present else "skipped "
+                         "(bench binary has no dense-kernel section)",
     }
 
     report = {
@@ -146,6 +162,14 @@ def main():
             "speedup": wf_speedup,
             "identical_to_cold": wf_identical,
         },
+        "exec_tiers": {
+            "cycles": int(values.get("dense_cycles", 0)),
+            "accurate_ns_per_cycle": dense_acc_ns,
+            "superblock_ns_per_cycle": dense_sb_ns,
+            "speedup": dense_speedup,
+            "identical_to_accurate": dense_identical,
+            "min_speedup_required": args.min_dense_speedup,
+        },
         "checks": checks,
     }
     with open(args.out, "w") as f:
@@ -173,6 +197,14 @@ def main():
     if not wf_identical:
         print("FAIL: warm-forked campaign diverged from cold boots",
               file=sys.stderr)
+        return 1
+    if not dense_identical:
+        print("FAIL: superblock tier diverged from the accurate stepper",
+              file=sys.stderr)
+        return 1
+    if dense_present and dense_speedup < args.min_dense_speedup:
+        print("FAIL: dense-kernel superblock speedup %.2fx < required %.2fx"
+              % (dense_speedup, args.min_dense_speedup), file=sys.stderr)
         return 1
     return 0
 

@@ -17,7 +17,13 @@ deliberately generous:
   - throughput is banded: single-run cycles/second and the fast-forward
     speedup may drop to --tolerance (default 0.5, i.e. half) of the
     baseline before the check fails. Within the band, changes are
-    reported but accepted as host noise.
+    reported but accepted as host noise;
+  - the execution tiers are held tighter: the dense-kernel run measures
+    both tiers back to back in one process, so their ns/cycle trajectory
+    is comparable run-to-run — either tier slowing down by more than
+    --dense-tolerance (default 1.15, i.e. +15%) over the baseline fails,
+    as does the superblock tier's speedup dropping below
+    --min-dense-speedup (default 3.0).
 
 Usage:
   tools/check_bench_trend.py fresh.json [--baseline BENCH_throughput.json]
@@ -34,7 +40,7 @@ def fail(msg):
     return False
 
 
-def check(fresh, base, tolerance):
+def check(fresh, base, tolerance, dense_tolerance, min_dense_speedup):
     ok = True
     for name, doc in (("fresh", fresh), ("baseline", base)):
         if doc.get("schema") != "trisim-bench-throughput/1":
@@ -91,6 +97,30 @@ def check(fresh, base, tolerance):
         if ratio < tolerance:
             ok = fail("%s fell to %.2fx of baseline (floor %.2fx)"
                       % (name, ratio, tolerance))
+
+    # Execution tiers (absent from pre-superblock baselines): the dense
+    # run is a same-process A/B, so hold both tiers' ns/cycle to the
+    # tight band and the tier speedup to its hard floor.
+    ft = fresh.get("exec_tiers", {})
+    bt = base.get("exec_tiers", {})
+    if ft and bt:
+        if not ft.get("identical_to_accurate", True):
+            ok = fail("superblock tier diverged from the accurate stepper")
+        for key in ("accurate_ns_per_cycle", "superblock_ns_per_cycle"):
+            fv, bv = ft.get(key, 0.0), bt.get(key, 0.0)
+            if bv <= 0 or fv <= 0:
+                continue
+            ratio = fv / bv  # ns/cycle: higher is worse
+            status = "ok" if ratio <= dense_tolerance else "REGRESSED"
+            print("  %-42s baseline %12.2f  fresh %12.2f  (%.2fx, %s)"
+                  % ("exec_tiers." + key, bv, fv, ratio, status))
+            if ratio > dense_tolerance:
+                ok = fail("exec_tiers.%s slowed to %.2fx of baseline "
+                          "(ceiling %.2fx)" % (key, ratio, dense_tolerance))
+        speedup = ft.get("speedup", 0.0)
+        if speedup > 0 and speedup < min_dense_speedup:
+            ok = fail("exec_tiers.speedup %.2fx < required %.2fx"
+                      % (speedup, min_dense_speedup))
     return ok
 
 
@@ -102,6 +132,12 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.5,
                     help="minimum fresh/baseline ratio for throughput "
                          "numbers (default 0.5)")
+    ap.add_argument("--dense-tolerance", type=float, default=1.15,
+                    help="maximum fresh/baseline ns-per-cycle ratio for "
+                         "either execution tier (default 1.15 = +15%%)")
+    ap.add_argument("--min-dense-speedup", type=float, default=3.0,
+                    help="hard floor for the superblock tier's dense-kernel "
+                         "speedup (default 3.0)")
     args = ap.parse_args()
 
     with open(args.fresh) as f:
@@ -111,7 +147,8 @@ def main():
 
     print("bench trend: %s vs baseline %s (tolerance %.2fx)"
           % (args.fresh, args.baseline, args.tolerance))
-    if not check(fresh, base, args.tolerance):
+    if not check(fresh, base, args.tolerance, args.dense_tolerance,
+                 args.min_dense_speedup):
         return 1
     print("bench trend: OK")
     return 0
