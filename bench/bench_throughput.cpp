@@ -19,6 +19,7 @@
 // Output is the normal human-readable text plus `THROUGHPUT key=value`
 // lines; tools/bench_throughput.py parses those into BENCH_throughput.json
 // and applies the (core-count-aware) CI thresholds.
+#include <algorithm>
 #include <chrono>
 
 #include "bench_common.hpp"
@@ -51,17 +52,13 @@ u64 runs_checksum(const std::vector<optimize::OptionResult>& results) {
   // Order-sensitive digest over (option rank, per-case cycles/instructions)
   // — equal checksums on the serial and parallel sweep mean bit-identical
   // CaseRun vectors *and* ranking order.
-  u64 h = 1469598103934665603ull;
-  auto mix = [&h](u64 v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
+  u64 h = kFnvOffset;
   for (const auto& r : results) {
-    for (char c : r.option) mix(static_cast<u64>(c));
+    h = fnv1a(h, r.option);
     for (const auto& run : r.runs) {
-      mix(run.cycles);
-      mix(run.instructions);
-      mix(run.halted ? 1 : 0);
+      h = fnv1a(h, run.cycles);
+      h = fnv1a(h, run.instructions);
+      h = fnv1a(h, run.halted ? 1 : 0);
     }
   }
   return h;
@@ -264,6 +261,42 @@ int main(int argc, char** argv) {
               camp_identical ? "classification bit-identical to cold"
                              : "MISMATCH");
 
+  // --- 4b. campaign jobs scaling: 1 / 2 / 8 workers -------------------
+  //
+  // The same warm-forked campaign at three SimPool sizes. The merged
+  // classification is job-count independent by construction; the timing
+  // gives campaign scenarios/second at each width — the number a fault-
+  // campaign user actually waits on.
+  const unsigned scaling_jobs[] = {1, 2, 8};
+  double scaling_seconds[3] = {0.0, 0.0, 0.0};
+  bool scaling_identical = true;
+  for (unsigned i = 0; i < 3; ++i) {
+    campaign.set_jobs(scaling_jobs[i]);
+    u64 hash = 0;
+    scaling_seconds[i] = time_campaign(&hash);
+    scaling_identical = scaling_identical && hash == cold_hash;
+  }
+  campaign.set_jobs(1);
+  const double best_seconds =
+      std::min({scaling_seconds[0], scaling_seconds[1], scaling_seconds[2]});
+  const double scenarios_per_sec =
+      best_seconds > 0.0
+          ? static_cast<double>(scenarios.size() + 1) / best_seconds
+          : 0.0;
+  std::printf("\ncampaign jobs scaling (%zu scenarios + golden, warm fork):\n",
+              scenarios.size());
+  for (unsigned i = 0; i < 3; ++i) {
+    std::printf("  %u jobs: %8.3f s (%.2fx)\n", scaling_jobs[i],
+                scaling_seconds[i],
+                scaling_seconds[i] > 0.0
+                    ? scaling_seconds[0] / scaling_seconds[i]
+                    : 0.0);
+  }
+  std::printf("  best: %.1f scenarios/s, classifications %s\n",
+              scenarios_per_sec,
+              scaling_identical ? "bit-identical at every width"
+                                : "MISMATCH");
+
   // --- 5. dense kernels, superblock tier vs accurate stepper ----------
   //
   // The fast tier's target case: straight-line compute with scratchpad /
@@ -377,6 +410,14 @@ int main(int argc, char** argv) {
   std::printf("THROUGHPUT warm_fork_cold_seconds=%.4f\n", camp_cold_s);
   std::printf("THROUGHPUT warm_fork_warm_seconds=%.4f\n", camp_warm_s);
   std::printf("THROUGHPUT warm_fork_identical=%d\n", camp_identical ? 1 : 0);
+  std::printf("THROUGHPUT campaign_scenarios=%zu\n", scenarios.size() + 1);
+  std::printf("THROUGHPUT campaign_jobs1_seconds=%.4f\n", scaling_seconds[0]);
+  std::printf("THROUGHPUT campaign_jobs2_seconds=%.4f\n", scaling_seconds[1]);
+  std::printf("THROUGHPUT campaign_jobs8_seconds=%.4f\n", scaling_seconds[2]);
+  std::printf("THROUGHPUT campaign_jobs_identical=%d\n",
+              scaling_identical ? 1 : 0);
+  std::printf("THROUGHPUT campaign_scenarios_per_sec=%.2f\n",
+              scenarios_per_sec);
   std::printf("THROUGHPUT dense_cycles=%llu\n",
               static_cast<unsigned long long>(dense_cycles));
   std::printf("THROUGHPUT dense_accurate_ns_per_cycle=%.3f\n",
@@ -405,8 +446,11 @@ int main(int argc, char** argv) {
     telemetry.add_extra("dense_speedup", dense_speedup);
     telemetry.add_extra("warm_fork_speedup",
                         camp_warm_s > 0.0 ? camp_cold_s / camp_warm_s : 0.0);
+    telemetry.add_extra("campaign_scenarios_per_sec", scenarios_per_sec);
     telemetry.finish();
   }
-  return identical && ff_identical && camp_identical && dense_identical ? 0
-                                                                        : 1;
+  return identical && ff_identical && camp_identical && scaling_identical &&
+                 dense_identical
+             ? 0
+             : 1;
 }

@@ -50,6 +50,30 @@ struct CpuConfig {
   bus::MasterId data_master = bus::MasterId::kTcData;
 };
 
+/// Why fast_enter()/fast_cycle() declined the fast tier and handed the
+/// cycle back to the accurate stepper. Exported per-reason as the
+/// `exec/bail.*` metrics and summarized in the RunReport exec_tier block
+/// so the superblock tier's coverage is explainable, not just correct.
+enum class FastBail : u8 {
+  kNone = 0,
+  kNoSuperblocks,  // superblock cache not wired (tier disabled)
+  kFrontendBusy,   // fetch queue/machinery not drained, or PC skew
+  kCoreState,      // wfi, halted, pending trap or acceptable interrupt
+  kDataBusy,       // load/store in flight or a bus port still busy
+  kNoBlock,        // no superblock covers next_pc (or it is empty)
+  kCodeRoute,      // pspr without scratchpad / flash without I-cache
+  kStaleCode,      // code word changed under the predecode (SMC)
+  kChunkTail,      // fetch or delivery would run past the chunk end
+  kFallOff,        // sequential execution left the chunk
+  kUnsupportedOp,  // op the fast table cannot represent
+  kDataRoute,      // data access needs the bus or misses the D-cache
+  kIcacheMiss,     // code fetch would refill over the bus
+  kCount,
+};
+inline constexpr unsigned kNumFastBails =
+    static_cast<unsigned>(FastBail::kCount);
+const char* to_string(FastBail bail);
+
 /// Interface to the interrupt router: the highest-priority pending
 /// service request targeting this core.
 class IrqSource {
@@ -132,6 +156,10 @@ class Cpu {
   /// window polls this after frame hooks that may react on the core
   /// (safety monitor).
   bool needs_slow_step() const;
+
+  /// Why the most recent fast_enter()/fast_cycle() returned false.
+  /// Meaningful only immediately after a failed call.
+  FastBail last_fast_bail() const { return last_fast_bail_; }
 
   bool halted() const { return halted_; }
   bool waiting() const { return wfi_; }
@@ -225,6 +253,13 @@ class Cpu {
 
   u32 peek_code_word(const isa::Superblock& blk, u32 idx) const;
 
+  /// Record the fast-tier bail reason; always returns false so bail
+  /// sites read `return bail(FastBail::kX);`.
+  bool bail(FastBail reason) {
+    last_fast_bail_ = reason;
+    return false;
+  }
+
   enum class FetchState : u8 { kIdle, kLocalWait, kBusWait };
 
   static constexpr Cycle kFar = ~Cycle{0};
@@ -300,6 +335,8 @@ class Cpu {
   u64 cycles_ = 0;
   u64 bus_errors_ = 0;
   u64 traps_ = 0;
+
+  FastBail last_fast_bail_ = FastBail::kNone;
 };
 
 }  // namespace audo::cpu

@@ -42,6 +42,26 @@ u32 extend_loaded(Opcode op, u32 raw) {
 }
 }  // namespace
 
+const char* to_string(FastBail bail) {
+  switch (bail) {
+    case FastBail::kNone: return "none";
+    case FastBail::kNoSuperblocks: return "no_superblocks";
+    case FastBail::kFrontendBusy: return "frontend_busy";
+    case FastBail::kCoreState: return "core_state";
+    case FastBail::kDataBusy: return "data_busy";
+    case FastBail::kNoBlock: return "no_superblock";
+    case FastBail::kCodeRoute: return "code_route";
+    case FastBail::kStaleCode: return "stale_code";
+    case FastBail::kChunkTail: return "chunk_tail";
+    case FastBail::kFallOff: return "chunk_falloff";
+    case FastBail::kUnsupportedOp: return "unsupported_op";
+    case FastBail::kDataRoute: return "data_route";
+    case FastBail::kIcacheMiss: return "icache_miss";
+    case FastBail::kCount: break;
+  }
+  return "?";
+}
+
 // --------------------------------------------------------------------------
 // Per-opcode commit functors. Each mirrors the corresponding case of
 // Cpu::execute() exactly (values, scoreboard deadlines, observation
@@ -397,24 +417,28 @@ bool Cpu::needs_slow_step() const {
 }
 
 bool Cpu::fast_enter(FastWindow& fw) {
-  if (env_.superblocks == nullptr) return false;
+  if (env_.superblocks == nullptr) return bail(FastBail::kNoSuperblocks);
   // A fully drained core: the virtualised fetch queue starts empty and
   // the real fetch machinery fields describe an idle front end.
-  if (!fetch_queue_.empty()) return false;
-  if (fetch_state_ != FetchState::kIdle || fetch_discard_) return false;
-  if (wfi_ || needs_slow_step()) return false;
-  if (load_pending_ || store_pending_) return false;
-  if (!fetch_port_.idle() || !data_port_.idle()) return false;
-  if (fetch_pc_ != next_pc_) return false;
+  if (!fetch_queue_.empty()) return bail(FastBail::kFrontendBusy);
+  if (fetch_state_ != FetchState::kIdle || fetch_discard_) {
+    return bail(FastBail::kFrontendBusy);
+  }
+  if (wfi_ || needs_slow_step()) return bail(FastBail::kCoreState);
+  if (load_pending_ || store_pending_) return bail(FastBail::kDataBusy);
+  if (!fetch_port_.idle() || !data_port_.idle()) {
+    return bail(FastBail::kDataBusy);
+  }
+  if (fetch_pc_ != next_pc_) return bail(FastBail::kFrontendBusy);
   const isa::Superblock* blk = env_.superblocks->lookup(next_pc_);
-  if (blk == nullptr || blk->ops.empty()) return false;
+  if (blk == nullptr || blk->ops.empty()) return bail(FastBail::kNoBlock);
   if (blk->pspr) {
-    if (env_.code_spr == nullptr) return false;
+    if (env_.code_spr == nullptr) return bail(FastBail::kCodeRoute);
   } else {
     // Flash-resident code is only representable through I-cache hits.
     if (env_.flash == nullptr || env_.icache == nullptr ||
         !env_.icache->config().enabled) {
-      return false;
+      return bail(FastBail::kCodeRoute);
     }
   }
   fw.blk = blk;
@@ -464,13 +488,15 @@ bool Cpu::fast_cycle(FastWindow& fw, Cycle now, mcds::CoreObservation& obs) {
   unsigned deliver_words = 0;
   if (fetch_state_ == FetchState::kLocalWait) {
     assert(now >= fetch_ready_at_);  // local fetches always take one cycle
-    if (!blk.contains(fetch_addr_)) return false;
+    if (!blk.contains(fetch_addr_)) return bail(FastBail::kChunkTail);
     deliver_idx = blk.index_of(fetch_addr_);
     deliver_words = fetch_words_;
-    if (deliver_idx + deliver_words > nops) return false;  // chunk tail
+    if (deliver_idx + deliver_words > nops) {
+      return bail(FastBail::kChunkTail);
+    }
     for (unsigned w = 0; w < deliver_words; ++w) {
       if (peek_code_word(blk, deliver_idx + w) != blk.ops[deliver_idx + w].word) {
-        return false;
+        return bail(FastBail::kStaleCode);
       }
     }
     assert(fw.count == 0 || deliver_idx == fw.front + fw.count);
@@ -500,7 +526,7 @@ bool Cpu::fast_cycle(FastWindow& fw, Cycle now, mcds::CoreObservation& obs) {
       // With nothing issued yet the unsupported op would execute this
       // cycle: bail. Otherwise it merely ends the group (SYS issues
       // alone) and stays queued for the accurate stepper.
-      if (plan == 0) return false;
+      if (plan == 0) return bail(FastBail::kUnsupportedOp);
       break;
     }
     const auto pipe = static_cast<Pipe>(op.pipe);
@@ -533,7 +559,7 @@ bool Cpu::fast_cycle(FastWindow& fw, Cycle now, mcds::CoreObservation& obs) {
     }
 
     if ((op.flags & (SuperOp::kLoad | SuperOp::kStore)) != 0) {
-      if (env_.data_spr == nullptr) return false;
+      if (env_.data_spr == nullptr) return bail(FastBail::kDataRoute);
       const Addr addr =
           a_[op.instr.ra] + static_cast<Addr>(op.instr.imm);
       if (env_.data_spr->contains(addr)) {
@@ -543,7 +569,8 @@ bool Cpu::fast_cycle(FastWindow& fw, Cycle now, mcds::CoreObservation& obs) {
                  env_.dcache->probe(addr)) {
         mem = FastMemPlan{addr, true};
       } else {
-        return false;  // bus route or D-cache miss: accurate path only
+        // Bus route or D-cache miss: accurate path only.
+        return bail(FastBail::kDataRoute);
       }
     }
 
@@ -595,13 +622,16 @@ bool Cpu::fast_cycle(FastWindow& fw, Cycle now, mcds::CoreObservation& obs) {
     if (fetch_idle &&
         q_after + config_.fetch_block_words <= config_.fetch_queue_depth) {
       const Addr pc = fetch_pc_;
-      if (!blk.contains(pc)) return false;  // sequential fall-off: bail
+      if (!blk.contains(pc)) return bail(FastBail::kFallOff);
       const u32 block_bytes = config_.fetch_block_words * isa::kInstrBytes;
       const Addr block_end = (pc & ~(block_bytes - 1)) + block_bytes;
       fetch_words = (block_end - pc) / isa::kInstrBytes;
-      if (blk.index_of(pc) + fetch_words > nops) return false;  // chunk tail
+      if (blk.index_of(pc) + fetch_words > nops) {
+        return bail(FastBail::kChunkTail);
+      }
       if (!blk.pspr) {
-        if (!env_.icache->probe(pc)) return false;  // miss: refill on bus
+        // A probe miss means the accurate fetch would refill on the bus.
+        if (!env_.icache->probe(pc)) return bail(FastBail::kIcacheMiss);
         fetch_icache = true;
       }
       start_fetch = true;

@@ -1,0 +1,232 @@
+#include "soc/frame_digest.hpp"
+
+#include <algorithm>
+
+namespace audo::soc {
+
+namespace {
+
+// The component index order used by WindowedFrameDigest::components.
+constexpr const char* kComponents[WindowedFrameDigest::kNumComponents] = {
+    "tc", "pcp", "sri", "flash", "dma", "safety", "irq"};
+
+void core_fields(const char* component, const mcds::CoreObservation& c,
+                 std::vector<FrameField>& out) {
+  const auto add = [&](const char* field, u64 v) {
+    out.push_back(FrameField{component, field, v});
+  };
+  add("present", c.present);
+  add("retired", c.retired);
+  add("retire_pc", c.retire_pc);
+  add("stall", static_cast<u64>(c.stall));
+  add("attr.symptom", static_cast<u64>(c.attr.symptom));
+  add("attr.root", static_cast<u64>(c.attr.root));
+  add("attr.blocking_master", static_cast<u64>(c.attr.blocking_master));
+  add("attr.blocking_slave", c.attr.blocking_slave);
+  add("discontinuity", c.discontinuity);
+  add("discontinuity_target", c.discontinuity_target);
+  add("irq_entry", c.irq_entry);
+  add("irq_prio", c.irq_prio);
+  add("irq_exit", c.irq_exit);
+  add("trap_entry", c.trap_entry);
+  add("trap_class", c.trap_class);
+  add("debug_marker", c.debug_marker);
+  add("data_access", c.data_access);
+  add("data_write", c.data_write);
+  add("data_addr", c.data_addr);
+  add("data_value", c.data_value);
+  add("data_bytes", c.data_bytes);
+  add("icache_access", c.icache_access);
+  add("icache_hit", c.icache_hit);
+  add("icache_miss", c.icache_miss);
+  add("dcache_access", c.dcache_access);
+  add("dcache_hit", c.dcache_hit);
+  add("dcache_miss", c.dcache_miss);
+  add("dspr_access", c.dspr_access);
+  add("flash_data_access", c.flash_data_access);
+  add("sram_data_access", c.sram_data_access);
+  add("periph_data_access", c.periph_data_access);
+}
+
+}  // namespace
+
+std::vector<FrameField> enumerate_frame_fields(
+    const mcds::ObservationFrame& f) {
+  std::vector<FrameField> out;
+  out.reserve(96);
+  core_fields("tc", f.tc, out);
+  core_fields("pcp", f.pcp, out);
+  const auto add = [&](const char* component, const char* field, u64 v) {
+    out.push_back(FrameField{component, field, v});
+  };
+  add("sri", "any_grant", f.sri.any_grant);
+  add("sri", "granted_master", static_cast<u64>(f.sri.granted_master));
+  add("sri", "granted_slave", f.sri.granted_slave);
+  add("sri", "granted_addr", f.sri.granted_addr);
+  add("sri", "granted_write", f.sri.granted_write);
+  add("sri", "contention", f.sri.contention);
+  add("sri", "waiting_masters", f.sri.waiting_masters);
+  add("sri", "error_response", f.sri.error_response);
+  add("sri", "error_master", static_cast<u64>(f.sri.error_master));
+  add("sri", "completed_count", f.sri.completed_count);
+  for (unsigned i = 0; i < f.sri.completed_count; ++i) {
+    const bus::CompletedTransaction& t = f.sri.completed[i];
+    add("sri", "completed.master", static_cast<u64>(t.master));
+    add("sri", "completed.slave", t.slave);
+    add("sri", "completed.addr", t.addr);
+    add("sri", "completed.write", t.write);
+    add("sri", "completed.fetch", t.fetch);
+    add("sri", "completed.issued_at", t.issued_at);
+    add("sri", "completed.granted_at", t.granted_at);
+  }
+  add("flash", "code_access", f.flash.code_access);
+  add("flash", "code_buffer_hit", f.flash.code_buffer_hit);
+  add("flash", "data_access", f.flash.data_access);
+  add("flash", "data_buffer_hit", f.flash.data_buffer_hit);
+  add("flash", "array_conflict", f.flash.array_conflict);
+  add("dma", "transfer", f.dma.transfer);
+  add("dma", "channel", f.dma.channel);
+  add("safety", "ecc_corrected", f.safety.ecc_corrected);
+  add("safety", "ecc_uncorrectable", f.safety.ecc_uncorrectable);
+  add("safety", "bus_error", f.safety.bus_error);
+  add("safety", "wdt_timeout", f.safety.wdt_timeout);
+  add("safety", "cpu_trap", f.safety.cpu_trap);
+  add("safety", "alarm_irq", f.safety.alarm_irq);
+  add("safety", "halt_request", f.safety.halt_request);
+  add("irq", "count", f.irq.count);
+  for (unsigned i = 0; i < f.irq.count; ++i) {
+    add("irq", "raised.priority", f.irq.raised[i].priority);
+    add("irq", "raised.target", f.irq.raised[i].target);
+  }
+  return out;
+}
+
+u64 frame_fingerprint(const mcds::ObservationFrame& f) {
+  u64 h = kFnvOffset;
+  for (const FrameField& field : enumerate_frame_fields(f)) {
+    h = fnv1a(h, field.value);
+  }
+  return h;
+}
+
+u64 component_fingerprint(const mcds::ObservationFrame& f,
+                          const char* component) {
+  u64 h = kFnvOffset;
+  const std::string_view want{component};
+  for (const FrameField& field : enumerate_frame_fields(f)) {
+    if (field.component == want) h = fnv1a(h, field.value);
+  }
+  return h;
+}
+
+// ---- FrameStreamHasher ---------------------------------------------------
+
+void FrameStreamHasher::observe(const mcds::ObservationFrame& frame) {
+  ++frames;
+  hash = fnv1a(hash, frame.cycle);
+  for (const FrameField& field : enumerate_frame_fields(frame)) {
+    hash = fnv1a(hash, field.value);
+  }
+}
+
+void FrameStreamHasher::skip_idle(const mcds::ObservationFrame& idle, u64 n) {
+  frames += n;
+  hash = fnv1a(hash, n);
+  hash = fnv1a(hash, idle.cycle);
+  for (const FrameField& field : enumerate_frame_fields(idle)) {
+    hash = fnv1a(hash, field.value);
+  }
+}
+
+// ---- WindowedFrameDigest -------------------------------------------------
+
+WindowedFrameDigest::WindowedFrameDigest(u32 window_bits)
+    : window_bits_(window_bits) {}
+
+const char* WindowedFrameDigest::component_name(unsigned i) {
+  return kComponents[i];
+}
+
+void WindowedFrameDigest::flush_run() {
+  if (run_len_ == 0) return;
+  window_hash_ = fnv1a(window_hash_, run_fp_);
+  window_hash_ = fnv1a(window_hash_, run_len_);
+  for (unsigned c = 0; c < kNumComponents; ++c) {
+    component_hash_[c] = fnv1a(component_hash_[c], run_component_fp_[c]);
+    component_hash_[c] = fnv1a(component_hash_[c], run_len_);
+  }
+  run_len_ = 0;
+}
+
+void WindowedFrameDigest::flush_window() {
+  flush_run();
+  if (!window_open_) return;
+  Window w;
+  w.index = window_index_;
+  w.frames = window_frames_;
+  w.digest = window_hash_;
+  w.components = component_hash_;
+  windows_.push_back(w);
+  window_open_ = false;
+  window_frames_ = 0;
+  window_hash_ = kFnvOffset;
+  component_hash_.fill(kFnvOffset);
+}
+
+void WindowedFrameDigest::add_run(const mcds::ObservationFrame& frame, u64 fp,
+                                  u64 n) {
+  // Frames arrive densely: this run covers [next_cycle_, next_cycle_+n).
+  while (n > 0) {
+    const u64 index = (next_cycle_ - 1) >> window_bits_;
+    if (!window_open_) {
+      window_open_ = true;
+      window_index_ = index;
+      window_hash_ = kFnvOffset;
+      component_hash_.fill(kFnvOffset);
+    } else if (index != window_index_) {
+      flush_window();
+      continue;
+    }
+    const u64 window_end = ((window_index_ + 1) << window_bits_) + 1;
+    const u64 take = std::min<u64>(n, window_end - next_cycle_);
+    if (run_len_ != 0 && run_fp_ != fp) flush_run();
+    if (run_len_ == 0) {
+      run_fp_ = fp;
+      for (unsigned c = 0; c < kNumComponents; ++c) {
+        run_component_fp_[c] = component_fingerprint(frame, kComponents[c]);
+      }
+    }
+    run_len_ += take;
+    window_frames_ += take;
+    total_frames_ += take;
+    next_cycle_ += take;
+    n -= take;
+  }
+}
+
+void WindowedFrameDigest::observe(const mcds::ObservationFrame& frame) {
+  next_cycle_ = frame.cycle;  // tolerate the first frame starting past 1
+  add_run(frame, frame_fingerprint(frame), 1);
+}
+
+void WindowedFrameDigest::skip_idle(const mcds::ObservationFrame& idle,
+                                    u64 n) {
+  add_run(idle, frame_fingerprint(idle), n);
+}
+
+const std::vector<WindowedFrameDigest::Window>& WindowedFrameDigest::finish() {
+  flush_window();
+  return windows_;
+}
+
+u64 WindowedFrameDigest::stream_digest() const {
+  u64 h = kFnvOffset;
+  for (const Window& w : windows_) {
+    h = fnv1a(h, w.index);
+    h = fnv1a(h, w.frames);
+    h = fnv1a(h, w.digest);
+  }
+  return h;
+}
+
+}  // namespace audo::soc

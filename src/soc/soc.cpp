@@ -7,6 +7,7 @@
 #include "soc/tracer.hpp"
 #include "telemetry/host_profiler.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
 
 namespace audo::soc {
 
@@ -21,6 +22,19 @@ const char* to_string(WakeSource source) {
     case WakeSource::kMcds: return "mcds";
     case WakeSource::kBudget: return "budget";
     case WakeSource::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(FastGate gate) {
+  switch (gate) {
+    case FastGate::kInstrumented: return "instrumented";
+    case FastGate::kFabricBusy: return "fabric_busy";
+    case FastGate::kIrqPending: return "irq_pending";
+    case FastGate::kPcpBusy: return "pcp_busy";
+    case FastGate::kMonitorBusy: return "monitor_busy";
+    case FastGate::kActivityNear: return "activity_near";
+    case FastGate::kCount: break;
   }
   return "?";
 }
@@ -489,6 +503,49 @@ void Soc::register_metrics(telemetry::MetricsRegistry& registry) const {
                          to_string(static_cast<WakeSource>(s)),
                      &ff_stats_.wake_counts[s]);
   }
+  // Superblock-tier coverage. Host-side observability: values depend on
+  // the exec tier, fast-forward mode and run chunking, so identity tests
+  // strip the whole "exec" component (like "sim" host counters).
+  registry.counter("exec", "fast_windows", &exec_stats_.windows);
+  registry.counter("exec", "fast_cycles", &exec_stats_.fast_cycles);
+  for (unsigned g = 0; g < kNumFastGates; ++g) {
+    registry.counter("exec",
+                     std::string("gate.") +
+                         to_string(static_cast<FastGate>(g)),
+                     &exec_stats_.gates[g]);
+  }
+  for (unsigned b = 1; b < cpu::kNumFastBails; ++b) {
+    registry.counter("exec",
+                     std::string("bail.") +
+                         cpu::to_string(static_cast<cpu::FastBail>(b)),
+                     &exec_stats_.bails[b]);
+  }
+}
+
+void Soc::fill_exec_tier_report(telemetry::RunReport& report) const {
+  telemetry::RunReport::ExecTierBlock& block = report.exec_tier;
+  block.tier = config_.exec_tier == SocConfig::ExecTier::kSuperblock
+                   ? "superblock"
+                   : "accurate";
+  block.windows = exec_stats_.windows;
+  block.fast_cycles = exec_stats_.fast_cycles;
+  const u64 accounted = exec_stats_.fast_cycles + ff_stats_.skipped_cycles;
+  block.stepped_cycles = cycle_ > accounted ? cycle_ - accounted : 0;
+  block.declines.clear();
+  for (unsigned g = 0; g < kNumFastGates; ++g) {
+    if (exec_stats_.gates[g] == 0) continue;
+    block.declines.emplace_back(
+        std::string("gate.") + to_string(static_cast<FastGate>(g)),
+        exec_stats_.gates[g]);
+  }
+  for (unsigned b = 1; b < cpu::kNumFastBails; ++b) {
+    if (exec_stats_.bails[b] == 0) continue;
+    block.declines.emplace_back(
+        std::string("bail.") + cpu::to_string(static_cast<cpu::FastBail>(b)),
+        exec_stats_.bails[b]);
+  }
+  std::stable_sort(block.declines.begin(), block.declines.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
 }
 
 bool Soc::quiescent() const {
@@ -582,15 +639,21 @@ bool Soc::wake_impossible() const {
 u64 Soc::run_fast_window(u64 max_cycles, FrameSink* sink) {
   if (config_.exec_tier != SocConfig::ExecTier::kSuperblock) return 0;
   if (max_cycles == 0) return 0;
+  const auto gate = [this](FastGate reason) -> u64 {
+    ++exec_stats_.gates[static_cast<unsigned>(reason)];
+    return 0;
+  };
   // Window invariants (see cpu_fast.cpp): nothing outside the TC may act
   // during the window. A fault injector disables the tier outright; the
   // phase probe times step() phases that don't exist in a window.
-  if (injector_ != nullptr || probe_ != nullptr) return 0;
-  if (!dma_.quiescent() || !sri_.idle()) return 0;
-  if (irq_router_.raises_pending()) return 0;
+  if (injector_ != nullptr || probe_ != nullptr) {
+    return gate(FastGate::kInstrumented);
+  }
+  if (!dma_.quiescent() || !sri_.idle()) return gate(FastGate::kFabricBusy);
+  if (irq_router_.raises_pending()) return gate(FastGate::kIrqPending);
   if (pcp_ != nullptr &&
       (!pcp_->quiescent() || (!pcp_->halted() && pcp_->needs_slow_step()))) {
-    return 0;
+    return gate(FastGate::kPcpBusy);
   }
   // With the fabric idle, the PCP parked, trap entries bailing and ECC
   // domains needing an injector (tier off), no alarm source can fire
@@ -599,7 +662,9 @@ u64 Soc::run_fast_window(u64 max_cycles, FrameSink* sink) {
   // no-op for the whole window: per-cycle step_cycle() — and with it the
   // only in-window writers of raise/trap/halt state — hoists out of the
   // loop entirely. A non-quiescent monitor needs the accurate stepper.
-  if (monitor_.enabled() && !monitor_.quiescent()) return 0;
+  if (monitor_.enabled() && !monitor_.quiescent()) {
+    return gate(FastGate::kMonitorBusy);
+  }
 
   // Bound the window strictly before the next scheduled activity: the
   // wake cycle itself (peripheral compare, crank tooth) is stepped
@@ -607,12 +672,16 @@ u64 Soc::run_fast_window(u64 max_cycles, FrameSink* sink) {
   u64 bound = max_cycles;
   const Cycle next = next_activity_cycle();
   if (next != periph::kNoActivity) {
-    if (next <= cycle_ + 1) return 0;
+    if (next <= cycle_ + 1) return gate(FastGate::kActivityNear);
     bound = std::min<u64>(bound, next - cycle_ - 1);
   }
 
   cpu::Cpu::FastWindow fw;
-  if (!tc_->fast_enter(fw)) return 0;
+  if (!tc_->fast_enter(fw)) {
+    ++exec_stats_.bails[static_cast<unsigned>(tc_->last_fast_bail())];
+    return 0;
+  }
+  ++exec_stats_.windows;
 
   // Frame parts that are invariant across the window. With the fabric
   // idle, no DMA and no flash-port traffic, each cycle's publish of these
@@ -650,7 +719,10 @@ u64 Soc::run_fast_window(u64 max_cycles, FrameSink* sink) {
     frame_.tc.reset();
     // A bail leaves the machine (and cycle_) untouched; the dirtied frame
     // is rewritten by the step() that replays this cycle.
-    if (!tc_->fast_cycle(fw, now, frame_.tc)) break;
+    if (!tc_->fast_cycle(fw, now, frame_.tc)) {
+      ++exec_stats_.bails[static_cast<unsigned>(tc_->last_fast_bail())];
+      break;
+    }
     cycle_ = now;
     ++ran;
     attribute_core_stall(*tc_, frame_.tc, tc_stall_totals_);
@@ -668,7 +740,9 @@ u64 Soc::run_fast_window(u64 max_cycles, FrameSink* sink) {
       if (!stop) {
         if (tc_->fast_enter(fw)) {
           open = true;
+          ++exec_stats_.windows;
         } else {
+          ++exec_stats_.bails[static_cast<unsigned>(tc_->last_fast_bail())];
           break;
         }
       }
@@ -688,6 +762,7 @@ u64 Soc::run_fast_window(u64 max_cycles, FrameSink* sink) {
     pflash_.skip(ran);
     if (pcp_ != nullptr) pcp_->skip(ran);
   }
+  exec_stats_.fast_cycles += ran;
   return ran;
 }
 

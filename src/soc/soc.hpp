@@ -32,6 +32,7 @@
 namespace audo::telemetry {
 class MetricsRegistry;
 class PhaseProbe;
+struct RunReport;
 }
 
 namespace audo::fault {
@@ -103,6 +104,34 @@ struct FastForwardStats {
   u64 skipped_cycles = 0;  // cycles jumped over instead of stepped
   u64 wakeups = 0;         // skip windows taken
   std::array<u64, kNumWakeSources> wake_counts{};
+};
+
+/// Why run_fast_window() declined to open a superblock window at the SoC
+/// level, before the core's own fast_enter() got a say. Together with
+/// cpu::FastBail these are the `exec/gate.*` / `exec/bail.*` metrics.
+enum class FastGate : u8 {
+  kInstrumented,  // fault injector or phase probe attached
+  kFabricBusy,    // DMA in flight or crossbar not idle
+  kIrqPending,    // service-request raises awaiting delivery
+  kPcpBusy,       // PCP running or about to act
+  kMonitorBusy,   // safety monitor has pending reactions
+  kActivityNear,  // next scheduled activity within one cycle
+  kCount,
+};
+inline constexpr unsigned kNumFastGates =
+    static_cast<unsigned>(FastGate::kCount);
+const char* to_string(FastGate gate);
+
+/// Cumulative superblock-tier coverage accounting: how much of the run
+/// executed through fast windows and, when it didn't, why. Counters are
+/// host-side observability only — they never feed back into timing — and
+/// are excluded from cross-tier identity comparisons (they obviously
+/// differ between tiers).
+struct ExecTierStats {
+  u64 windows = 0;      // fast windows opened (incl. chunk-chain re-entries)
+  u64 fast_cycles = 0;  // cycles executed inside fast windows
+  std::array<u64, kNumFastGates> gates{};       // SoC-level declines
+  std::array<u64, cpu::kNumFastBails> bails{};  // core-level declines
 };
 
 /// Service-request node ids wired at construction.
@@ -202,6 +231,16 @@ class Soc {
   bool idle_deadlock() const { return idle_deadlock_; }
 
   const FastForwardStats& ff_stats() const { return ff_stats_; }
+
+  /// Superblock-tier coverage counters (windows, fast cycles, per-reason
+  /// gate/bail counts). All zero under ExecTier::kAccurate.
+  const ExecTierStats& exec_stats() const { return exec_stats_; }
+
+  /// Fill `report.exec_tier` from exec_stats(): tier name, window/cycle
+  /// coverage split, and the nonzero gate/bail decline reasons sorted
+  /// descending. Shared by every RunReport producer (audo-profile,
+  /// audo-faultcamp, benches) so the block always means the same thing.
+  void fill_exec_tier_report(telemetry::RunReport& report) const;
 
   // ---- snapshot / restore --------------------------------------------
 
@@ -405,6 +444,7 @@ class Soc {
   StallTotals pcp_stall_totals_;
 
   FastForwardStats ff_stats_;
+  ExecTierStats exec_stats_;
   bool idle_deadlock_ = false;
 
   SocTracer* tracer_ = nullptr;

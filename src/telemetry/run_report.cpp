@@ -48,6 +48,17 @@ std::string RunReport::to_json() const {
   for (const auto& [name, value] : ff_wake_sources) w.kv(name, value);
   w.end_object();
   w.end_object();  // fast_forward
+  w.key("exec_tier");
+  w.begin_object();
+  w.kv("tier", exec_tier.tier);
+  w.kv("windows", exec_tier.windows);
+  w.kv("fast_cycles", exec_tier.fast_cycles);
+  w.kv("stepped_cycles", exec_tier.stepped_cycles);
+  w.key("declines");
+  w.begin_object();
+  for (const auto& [name, value] : exec_tier.declines) w.kv(name, value);
+  w.end_object();
+  w.end_object();  // exec_tier
   w.end_object();
 
   // Metrics grouped per component: { "tc": {"retired": N, ...}, ... }.

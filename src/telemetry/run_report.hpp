@@ -37,6 +37,20 @@ struct RunReport {
   /// the caller added them.
   std::vector<std::pair<std::string, u64>> ff_wake_sources;
 
+  // ---- execution tier (SocConfig::exec_tier; soc::ExecTierStats) ----
+  /// Superblock-tier coverage: how much of the run went through fast
+  /// windows and, when it didn't, the top reasons the tier declined.
+  struct ExecTierBlock {
+    std::string tier = "accurate";  // "accurate" | "superblock"
+    u64 windows = 0;                // fast windows opened
+    u64 fast_cycles = 0;            // cycles executed inside windows
+    u64 stepped_cycles = 0;         // cycles run by the accurate stepper
+    /// Per-reason decline counts ("bail.stale_code", "gate.pcp_busy",
+    /// ...), nonzero entries only, sorted descending.
+    std::vector<std::pair<std::string, u64>> declines;
+  };
+  ExecTierBlock exec_tier;
+
   // ---- component metrics (registry snapshot) ----
   MetricsSnapshot metrics;
 

@@ -16,6 +16,7 @@
 #include "profiling/dag.hpp"
 #include "profiling/export.hpp"
 #include "profiling/session.hpp"
+#include "soc/frame_digest.hpp"
 #include "telemetry/metrics.hpp"
 #include "workload/engine.hpp"
 #include "workload/transmission.hpp"
@@ -25,115 +26,10 @@ namespace {
 
 using ExecTier = soc::SocConfig::ExecTier;
 
-// ---- per-cycle frame fingerprint ------------------------------------
-
-/// FNV-1a over every architectural field of every published frame.
-/// Fields are hashed explicitly (not memcmp'd) so struct padding can
-/// never fake a match or a mismatch.
-struct FrameHasher final : soc::FrameObserver {
-  static constexpr u64 kOffset = 1469598103934665603ull;
-  static constexpr u64 kPrime = 1099511628211ull;
-
-  u64 hash = kOffset;
-  u64 frames = 0;
-
-  void mix(u64 v) {
-    for (unsigned i = 0; i < 8; ++i) {
-      hash ^= (v >> (8 * i)) & 0xFF;
-      hash *= kPrime;
-    }
-  }
-
-  void mix_core(const mcds::CoreObservation& c) {
-    mix(c.present);
-    mix(c.retired);
-    mix(c.retire_pc);
-    mix(static_cast<u64>(c.stall));
-    mix(static_cast<u64>(c.attr.symptom));
-    mix(static_cast<u64>(c.attr.root));
-    mix(static_cast<u64>(c.attr.blocking_master));
-    mix(c.attr.blocking_slave);
-    mix(c.discontinuity);
-    mix(c.discontinuity_target);
-    mix(c.irq_entry);
-    mix(c.irq_prio);
-    mix(c.irq_exit);
-    mix(c.trap_entry);
-    mix(c.trap_class);
-    mix(c.debug_marker);
-    mix(c.data_access);
-    mix(c.data_write);
-    mix(c.data_addr);
-    mix(c.data_value);
-    mix(c.data_bytes);
-    mix(c.icache_access);
-    mix(c.icache_hit);
-    mix(c.icache_miss);
-    mix(c.dcache_access);
-    mix(c.dcache_hit);
-    mix(c.dcache_miss);
-    mix(c.dspr_access);
-    mix(c.flash_data_access);
-    mix(c.sram_data_access);
-    mix(c.periph_data_access);
-  }
-
-  void mix_frame(const mcds::ObservationFrame& f) {
-    mix(f.cycle);
-    mix_core(f.tc);
-    mix_core(f.pcp);
-    mix(f.sri.any_grant);
-    mix(static_cast<u64>(f.sri.granted_master));
-    mix(f.sri.granted_slave);
-    mix(f.sri.granted_addr);
-    mix(f.sri.granted_write);
-    mix(f.sri.contention);
-    mix(f.sri.waiting_masters);
-    mix(f.sri.error_response);
-    mix(static_cast<u64>(f.sri.error_master));
-    mix(f.sri.completed_count);
-    for (unsigned i = 0; i < f.sri.completed_count; ++i) {
-      const bus::CompletedTransaction& t = f.sri.completed[i];
-      mix(static_cast<u64>(t.master));
-      mix(t.slave);
-      mix(t.addr);
-      mix(t.write);
-      mix(t.fetch);
-      mix(t.issued_at);
-      mix(t.granted_at);
-    }
-    mix(f.flash.code_access);
-    mix(f.flash.code_buffer_hit);
-    mix(f.flash.data_access);
-    mix(f.flash.data_buffer_hit);
-    mix(f.flash.array_conflict);
-    mix(f.dma.transfer);
-    mix(f.dma.channel);
-    mix(f.safety.ecc_corrected);
-    mix(f.safety.ecc_uncorrectable);
-    mix(f.safety.bus_error);
-    mix(f.safety.wdt_timeout);
-    mix(f.safety.cpu_trap);
-    mix(f.safety.alarm_irq);
-    mix(f.safety.halt_request);
-    mix(f.irq.count);
-    for (unsigned i = 0; i < f.irq.count; ++i) {
-      mix(f.irq.raised[i].priority);
-      mix(f.irq.raised[i].target);
-    }
-  }
-
-  void observe(const mcds::ObservationFrame& frame) override {
-    ++frames;
-    mix_frame(frame);
-  }
-
-  void skip_idle(const mcds::ObservationFrame& idle, u64 n) override {
-    frames += n;
-    mix(n);
-    mix_frame(idle);
-  }
-};
+// Per-cycle frame fingerprinting comes from soc/frame_digest.hpp — the
+// same enumeration the replay goldens hash, so this suite and the replay
+// lab can never disagree about what "the frame stream" covers.
+using FrameHasher = soc::FrameStreamHasher;
 
 // ---- whole-run observation ------------------------------------------
 
@@ -173,6 +69,9 @@ Observed run_tier(const Workload& w, Install install, ExecTier tier,
   o.frame_hash = hasher.hash;
   for (const telemetry::MetricSample& s :
        registry.collect(soc.cycle()).samples) {
+    // The exec/ coverage counters are host-side observability that by
+    // definition differs between tiers (that's what they measure).
+    if (s.component == "exec") continue;
     o.metrics.push_back(s.component + "/" + s.name + "=" +
                         std::to_string(s.value));
   }

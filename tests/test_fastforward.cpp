@@ -23,6 +23,10 @@ namespace audo {
 namespace {
 
 bool is_ff_metric(const telemetry::MetricSample& s) {
+  // exec/ coverage counters vary with run chunking and fast-forward mode
+  // (they count how cycles were *executed*, not what they did), so they
+  // are host-side observability like sim/ff.* and excluded here.
+  if (s.component == "exec") return true;
   return s.component == "sim" && s.name.rfind("ff.", 0) == 0;
 }
 

@@ -1,0 +1,458 @@
+// Record/replay regression lab tests (ISSUE 10): ReplaySpec JSON
+// round-tripping and strict rejection of corrupt goldens, the
+// differential replay oracle passing bit-identically on honest reruns
+// under either exec tier and fast-forward setting, seeded architecture
+// mutations caught at the independently-verified first divergent cycle,
+// and snapshot-accelerated bisection restoring a quiescent checkpoint
+// instead of re-booting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "replay/oracle.hpp"
+#include "replay/replay.hpp"
+#include "soc/frame_digest.hpp"
+#include "soc/soc.hpp"
+#include "workload/engine.hpp"
+#include "workload/transmission.hpp"
+
+namespace audo {
+namespace {
+
+// ---- recording fixtures ----------------------------------------------
+
+// Busy-loop engine, short enough to keep every test fast.
+workload::EngineOptions busy_engine_options() {
+  workload::EngineOptions opt;
+  opt.halt_after_bg = 0;  // run to the cycle budget
+  return opt;
+}
+
+// Idle-background engine with the CAN ring in the LMU: WFI park between
+// interrupts (quiescent checkpoints exist) and the first LMU access only
+// happens when the first CAN frame arrives (can_rx_period cycles in) —
+// an lmu_latency mutation therefore first diverges windows into the run.
+workload::EngineOptions idle_lmu_engine_options() {
+  workload::EngineOptions opt;
+  opt.idle_background = true;
+  opt.can_ring_in_lmu = true;
+  return opt;
+}
+
+// Record a plain-soc (no profiling session) golden: run the workload on
+// a fresh Soc with the canonical windowed digest attached — exactly the
+// capture audo-profile --record performs, minus the MCDS session.
+replay::ReplaySpec record_plain(const soc::SocConfig& cfg,
+                                const replay::ScenarioSpec& scenario,
+                                u32 window_bits) {
+  replay::ReplaySpec spec;
+  spec.name = scenario.kind;
+  spec.scenario = scenario;
+  spec.scenario.session.enabled = false;
+  spec.config = cfg;
+  spec.config_fingerprint = cfg.fingerprint();
+
+  Addr tc_entry = 0;
+  Addr pcp_entry = 0;
+  isa::Program program;
+  if (scenario.kind == "engine") {
+    auto built = workload::build_engine_workload(scenario.engine);
+    EXPECT_TRUE(built.is_ok()) << built.status().to_string();
+    tc_entry = built.value().tc_entry;
+    pcp_entry = built.value().pcp_entry;
+    program = std::move(built).value().program;
+  } else {
+    auto built = workload::build_transmission_workload(scenario.transmission);
+    EXPECT_TRUE(built.is_ok()) << built.status().to_string();
+    tc_entry = built.value().tc_entry;
+    program = std::move(built).value().program;
+  }
+
+  soc::Soc soc(cfg);
+  EXPECT_TRUE(soc.load(program).is_ok());
+  if (scenario.kind == "engine") {
+    workload::configure_engine(soc, scenario.engine);
+  } else {
+    workload::configure_transmission(soc, scenario.transmission);
+  }
+  soc::WindowedFrameDigest recorder(window_bits);
+  soc.add_frame_observer(&recorder);
+  soc.reset(tc_entry, pcp_entry);
+  soc.run(scenario.run_cycles);
+
+  spec.digests.window_bits = window_bits;
+  spec.digests.windows = recorder.finish();
+  spec.digests.total_frames = recorder.total_frames();
+  spec.digests.stream = recorder.stream_digest();
+  spec.cycles = soc.cycle();
+  spec.instructions = soc.tc().retired();
+  return spec;
+}
+
+// Per-cycle fingerprint tape: the independent ground truth the
+// first-divergence assertions compare the oracle's answer against.
+class FingerprintTape final : public soc::FrameObserver {
+ public:
+  std::vector<u64> fps;  // fps[i] = fingerprint of cycle i + 1
+
+  void observe(const mcds::ObservationFrame& frame) override {
+    fps.push_back(soc::frame_fingerprint(frame));
+  }
+  void skip_idle(const mcds::ObservationFrame& idle, u64 n) override {
+    const u64 fp = soc::frame_fingerprint(idle);
+    for (u64 i = 0; i < n; ++i) fps.push_back(fp);
+  }
+};
+
+std::vector<u64> fingerprint_run(const soc::SocConfig& cfg,
+                                 const replay::ScenarioSpec& scenario) {
+  auto built = workload::build_engine_workload(scenario.engine);
+  EXPECT_TRUE(built.is_ok());
+  soc::Soc soc(cfg);
+  EXPECT_TRUE(soc.load(built.value().program).is_ok());
+  workload::configure_engine(soc, scenario.engine);
+  FingerprintTape tape;
+  soc.add_frame_observer(&tape);
+  soc.reset(built.value().tc_entry, built.value().pcp_entry);
+  soc.run(scenario.run_cycles);
+  return tape.fps;
+}
+
+// First cycle whose fingerprint differs between two tapes (1-based),
+// or 0 when they match over the common prefix and length.
+u64 first_divergent_cycle(const std::vector<u64>& a,
+                          const std::vector<u64>& b) {
+  const usize n = std::min(a.size(), b.size());
+  for (usize i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return i + 1;
+  }
+  return a.size() == b.size() ? 0 : n + 1;
+}
+
+// ---- schema round trip and rejection ----------------------------------
+
+TEST(ReplaySchema, RoundTripPreservesEveryField) {
+  replay::ScenarioSpec scenario;
+  scenario.kind = "engine";
+  scenario.engine = busy_engine_options();
+  scenario.engine.table_dim = 16;
+  scenario.engine.pcp_offload = true;
+  scenario.run_cycles = 20'000;
+
+  soc::SocConfig cfg;
+  cfg.pflash.wait_states = 4;
+  cfg.icache.ways = 4;
+  cfg.safety.ecc_sram = false;
+  replay::ReplaySpec spec = record_plain(cfg, scenario, 12);
+  ASSERT_FALSE(spec.digests.windows.empty());
+
+  spec.campaign.enabled = true;
+  spec.campaign.seed = 42;
+  spec.campaign.scenarios = 3;
+  spec.campaign.jobs = 2;
+  spec.campaign.classification_hash = 0xdeadbeefcafe;
+  spec.campaign.runs.push_back({"rand-0", "masked", 123, 0xaa});
+  spec.campaign.runs.push_back({"rand-1", "sdc", 456, 0xbb});
+
+  auto loaded = replay::ReplaySpec::from_json(spec.to_json());
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  const replay::ReplaySpec& got = loaded.value();
+
+  EXPECT_EQ(got.name, spec.name);
+  EXPECT_EQ(got.scenario.kind, "engine");
+  EXPECT_EQ(got.scenario.run_cycles, spec.scenario.run_cycles);
+  EXPECT_EQ(got.scenario.engine.table_dim, 16u);
+  EXPECT_TRUE(got.scenario.engine.pcp_offload);
+  EXPECT_EQ(got.config.fingerprint(), cfg.fingerprint());
+  EXPECT_EQ(got.config_fingerprint, spec.config_fingerprint);
+  EXPECT_EQ(got.cycles, spec.cycles);
+  EXPECT_EQ(got.instructions, spec.instructions);
+  EXPECT_EQ(got.digests.window_bits, 12u);
+  EXPECT_EQ(got.digests.total_frames, spec.digests.total_frames);
+  EXPECT_EQ(got.digests.stream, spec.digests.stream);
+  ASSERT_EQ(got.digests.windows.size(), spec.digests.windows.size());
+  for (usize i = 0; i < got.digests.windows.size(); ++i) {
+    EXPECT_EQ(got.digests.windows[i].index, spec.digests.windows[i].index);
+    EXPECT_EQ(got.digests.windows[i].frames, spec.digests.windows[i].frames);
+    EXPECT_EQ(got.digests.windows[i].digest, spec.digests.windows[i].digest);
+    EXPECT_EQ(got.digests.windows[i].components,
+              spec.digests.windows[i].components);
+  }
+  EXPECT_TRUE(got.campaign.enabled);
+  EXPECT_EQ(got.campaign.seed, 42u);
+  EXPECT_EQ(got.campaign.classification_hash, 0xdeadbeefcafeull);
+  ASSERT_EQ(got.campaign.runs.size(), 2u);
+  EXPECT_EQ(got.campaign.runs[1].name, "rand-1");
+  EXPECT_EQ(got.campaign.runs[1].outcome, "sdc");
+  EXPECT_EQ(got.campaign.runs[1].cycles, 456u);
+  EXPECT_EQ(got.campaign.runs[1].signature, 0xbbu);
+}
+
+TEST(ReplaySchema, RejectsCorruptTruncatedAndMismatchedInput) {
+  replay::ScenarioSpec scenario;
+  scenario.kind = "engine";
+  scenario.engine = busy_engine_options();
+  scenario.run_cycles = 8'000;
+  const std::string good = record_plain({}, scenario, 12).to_json();
+  ASSERT_TRUE(replay::ReplaySpec::from_json(good).is_ok());
+
+  // Not JSON at all.
+  EXPECT_FALSE(replay::ReplaySpec::from_json("").is_ok());
+  EXPECT_FALSE(replay::ReplaySpec::from_json("not json").is_ok());
+
+  // Truncation anywhere is a parse error, never a half-loaded spec.
+  for (usize cut : {good.size() / 4, good.size() / 2, good.size() - 3}) {
+    EXPECT_FALSE(replay::ReplaySpec::from_json(good.substr(0, cut)).is_ok())
+        << "truncated at " << cut;
+  }
+
+  // Trailing garbage after a valid document.
+  EXPECT_FALSE(replay::ReplaySpec::from_json(good + "x").is_ok());
+
+  // Schema version mismatch.
+  std::string wrong_schema = good;
+  const usize at = wrong_schema.find("trisim-replay/1");
+  ASSERT_NE(at, std::string::npos);
+  wrong_schema.replace(at, 15, "trisim-replay/9");
+  EXPECT_FALSE(replay::ReplaySpec::from_json(wrong_schema).is_ok());
+
+  // A hand-edited config knob no longer hashes back to the recorded
+  // fingerprint and must be refused.
+  std::string edited = good;
+  usize ws = edited.find("\"wait_states\":");
+  ASSERT_NE(ws, std::string::npos);
+  ws += 14;
+  while (edited[ws] == ' ') ++ws;
+  usize digits = 0;
+  while (std::isdigit(static_cast<unsigned char>(edited[ws + digits]))) {
+    ++digits;
+  }
+  ASSERT_GT(digits, 0u);
+  edited.replace(ws, digits, edited[ws] == '7' ? "8" : "7");
+  auto refused = replay::ReplaySpec::from_json(edited);
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_NE(refused.status().to_string().find("fingerprint"),
+            std::string::npos);
+}
+
+TEST(ReplaySchema, FileRoundTrip) {
+  replay::ScenarioSpec scenario;
+  scenario.kind = "engine";
+  scenario.engine = busy_engine_options();
+  scenario.run_cycles = 8'000;
+  const replay::ReplaySpec spec = record_plain({}, scenario, 12);
+
+  const std::string path = "replay_roundtrip_test.json";
+  ASSERT_TRUE(spec.to_file(path).is_ok());
+  auto loaded = replay::ReplaySpec::from_file(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().to_json(), spec.to_json());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(replay::ReplaySpec::from_file("no_such_golden.json").is_ok());
+}
+
+// ---- the oracle on honest reruns --------------------------------------
+
+TEST(ReplayOracle, IdenticalRerunPassesUnderEveryHostMode) {
+  replay::ScenarioSpec scenario;
+  scenario.kind = "engine";
+  scenario.engine = busy_engine_options();
+  scenario.run_cycles = 40'000;
+  const replay::ReplaySpec spec = record_plain({}, scenario, 12);
+  ASSERT_GE(spec.digests.windows.size(), 4u);
+
+  struct Mode {
+    const char* tier;
+    int ff;
+  };
+  for (const Mode& m : {Mode{"", -1}, Mode{"accurate", -1},
+                        Mode{"superblock", 0}, Mode{"accurate", 0}}) {
+    replay::OracleOptions opts;
+    opts.exec_tier = m.tier;
+    opts.fast_forward = m.ff;
+    auto run = replay::run_replay(spec, opts);
+    ASSERT_TRUE(run.is_ok()) << run.status().to_string();
+    EXPECT_TRUE(run.value().passed)
+        << "tier=" << m.tier << " ff=" << m.ff << "\n"
+        << run.value().format();
+    EXPECT_EQ(run.value().windows_checked, spec.digests.windows.size());
+    EXPECT_EQ(run.value().frames, spec.digests.total_frames);
+  }
+}
+
+TEST(ReplayOracle, TransmissionGoldenReplays) {
+  replay::ScenarioSpec scenario;
+  scenario.kind = "transmission";
+  scenario.transmission.halt_after_tasks = 0;
+  scenario.run_cycles = 30'000;
+  const replay::ReplaySpec spec = record_plain({}, scenario, 12);
+  ASSERT_FALSE(spec.digests.windows.empty());
+
+  replay::OracleOptions opts;
+  opts.exec_tier = "accurate";
+  auto run = replay::run_replay(spec, opts);
+  ASSERT_TRUE(run.is_ok());
+  EXPECT_TRUE(run.value().passed) << run.value().format();
+}
+
+// ---- seeded mutations are caught at the right cycle --------------------
+
+TEST(ReplayOracle, MutationCaughtAtIndependentlyVerifiedCycle) {
+  replay::ScenarioSpec scenario;
+  scenario.kind = "engine";
+  scenario.engine = busy_engine_options();
+  scenario.run_cycles = 30'000;
+  const soc::SocConfig cfg;
+  const replay::ReplaySpec spec = record_plain(cfg, scenario, 12);
+
+  replay::OracleOptions opts;
+  opts.mutations.emplace_back("flash_ws", 6);
+  auto run = replay::run_replay(spec, opts);
+  ASSERT_TRUE(run.is_ok());
+  const replay::ReplayResult& r = run.value();
+  ASSERT_FALSE(r.passed);
+  ASSERT_TRUE(r.divergence.found);
+  EXPECT_EQ(r.divergence.kind, "frame");
+  EXPECT_FALSE(r.divergence.fields.empty());
+
+  // Ground truth: two independent full-frame runs, first differing cycle.
+  soc::SocConfig mutated = cfg;
+  ASSERT_TRUE(replay::apply_mutation(mutated, "flash_ws", 6).is_ok());
+  const u64 want =
+      first_divergent_cycle(fingerprint_run(cfg, scenario),
+                            fingerprint_run(mutated, scenario));
+  ASSERT_NE(want, 0u);
+  EXPECT_EQ(r.divergence.cycle, want);
+
+  // The context rows straddle the divergence: matching before, not after.
+  bool saw_match_before = false;
+  for (const replay::ContextRow& row : r.divergence.context) {
+    if (row.cycle < r.divergence.cycle) {
+      saw_match_before = true;
+      EXPECT_TRUE(row.match) << "cycle " << row.cycle;
+    }
+    if (row.cycle == r.divergence.cycle) EXPECT_FALSE(row.match);
+  }
+  EXPECT_TRUE(saw_match_before);
+}
+
+TEST(ReplayOracle, UnknownMutationKnobIsRejected) {
+  soc::SocConfig cfg;
+  EXPECT_FALSE(replay::apply_mutation(cfg, "bogus_knob", 1).is_ok());
+  // A value that makes the config invalid is refused too.
+  soc::SocConfig bad;
+  EXPECT_FALSE(replay::apply_mutation(bad, "issue_width", 99).is_ok());
+  soc::SocConfig good;
+  EXPECT_TRUE(replay::apply_mutation(good, "flash_ws", 6).is_ok());
+  EXPECT_EQ(good.pflash.wait_states, 6u);
+}
+
+// ---- snapshot-accelerated bisection ------------------------------------
+
+// The LMU is first touched by the CAN RX ISR (can_rx_period cycles in),
+// so an lmu_latency mutation diverges windows into the run; the idle
+// background parks in WFI so quiescent window-boundary checkpoints
+// exist. The bisection must restore one instead of re-booting, under
+// either exec tier and with fast-forward on or off.
+TEST(ReplayBisect, ChecksFromQuiescentCheckpointInLateWindow) {
+  replay::ScenarioSpec scenario;
+  scenario.kind = "engine";
+  scenario.engine = idle_lmu_engine_options();
+  scenario.run_cycles = 24'000;
+  const soc::SocConfig cfg;
+  const replay::ReplaySpec spec = record_plain(cfg, scenario, 10);
+  const u64 win = u64{1} << 10;
+
+  struct Mode {
+    const char* tier;
+    int ff;
+  };
+  for (const Mode& m : {Mode{"superblock", 1}, Mode{"accurate", 1},
+                        Mode{"superblock", 0}, Mode{"accurate", 0}}) {
+    replay::OracleOptions opts;
+    opts.exec_tier = m.tier;
+    opts.fast_forward = m.ff;
+    opts.mutations.emplace_back("lmu_latency", 12);
+    auto run = replay::run_replay(spec, opts);
+    ASSERT_TRUE(run.is_ok()) << run.status().to_string();
+    const replay::ReplayResult& r = run.value();
+    ASSERT_FALSE(r.passed) << "tier=" << m.tier << " ff=" << m.ff;
+    ASSERT_TRUE(r.divergence.found);
+    EXPECT_EQ(r.divergence.kind, "frame") << r.format();
+    // The first CAN frame arrives can_rx_period (9000) cycles in: the
+    // divergence sits windows past cycle 0 and the re-step must have
+    // started from a quiescent checkpoint, not from reset.
+    EXPECT_GT(r.divergence.window_index, 0u);
+    EXPECT_GT(r.divergence.cycle, win);
+    EXPECT_TRUE(r.divergence.checkpoint_used) << r.format();
+    EXPECT_GT(r.divergence.checkpoint_cycle, 0u);
+    EXPECT_LE(r.divergence.checkpoint_cycle,
+              r.divergence.window_index * win);
+    // All four host modes agree on the first divergent cycle.
+    static u64 agreed = 0;
+    if (agreed == 0) agreed = r.divergence.cycle;
+    EXPECT_EQ(r.divergence.cycle, agreed);
+  }
+}
+
+// A golden whose window digest was tampered with cannot be blamed on the
+// test run: the reference rerun does not reproduce it either, so the
+// oracle degrades to an honest window-granularity verdict instead of
+// inventing per-cycle claims.
+TEST(ReplayBisect, TamperedGoldenDegradesToWindowGranularity) {
+  replay::ScenarioSpec scenario;
+  scenario.kind = "engine";
+  scenario.engine = busy_engine_options();
+  scenario.run_cycles = 20'000;
+  replay::ReplaySpec spec = record_plain({}, scenario, 12);
+  ASSERT_GE(spec.digests.windows.size(), 3u);
+  spec.digests.windows[2].digest ^= 1;  // single-bit golden corruption
+
+  auto run = replay::run_replay(spec);
+  ASSERT_TRUE(run.is_ok());
+  const replay::ReplayResult& r = run.value();
+  ASSERT_FALSE(r.passed);
+  ASSERT_TRUE(r.divergence.found);
+  EXPECT_EQ(r.divergence.kind, "window") << r.format();
+  EXPECT_EQ(r.divergence.window_index, 2u);
+}
+
+// ---- divergence report JSON -------------------------------------------
+
+TEST(ReplayReport, DivergenceJsonCarriesTheStructuredReport) {
+  replay::ScenarioSpec scenario;
+  scenario.kind = "engine";
+  scenario.engine = busy_engine_options();
+  scenario.run_cycles = 20'000;
+  const replay::ReplaySpec spec = record_plain({}, scenario, 12);
+
+  replay::OracleOptions opts;
+  opts.mutations.emplace_back("issue_width", 1);
+  auto run = replay::run_replay(spec, opts);
+  ASSERT_TRUE(run.is_ok());
+  ASSERT_FALSE(run.value().passed);
+
+  auto doc = json::json_parse(run.value().to_json());
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  const json::JsonValue& root = doc.value();
+  ASSERT_NE(root.find("schema"), nullptr);
+  EXPECT_EQ(root.find("schema")->string, replay::kDivergenceSchema);
+  EXPECT_FALSE(root.find("passed")->boolean);
+  const json::JsonValue* div = root.find("divergence");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->find("kind")->string, "frame");
+  EXPECT_GT(div->find("cycle")->as_u64(), 0u);
+  ASSERT_NE(div->find("fields"), nullptr);
+  ASSERT_FALSE(div->find("fields")->array.empty());
+  const json::JsonValue& f = div->find("fields")->array[0];
+  EXPECT_FALSE(f.find("component")->string.empty());
+  EXPECT_FALSE(f.find("field")->string.empty());
+  ASSERT_NE(div->find("context"), nullptr);
+  EXPECT_FALSE(div->find("context")->array.empty());
+}
+
+}  // namespace
+}  // namespace audo

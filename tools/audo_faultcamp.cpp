@@ -50,6 +50,12 @@
 //                               the rest run and are appended to it
 //     --snapshot FILE           write the warm boot image to FILE
 //     --report FILE             write a structured RunReport JSON
+//     --record FILE             record a replay golden (trisim-replay/1):
+//                               campaign identity, classification hash and
+//                               per-scenario outcome rows, verifiable with
+//                               audo-replay under any --jobs/--exec-tier.
+//                               Incompatible with --demo and --resume (the
+//                               oracle reconstructs seed-derived plans only)
 //
 // SIGINT/SIGTERM abort cooperatively: scenarios not yet started are
 // skipped, the manifest stays intact (completed work is never lost), a
@@ -64,6 +70,7 @@
 #include "host/sim_pool.hpp"
 #include "mem/memory_map.hpp"
 #include "optimize/fault_campaign.hpp"
+#include "replay/replay.hpp"
 #include "soc/snapshot.hpp"
 #include "soc/soc.hpp"
 #include "telemetry/host_profiler.hpp"
@@ -87,7 +94,7 @@ void usage() {
       "       [--bg N] [--idle-revs N] [--demo] [--no-ecc-sram]\n"
       "       [--no-fast-forward] [--exec-tier accurate|superblock]\n"
       "       [--cold-boot] [--manifest FILE] [--resume FILE]\n"
-      "       [--snapshot FILE] [--report FILE]\n");
+      "       [--snapshot FILE] [--report FILE] [--record FILE]\n");
 }
 
 }  // namespace
@@ -110,6 +117,7 @@ int main(int argc, char** argv) {
   const char* resume_path = nullptr;
   const char* snapshot_path = nullptr;
   const char* report_path = nullptr;
+  const char* record_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -164,6 +172,8 @@ int main(int argc, char** argv) {
       snapshot_path = next_value();
     } else if (std::strcmp(arg, "--report") == 0) {
       report_path = next_value();
+    } else if (std::strcmp(arg, "--record") == 0) {
+      record_path = next_value();
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg);
       usage();
@@ -173,6 +183,16 @@ int main(int argc, char** argv) {
   if (manifest_path != nullptr && resume_path != nullptr) {
     std::fprintf(stderr, "--manifest and --resume are mutually exclusive "
                          "(--resume appends to the resumed manifest)\n");
+    return 2;
+  }
+  if (record_path != nullptr && (demo || resume_path != nullptr)) {
+    std::fprintf(stderr,
+                 "--record needs a pure seed-derived plan; it is incompatible "
+                 "with --demo and --resume\n");
+    return 2;
+  }
+  if (record_path != nullptr && scenarios == 0) {
+    std::fprintf(stderr, "--record: nothing to record with --scenarios 0\n");
     return 2;
   }
 
@@ -351,6 +371,7 @@ int main(int argc, char** argv) {
       report.fast_forward_enabled = golden.config().fast_forward;
       report.ff_skipped_cycles = golden.ff_stats().skipped_cycles;
       report.ff_wakeups = golden.ff_stats().wakeups;
+      golden.fill_exec_tier_report(report);
       for (unsigned s = 0; s < soc::kNumWakeSources; ++s) {
         if (golden.ff_stats().wake_counts[s] == 0) continue;
         report.add_wake_source(
@@ -372,6 +393,42 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("run report: %s\n", report_path);
+  }
+  if (record_path != nullptr && !aborted) {
+    replay::ReplaySpec spec;
+    spec.name = "faultcamp-engine";
+    spec.scenario.kind = "engine";
+    spec.scenario.run_cycles = budget;
+    spec.scenario.engine = opt;
+    spec.config = chip;
+    spec.config_fingerprint = chip.fingerprint();
+    spec.cycles = summary.golden.cycles;
+    spec.campaign.enabled = true;
+    spec.campaign.seed = seed;
+    spec.campaign.scenarios = scenarios;
+    spec.campaign.jobs = jobs == 0 ? host::SimPool::hardware_jobs() : jobs;
+    spec.campaign.budget_cycles = budget;
+    spec.campaign.classification_hash = summary.classification_hash();
+    for (const optimize::ScenarioResult& r : summary.runs) {
+      replay::CampaignSpec::Run row;
+      row.name = r.name;
+      row.outcome = optimize::to_string(r.outcome);
+      row.cycles = r.cycles;
+      row.signature = r.signature;
+      spec.campaign.runs.push_back(std::move(row));
+    }
+    if (Status s = spec.to_file(record_path); !s.is_ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", record_path,
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("replay golden: %s (%zu scenario rows, classification "
+                "0x%llx)\n",
+                record_path, spec.campaign.runs.size(),
+                static_cast<unsigned long long>(
+                    spec.campaign.classification_hash));
+  } else if (record_path != nullptr) {
+    std::fprintf(stderr, "--record: campaign aborted, golden not written\n");
   }
   return aborted ? 130 : 0;
 }

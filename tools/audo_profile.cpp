@@ -43,8 +43,16 @@
 //                         quiescent stretches (bit-identical, slower)
 //     --exec-tier T       execution engine: 'superblock' (default) or
 //                         'accurate' (bit-identical, slower)
+//     --tier-report       print the execution-tier coverage summary
+//                         (fast windows, fast/stepped cycle split and
+//                         the gate/bail decline reasons)
 //     --report FILE       write a structured RunReport JSON
 //     --perfetto FILE     write a Chrome/Perfetto trace JSON
+//     --record FILE       record a replay golden (trisim-replay/1 JSON)
+//                         for the regression lab; --engine or
+//                         --transmission only (the workload recipe must
+//                         be reconstructible from options alone)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -56,6 +64,8 @@
 #include "profiling/function_profile.hpp"
 #include "profiling/listing.hpp"
 #include "profiling/session.hpp"
+#include "replay/replay.hpp"
+#include "soc/frame_digest.hpp"
 #include "soc/tracer.hpp"
 #include "telemetry/host_profiler.hpp"
 #include "telemetry/metrics.hpp"
@@ -79,7 +89,8 @@ void usage() {
                "       [--no-icache] [--no-dcache]\n"
                "       [--flash-ws N] [--emem-kib N] [--jobs N]\n"
                "       [--no-fast-forward] [--exec-tier accurate|superblock]\n"
-               "       [--report FILE] [--perfetto FILE]\n");
+               "       [--tier-report] [--report FILE] [--perfetto FILE]\n"
+               "       [--record FILE]\n");
 }
 
 bool write_file(const char* path, const std::string& content) {
@@ -114,6 +125,8 @@ int main(int argc, char** argv) {
   const char* dag_dot = nullptr;
   const char* report_path = nullptr;
   const char* perfetto_path = nullptr;
+  const char* record_path = nullptr;
+  bool tier_report = false;
   unsigned jobs = host::SimPool::hardware_jobs();
 
   soc::SocConfig chip;
@@ -182,6 +195,10 @@ int main(int argc, char** argv) {
       report_path = next_value();
     } else if (std::strcmp(arg, "--perfetto") == 0) {
       perfetto_path = next_value();
+    } else if (std::strcmp(arg, "--record") == 0) {
+      record_path = next_value();
+    } else if (std::strcmp(arg, "--tier-report") == 0) {
+      tier_report = true;
     } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
       chip.fast_forward = false;
     } else if (std::strcmp(arg, "--exec-tier") == 0) {
@@ -218,6 +235,21 @@ int main(int argc, char** argv) {
       (engine && transmission)) {
     usage();
     return 2;
+  }
+  if (record_path != nullptr) {
+    if (!engine && !transmission) {
+      std::fprintf(stderr,
+                   "--record needs --engine or --transmission (the golden "
+                   "must be reconstructible from workload options alone)\n");
+      return 2;
+    }
+    if (options.data_trace || options.cycle_accurate || options.cpi_stacks) {
+      std::fprintf(stderr,
+                   "--record does not support --data, --cycle-accurate or "
+                   "--cpi-stacks (their trace streams are not part of the "
+                   "replay schema)\n");
+      return 2;
+    }
   }
 
   isa::Program program;
@@ -278,6 +310,12 @@ int main(int argc, char** argv) {
     workload::configure_transmission(session.device().soc(),
                                      transmission_options);
   }
+  // Golden recorder: canonical windowed frame digests, attached like any
+  // other observer so recording never perturbs the run.
+  soc::WindowedFrameDigest recorder;
+  if (record_path != nullptr) {
+    session.device().soc().add_frame_observer(&recorder);
+  }
   session.reset(tc_entry, pcp_entry);
 
   // Host telemetry (null-cost when neither flag was given).
@@ -310,6 +348,50 @@ int main(int argc, char** argv) {
               result.bytes_per_kcycle,
               static_cast<unsigned long long>(result.dropped_messages));
   std::printf("%s", profiling::format_series_summary(result.series).c_str());
+
+  if (tier_report) {
+    auto& tr_soc = session.device().soc();
+    const soc::ExecTierStats& es = tr_soc.exec_stats();
+    const u64 ff_skipped = tr_soc.ff_stats().skipped_cycles;
+    const u64 accelerated = es.fast_cycles + ff_skipped;
+    const u64 stepped =
+        tr_soc.cycle() > accelerated ? tr_soc.cycle() - accelerated : 0;
+    std::printf("\n== exec tier ==\n"
+                "%s: %llu fast windows, %llu fast cycles, "
+                "%llu fast-forwarded, %llu stepped\n",
+                tr_soc.config().exec_tier ==
+                        soc::SocConfig::ExecTier::kSuperblock
+                    ? "superblock"
+                    : "accurate",
+                static_cast<unsigned long long>(es.windows),
+                static_cast<unsigned long long>(es.fast_cycles),
+                static_cast<unsigned long long>(ff_skipped),
+                static_cast<unsigned long long>(stepped));
+    std::vector<std::pair<std::string, u64>> declines;
+    for (unsigned g = 0; g < soc::kNumFastGates; ++g) {
+      if (es.gates[g] == 0) continue;
+      declines.emplace_back(
+          std::string("gate.") +
+              soc::to_string(static_cast<soc::FastGate>(g)),
+          es.gates[g]);
+    }
+    for (unsigned b = 1; b < cpu::kNumFastBails; ++b) {
+      if (es.bails[b] == 0) continue;
+      declines.emplace_back(
+          std::string("bail.") +
+              cpu::to_string(static_cast<cpu::FastBail>(b)),
+          es.bails[b]);
+    }
+    std::stable_sort(declines.begin(), declines.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    for (const auto& [reason, count] : declines) {
+      std::printf("  %-24s %llu\n", reason.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+    if (declines.empty()) std::printf("  (no declines)\n");
+  }
 
   if (functions) {
     profiling::SystemProfiler profiler{isa::SymbolMap(program)};
@@ -416,6 +498,7 @@ int main(int argc, char** argv) {
     report.fast_forward_enabled = soc.config().fast_forward;
     report.ff_skipped_cycles = soc.ff_stats().skipped_cycles;
     report.ff_wakeups = soc.ff_stats().wakeups;
+    soc.fill_exec_tier_report(report);
     for (unsigned s = 0; s < soc::kNumWakeSources; ++s) {
       if (soc.ff_stats().wake_counts[s] == 0) continue;
       report.add_wake_source(soc::to_string(static_cast<soc::WakeSource>(s)),
@@ -458,6 +541,41 @@ int main(int argc, char** argv) {
                 report_path, report.metrics.samples.size(),
                 report.metrics.component_count(),
                 report.sim_cycles_per_second);
+  }
+  if (record_path != nullptr) {
+    recorder.finish();
+    replay::ReplaySpec spec;
+    spec.name = engine ? "engine" : "transmission";
+    spec.scenario.kind = spec.name;
+    spec.scenario.run_cycles = cycles;
+    spec.scenario.engine = engine_options;
+    spec.scenario.transmission = transmission_options;
+    spec.scenario.session.enabled = true;
+    spec.scenario.session.resolution = options.resolution;
+    spec.scenario.session.program_trace = options.program_trace;
+    spec.scenario.session.irq_trace = options.irq_trace;
+    spec.scenario.session.dag = options.dag;
+    spec.config = soc.config();
+    spec.config_fingerprint = soc.config().fingerprint();
+    spec.cycles = soc.cycle();
+    spec.instructions = soc.tc().retired();
+    spec.digests.window_bits = recorder.window_bits();
+    spec.digests.total_frames = recorder.total_frames();
+    spec.digests.stream = recorder.stream_digest();
+    spec.digests.windows = recorder.windows();
+    spec.digests.mcds_messages = result.messages.size();
+    spec.digests.mcds_hash = replay::hash_messages(result.messages);
+    if (session.dag() != nullptr) {
+      spec.digests.dag_hash = session.dag()->analysis().hash;
+    }
+    if (Status s = spec.to_file(record_path); !s.is_ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", record_path,
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("replay golden: %s (%zu windows, %llu frames)\n", record_path,
+                spec.digests.windows.size(),
+                static_cast<unsigned long long>(spec.digests.total_frames));
   }
   return 0;
 }

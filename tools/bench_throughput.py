@@ -96,6 +96,13 @@ def main():
     wf_speedup = wf_cold_s / wf_warm_s if wf_warm_s > 0 else 0.0
     wf_identical = values.get("warm_fork_identical", 1) == 1
 
+    # Campaign jobs scaling (optional: absent from older binaries).
+    camp_runs = int(values.get("campaign_scenarios", 0))
+    camp_seconds = {j: values.get("campaign_jobs%d_seconds" % j, 0.0)
+                    for j in (1, 2, 8)}
+    camp_identical = values.get("campaign_jobs_identical", 1) == 1
+    camp_per_sec = values.get("campaign_scenarios_per_sec", 0.0)
+
     # Dense-kernel execution tiers (optional: absent from older binaries).
     dense_acc_ns = values.get("dense_accurate_ns_per_cycle", 0.0)
     dense_sb_ns = values.get("dense_superblock_ns_per_cycle", 0.0)
@@ -116,6 +123,7 @@ def main():
         "ff_identical": "pass" if ff_identical else "fail",
         "ff_speedup": "pass" if ff_speedup_ok else "fail",
         "warm_fork_identical": "pass" if wf_identical else "fail",
+        "campaign_jobs_identical": "pass" if camp_identical else "fail",
         "dense_identical": "pass" if dense_identical else "fail",
         # The dense speedup is a single-process ratio on one host, so
         # unlike the sweep there is no core-count gate.
@@ -162,6 +170,16 @@ def main():
             "speedup": wf_speedup,
             "identical_to_cold": wf_identical,
         },
+        "campaign_scaling": {
+            "runs": camp_runs,
+            "jobs_scaling": {
+                "1": camp_seconds[1],
+                "2": camp_seconds[2],
+                "8": camp_seconds[8],
+            },
+            "campaign_scenarios_per_sec": camp_per_sec,
+            "identical_across_jobs": camp_identical,
+        },
         "exec_tiers": {
             "cycles": int(values.get("dense_cycles", 0)),
             "accurate_ns_per_cycle": dense_acc_ns,
@@ -196,6 +214,10 @@ def main():
         return 1
     if not wf_identical:
         print("FAIL: warm-forked campaign diverged from cold boots",
+              file=sys.stderr)
+        return 1
+    if not camp_identical:
+        print("FAIL: campaign classification changed with the job count",
               file=sys.stderr)
         return 1
     if not dense_identical:

@@ -55,6 +55,9 @@ def check(fresh, base, tolerance, dense_tolerance, min_dense_speedup):
         ok = fail("fast-forward run diverged from stepped run")
     if not fresh.get("warm_fork", {}).get("identical_to_cold", True):
         ok = fail("warm-forked campaign diverged from cold boots")
+    if not fresh.get("campaign_scaling", {}).get("identical_across_jobs",
+                                                 True):
+        ok = fail("campaign classification changed with the job count")
 
     # Exact: simulated-work counters are host-independent.
     for key in ("cycles", "skipped_cycles", "wakeups"):
@@ -86,6 +89,11 @@ def check(fresh, base, tolerance, dense_tolerance, min_dense_speedup):
         ("warm_fork.speedup",
          fresh.get("warm_fork", {}).get("speedup", 0),
          base.get("warm_fork", {}).get("speedup", 0)),
+        ("campaign_scaling.campaign_scenarios_per_sec",
+         fresh.get("campaign_scaling", {}).get("campaign_scenarios_per_sec",
+                                               0),
+         base.get("campaign_scaling", {}).get("campaign_scenarios_per_sec",
+                                              0)),
     ]
     for name, fv, bv in banded:
         if bv <= 0:

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Validate replay goldens against tools/replay_schema.json.
+
+Reuses the dependency-free JSON-Schema-subset validator from
+check_report.py. Beyond schema shape, enforces the golden invariants the
+oracle relies on: a frame golden's window list must be contiguous from
+index 0 and its frame counts must sum to total_frames; a campaign
+golden's row count must equal its scenario count.
+
+Usage:  check_replay_schema.py golden.json [golden2.json ...]
+Exit 0 when every golden validates; exit 1 otherwise. Used by the CI
+replay-goldens job.
+"""
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from check_report import validate  # noqa: E402
+
+
+def check_invariants(spec, errors):
+    digests = spec.get("digests", {})
+    windows = digests.get("windows", [])
+    if windows:
+        for i, w in enumerate(windows):
+            if w.get("index") != i:
+                errors.append(f"$.digests.windows[{i}]: index {w.get('index')}"
+                              f" is not contiguous from 0")
+        total = sum(w.get("frames", 0) for w in windows)
+        if total != digests.get("total_frames"):
+            errors.append(f"$.digests: window frames sum to {total}, "
+                          f"total_frames says {digests.get('total_frames')}")
+    campaign = spec.get("campaign", {})
+    if campaign.get("enabled"):
+        if len(campaign.get("runs", [])) != campaign.get("scenarios"):
+            errors.append(f"$.campaign: {len(campaign.get('runs', []))} run "
+                          f"rows for {campaign.get('scenarios')} scenarios")
+    if not windows and not campaign.get("enabled"):
+        errors.append("$: golden verifies nothing (no windows, no campaign)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    schema_path = os.path.join(os.path.dirname(os.path.abspath(argv[0])),
+                               "replay_schema.json")
+    with open(schema_path) as f:
+        schema = json.load(f)
+    failed = False
+    for path in argv[1:]:
+        with open(path) as f:
+            spec = json.load(f)
+        errors = []
+        validate(spec, schema, "$", errors)
+        check_invariants(spec, errors)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID:")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            windows = len(spec["digests"]["windows"])
+            rows = len(spec["campaign"]["runs"])
+            print(f"{path}: OK ({spec['name']}, {windows} windows, "
+                  f"{rows} campaign rows)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

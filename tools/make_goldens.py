@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerate the committed replay golden library in replays/.
+
+Runs the record modes of audo-profile and audo-faultcamp from a build
+directory and writes one golden per library entry:
+
+  engine_superblock.json       engine workload, superblock tier
+  engine_accurate.json         engine workload, accurate tier
+  transmission_superblock.json transmission workload, superblock tier
+  faultcamp_engine.json        seeded fault campaign classification
+
+Goldens only need regenerating when simulator behaviour intentionally
+changes; CI replays the committed set bit-identically under both exec
+tiers (the replay-goldens job) and fails on any drift.
+
+Usage:  make_goldens.py [build_dir] [out_dir]
+"""
+import os
+import subprocess
+import sys
+
+
+GOLDENS = [
+    ("engine_superblock.json", "audo-profile",
+     ["--engine", "--cycles", "120000", "--exec-tier", "superblock"]),
+    ("engine_accurate.json", "audo-profile",
+     ["--engine", "--cycles", "120000", "--exec-tier", "accurate"]),
+    ("transmission_superblock.json", "audo-profile",
+     ["--transmission", "--cycles", "120000", "--exec-tier", "superblock"]),
+    ("faultcamp_engine.json", "audo-faultcamp",
+     ["--scenarios", "8", "--seed", "11", "--jobs", "2",
+      "--cycles", "200000", "--bg", "120"]),
+]
+
+
+def main(argv):
+    build = argv[1] if len(argv) > 1 else "build"
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(argv[0])))
+    out_dir = argv[2] if len(argv) > 2 else os.path.join(repo, "replays")
+    os.makedirs(out_dir, exist_ok=True)
+    for name, tool, args in GOLDENS:
+        binary = os.path.join(build, "tools", tool)
+        out = os.path.join(out_dir, name)
+        cmd = [binary] + args + ["--record", out]
+        print("+", " ".join(cmd))
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        print(f"  wrote {out}")
+    check = os.path.join(repo, "tools", "check_replay_schema.py")
+    paths = [os.path.join(out_dir, name) for name, _, _ in GOLDENS]
+    subprocess.run([sys.executable, check] + paths, check=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
